@@ -1,0 +1,50 @@
+"""Throughput of the scaling-per-query simulator itself.
+
+Not a paper artifact, but a useful engineering number: how many queries per
+second the discrete-event replay sustains for a cheap policy (Backup Pool)
+and for the full RobustScaler-HP policy.  This bounds how large a trace the
+experiment harness can replay in a given time budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import PlannerConfig, SimulationConfig
+from repro.nhpp.intensity import PiecewiseConstantIntensity
+from repro.nhpp.sampling import sample_homogeneous_arrivals
+from repro.pending import DeterministicPendingTime
+from repro.scaling.backup_pool import BackupPoolScaler
+from repro.scaling.robustscaler import RobustScaler
+from repro.simulation.engine import ScalingPerQuerySimulator
+from repro.types import ArrivalTrace
+
+
+def _trace(n_seconds: float = 3600.0, rate: float = 1.0) -> ArrivalTrace:
+    arrivals = sample_homogeneous_arrivals(rate, n_seconds, 3)
+    return ArrivalTrace(arrivals, 5.0, name="throughput", horizon=n_seconds)
+
+
+def test_simulator_throughput_backup_pool(benchmark):
+    trace = _trace()
+    simulator = ScalingPerQuerySimulator(SimulationConfig(pending_time=10.0))
+    result = benchmark(simulator.replay, trace, BackupPoolScaler(3))
+    assert result.n_queries == trace.n_queries
+
+
+def test_simulator_throughput_robustscaler(benchmark):
+    trace = _trace(n_seconds=1800.0)
+    forecast = PiecewiseConstantIntensity(np.array([1.0]), 60.0, extrapolation="hold")
+    scaler = RobustScaler(
+        forecast,
+        DeterministicPendingTime(10.0),
+        target=0.9,
+        planner=PlannerConfig(planning_interval=5.0, monte_carlo_samples=300),
+        random_state=0,
+    )
+    simulator = ScalingPerQuerySimulator(SimulationConfig(pending_time=10.0))
+    result = benchmark.pedantic(
+        simulator.replay, args=(trace, scaler), rounds=1, iterations=1
+    )
+    assert result.n_queries == trace.n_queries
+    assert result.hit_rate > 0.5

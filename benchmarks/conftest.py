@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (as rows of
+numbers) and prints it, so running ``pytest benchmarks/ --benchmark-only -s``
+produces a textual version of the paper's evaluation section alongside the
+timing statistics collected by pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.report import format_table
+
+
+def print_artifact(title: str, rows: list[dict], columns: list[str] | None = None) -> None:
+    """Print one reproduced table/figure with a recognizable banner."""
+    banner = "=" * max(20, len(title))
+    print(f"\n{banner}\n{title}\n{banner}")
+    print(format_table(rows, columns=columns))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The experiment drivers are deterministic and relatively heavy, so a
+    single round gives a representative wall-clock figure without multiplying
+    the suite's runtime.
+    """
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

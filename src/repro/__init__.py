@@ -1,0 +1,135 @@
+"""RobustScaler: QoS-aware proactive autoscaling for scaling-per-query workloads.
+
+This package is a from-scratch reproduction of *RobustScaler: QoS-Aware
+Autoscaling for Complex Workloads* (Qian et al., ICDE 2022).  It provides:
+
+* a regularized non-homogeneous Poisson process (NHPP) workload model with
+  robust periodicity detection and a specialized ADMM fitter
+  (:mod:`repro.nhpp`, :mod:`repro.periodicity`);
+* stochastically constrained scaling optimization — HP-, RT- and
+  cost-constrained decision rules plus the sequential scaling scheme
+  (:mod:`repro.optimization`, :mod:`repro.scaling`);
+* heuristic baselines (Backup Pool, Adaptive Backup Pool) and a
+  discrete-event simulator of the scaling-per-query dynamics
+  (:mod:`repro.simulation`);
+* synthetic trace generators, metrics, and an experiment harness that
+  regenerates every table and figure of the paper's evaluation section
+  (:mod:`repro.traces`, :mod:`repro.metrics`, :mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import (NHPPModel, RobustScaler, DeterministicPendingTime,
+...                    generate_crs_like_trace, replay)        # doctest: +SKIP
+>>> trace = generate_crs_like_trace()                          # doctest: +SKIP
+>>> train, test = trace.split(0.75)                            # doctest: +SKIP
+>>> model = NHPPModel().fit(train)                             # doctest: +SKIP
+>>> scaler = RobustScaler.from_model(model, DeterministicPendingTime(13.0),
+...                                  target=0.9)               # doctest: +SKIP
+>>> result = replay(test, scaler)                              # doctest: +SKIP
+>>> result.hit_rate                                            # doctest: +SKIP
+"""
+
+from .config import (
+    ADMMConfig,
+    NHPPConfig,
+    PeriodicityConfig,
+    PlannerConfig,
+    RobustScalerConfig,
+    SimulationConfig,
+    WorkloadModelConfig,
+)
+from .exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleConstraintError,
+    ModelNotFittedError,
+    PeriodicityDetectionError,
+    PlanningError,
+    RobustScalerError,
+    SimulationError,
+    TraceError,
+    ValidationError,
+)
+from .nhpp import NHPPModel, PiecewiseConstantIntensity
+from .pending import (
+    DeterministicPendingTime,
+    ExponentialPendingTime,
+    PendingTimeModel,
+    UniformPendingTime,
+)
+from .periodicity import PeriodicityDetector, detect_period
+from .scaling import (
+    AdaptiveBackupPoolScaler,
+    Autoscaler,
+    BackupPoolScaler,
+    ReactiveScaler,
+    RobustScaler,
+    RobustScalerObjective,
+    SequentialHPScaler,
+)
+from .simulation import ScalingPerQuerySimulator, evaluate_scaler, replay
+from .traces import (
+    generate_alibaba_like_trace,
+    generate_crs_like_trace,
+    generate_google_like_trace,
+    generate_trace_from_intensity,
+)
+from .types import ArrivalTrace, QPSSeries, ScalingAction, ScalingPlan, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "ADMMConfig",
+    "NHPPConfig",
+    "PeriodicityConfig",
+    "PlannerConfig",
+    "RobustScalerConfig",
+    "SimulationConfig",
+    "WorkloadModelConfig",
+    # exceptions
+    "RobustScalerError",
+    "ConfigurationError",
+    "ValidationError",
+    "TraceError",
+    "PeriodicityDetectionError",
+    "ModelNotFittedError",
+    "ConvergenceError",
+    "InfeasibleConstraintError",
+    "SimulationError",
+    "PlanningError",
+    # data types
+    "ArrivalTrace",
+    "QPSSeries",
+    "ScalingAction",
+    "ScalingPlan",
+    "SimulationResult",
+    # workload modeling
+    "NHPPModel",
+    "PiecewiseConstantIntensity",
+    "PeriodicityDetector",
+    "detect_period",
+    # pending-time models
+    "PendingTimeModel",
+    "DeterministicPendingTime",
+    "UniformPendingTime",
+    "ExponentialPendingTime",
+    # autoscalers
+    "Autoscaler",
+    "BackupPoolScaler",
+    "ReactiveScaler",
+    "AdaptiveBackupPoolScaler",
+    "RobustScaler",
+    "RobustScalerObjective",
+    "SequentialHPScaler",
+    # simulation
+    "ScalingPerQuerySimulator",
+    "replay",
+    "evaluate_scaler",
+    # traces
+    "generate_crs_like_trace",
+    "generate_google_like_trace",
+    "generate_alibaba_like_trace",
+    "generate_trace_from_intensity",
+]

@@ -1,0 +1,186 @@
+"""Command-line interface for the RobustScaler reproduction.
+
+Usage examples::
+
+    robustscaler traces                      # list the synthetic trace catalog
+    robustscaler simulate --trace google --scaler rs-hp --target 0.9
+    robustscaler experiment pareto           # regenerate the Fig. 4 data
+    robustscaler experiment table3           # periodicity-regularization study
+
+The CLI is a thin wrapper over :mod:`repro.experiments`; every subcommand
+prints a plain-text table that mirrors one of the paper's artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .config import PlannerConfig, SimulationConfig
+from .experiments import (
+    run_control_accuracy_experiment,
+    run_mc_accuracy_experiment,
+    run_pareto_experiment,
+    run_perturbation_experiment,
+    run_planning_frequency_experiment,
+    run_realenv_experiment,
+    run_regularization_experiment,
+    run_robustness_experiment,
+    run_scalability_experiment,
+    run_traces_overview,
+    run_variance_experiment,
+)
+from .experiments.pareto import ParetoExperimentConfig
+from .metrics.report import format_table, summarize_result
+from .pending import DeterministicPendingTime
+from .scaling import (
+    AdaptiveBackupPoolScaler,
+    BackupPoolScaler,
+    ReactiveScaler,
+    RobustScaler,
+    RobustScalerObjective,
+)
+from .simulation import replay
+from .traces import get_trace, list_traces
+from .experiments.base import prepare_workload, trace_defaults, make_trace
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS: dict[str, Callable[[], list[dict]]] = {
+    "traces": run_traces_overview,
+    "pareto": run_pareto_experiment,
+    "variance": run_variance_experiment,
+    "perturbation": run_perturbation_experiment,
+    "scalability": run_scalability_experiment,
+    "table1": run_mc_accuracy_experiment,
+    "robustness": run_robustness_experiment,
+    "control": run_control_accuracy_experiment,
+    "planning-frequency": run_planning_frequency_experiment,
+    "table3": run_regularization_experiment,
+    "table4": run_realenv_experiment,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="robustscaler",
+        description="Reproduction of RobustScaler (ICDE 2022): QoS-aware autoscaling",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("traces", help="list the synthetic trace catalog")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="replay one trace with one autoscaler and print metrics"
+    )
+    simulate.add_argument("--trace", default="crs", choices=["crs", "google", "alibaba"])
+    simulate.add_argument("--scale", type=float, default=0.25, help="trace size factor")
+    simulate.add_argument(
+        "--scaler",
+        default="rs-hp",
+        choices=["reactive", "bp", "adapbp", "rs-hp", "rs-rt", "rs-cost"],
+    )
+    simulate.add_argument(
+        "--target",
+        type=float,
+        default=0.9,
+        help="pool size (bp), rate factor (adapbp), or constraint level (rs-*)",
+    )
+    simulate.add_argument("--planning-interval", type=float, default=2.0)
+    simulate.add_argument("--mc-samples", type=int, default=400)
+    simulate.add_argument("--seed", type=int, default=7)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one of the paper-reproduction experiments"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument(
+        "--scale", type=float, default=None, help="trace size factor where applicable"
+    )
+
+    return parser
+
+
+def _command_traces() -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "train_fraction": spec.train_fraction,
+            "pending_time": spec.pending_time,
+            "description": spec.description,
+        }
+        for spec in list_traces()
+    ]
+    print(format_table(rows, title="Synthetic trace catalog"))
+    return 0
+
+
+def _build_scaler(args: argparse.Namespace, workload) -> object:
+    planner = PlannerConfig(
+        planning_interval=args.planning_interval, monte_carlo_samples=args.mc_samples
+    )
+    if args.scaler == "reactive":
+        return ReactiveScaler()
+    if args.scaler == "bp":
+        return BackupPoolScaler(int(args.target))
+    if args.scaler == "adapbp":
+        return AdaptiveBackupPoolScaler(float(args.target))
+    objective = {
+        "rs-hp": RobustScalerObjective.HIT_PROBABILITY,
+        "rs-rt": RobustScalerObjective.RESPONSE_TIME,
+        "rs-cost": RobustScalerObjective.COST,
+    }[args.scaler]
+    return RobustScaler(
+        workload.forecast,
+        workload.pending_model,
+        objective=objective,
+        target=float(args.target),
+        planner=planner,
+        random_state=args.seed,
+    )
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    defaults = trace_defaults(args.trace)
+    trace = make_trace(args.trace, scale=args.scale, seed=args.seed)
+    workload = prepare_workload(
+        trace,
+        train_fraction=defaults["train_fraction"],
+        bin_seconds=defaults["bin_seconds"],
+    )
+    scaler = _build_scaler(args, workload)
+    result = workload.replay(scaler)
+    summary = summarize_result(result, reference_cost=workload.reference_cost)
+    rows = [{"metric": key, "value": value} for key, value in summary.items()]
+    print(format_table(rows, title=f"{scaler.name} on {trace.name}"))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    runner = _EXPERIMENTS[args.name]
+    if args.scale is not None and args.name == "pareto":
+        rows = run_pareto_experiment(ParetoExperimentConfig(scale=args.scale))
+    else:
+        rows = runner()
+    print(format_table(rows, title=f"Experiment: {args.name}"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "traces":
+        return _command_traces()
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module exposes one ``run_*`` function returning plain row dictionaries
+(so results can be rendered with :func:`repro.metrics.format_table`, asserted
+in tests, or dumped to CSV) plus a small configuration dataclass whose
+defaults are laptop-sized.  The mapping from paper artifact to driver is:
+
+===========================  =============================================
+Paper artifact               Driver
+===========================  =============================================
+Fig. 3 (trace overview)      :func:`repro.experiments.traces_overview.run_traces_overview`
+Fig. 4 (Pareto plots)        :func:`repro.experiments.pareto.run_pareto_experiment`
+Fig. 5 (QoS variance)        :func:`repro.experiments.variance.run_variance_experiment`
+Fig. 6/7 (perturbations)     :func:`repro.experiments.perturbation.run_perturbation_experiment`
+Fig. 8 (runtime vs QPS)      :func:`repro.experiments.scalability.run_scalability_experiment`
+Table I (MC accuracy)        :func:`repro.experiments.scalability.run_mc_accuracy_experiment`
+Fig. 9 / Table II            :func:`repro.experiments.robustness.run_robustness_experiment`
+Fig. 10 (control accuracy)   :func:`repro.experiments.control_accuracy.run_control_accuracy_experiment`
+Fig. 10(d) (planning freq.)  :func:`repro.experiments.control_accuracy.run_planning_frequency_experiment`
+Table III (regularization)   :func:`repro.experiments.regularization.run_regularization_experiment`
+Table IV (real environment)  :func:`repro.experiments.realenv.run_realenv_experiment`
+===========================  =============================================
+"""
+
+from .base import PreparedWorkload, prepare_workload, sweep_targets
+from .traces_overview import run_traces_overview
+from .pareto import ParetoExperimentConfig, run_pareto_experiment
+from .variance import run_variance_experiment
+from .perturbation import run_perturbation_experiment
+from .scalability import run_mc_accuracy_experiment, run_scalability_experiment
+from .robustness import run_robustness_experiment
+from .control_accuracy import (
+    run_control_accuracy_experiment,
+    run_planning_frequency_experiment,
+)
+from .regularization import run_regularization_experiment
+from .realenv import run_realenv_experiment
+from .ablation import (
+    run_kappa_ablation,
+    run_mc_sample_ablation,
+    run_regularization_sensitivity,
+)
+
+__all__ = [
+    "PreparedWorkload",
+    "prepare_workload",
+    "sweep_targets",
+    "run_traces_overview",
+    "ParetoExperimentConfig",
+    "run_pareto_experiment",
+    "run_variance_experiment",
+    "run_perturbation_experiment",
+    "run_scalability_experiment",
+    "run_mc_accuracy_experiment",
+    "run_robustness_experiment",
+    "run_control_accuracy_experiment",
+    "run_planning_frequency_experiment",
+    "run_regularization_experiment",
+    "run_realenv_experiment",
+    "run_kappa_ablation",
+    "run_mc_sample_ablation",
+    "run_regularization_sensitivity",
+]

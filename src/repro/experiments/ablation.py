@@ -1,0 +1,212 @@
+"""Ablation studies on the design choices called out in DESIGN.md.
+
+Three ablations complement the paper's own experiments:
+
+* **kappa look-ahead** — Algorithm 4 with the computed threshold ``kappa``
+  versus a naive variant with no look-ahead (``kappa = 0``); the look-ahead is
+  what guarantees the target hitting probability for the first queries of
+  each planning block.
+* **Monte Carlo sample size** — decision accuracy (against the analytic
+  optimum available for exponential interarrivals) and solve time as the
+  sample count ``R`` grows.
+* **regularization sensitivity** — intensity-estimation error over a grid of
+  the smoothness and periodicity weights ``beta_1`` and ``beta_2``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config import ADMMConfig, PlannerConfig, SimulationConfig
+from ..metrics.errors import mean_absolute_error, mean_squared_error
+from ..nhpp.admm import fit_log_intensity
+from ..nhpp.intensity import PiecewiseConstantIntensity
+from ..nhpp.objective import RegularizedNHPPObjective
+from ..nhpp.sampling import sample_counts, sample_homogeneous_arrivals
+from ..optimization.formulations import solve_hp_constrained
+from ..optimization.montecarlo import generate_scenarios
+from ..pending import DeterministicPendingTime
+from ..scaling.sequential import SequentialHPScaler
+from ..simulation.engine import ScalingPerQuerySimulator
+from ..traces.synthetic import beta_bump_intensity
+from ..types import ArrivalTrace
+
+__all__ = [
+    "run_kappa_ablation",
+    "run_mc_sample_ablation",
+    "run_regularization_sensitivity",
+]
+
+
+@dataclass
+class KappaAblationConfig:
+    """Parameters of the kappa look-ahead ablation."""
+
+    arrival_rate: float = 0.2
+    horizon_seconds: float = 2 * 3600.0
+    pending_time: float = 13.0
+    target_hp: float = 0.9
+    planning_every: int = 1
+    monte_carlo_samples: int = 1000
+    seed: int = 3
+
+
+def run_kappa_ablation(config: KappaAblationConfig | None = None) -> list[dict]:
+    """Algorithm 4 with and without the kappa look-ahead on a known-rate workload."""
+    config = config or KappaAblationConfig()
+    arrivals = sample_homogeneous_arrivals(
+        config.arrival_rate, config.horizon_seconds, config.seed
+    )
+    trace = ArrivalTrace(arrivals, 20.0, name="kappa-ablation", horizon=config.horizon_seconds)
+    forecast = PiecewiseConstantIntensity(
+        np.array([config.arrival_rate]), 60.0, extrapolation="hold"
+    )
+    pending = DeterministicPendingTime(config.pending_time)
+    simulator = ScalingPerQuerySimulator(SimulationConfig(pending_time=config.pending_time))
+    planner = PlannerConfig(monte_carlo_samples=config.monte_carlo_samples)
+
+    rows: list[dict] = []
+    for label, upper_bound in (
+        ("with kappa (eq. 8)", None),
+        ("no look-ahead (kappa = 0)", 0.0),
+    ):
+        scaler = SequentialHPScaler(
+            forecast,
+            pending,
+            target_hit_probability=config.target_hp,
+            planning_every=config.planning_every,
+            intensity_upper_bound=upper_bound,
+            planner=planner,
+            random_state=config.seed,
+        )
+        result = simulator.replay(trace, scaler)
+        rows.append(
+            {
+                "variant": label,
+                "kappa": scaler.kappa,
+                "target_hp": float(config.target_hp),
+                "hit_rate": result.hit_rate,
+                "rt_avg": result.mean_response_time,
+                "total_cost": result.total_cost,
+            }
+        )
+    return rows
+
+
+@dataclass
+class MCSampleAblationConfig:
+    """Parameters of the Monte Carlo sample-size ablation."""
+
+    arrival_rate: float = 1.0
+    pending_time: float = 5.0
+    target_hp: float = 0.9
+    sample_sizes: Sequence[int] = (50, 200, 1000, 5000)
+    n_trials: int = 20
+    seed: int = 0
+
+
+def run_mc_sample_ablation(config: MCSampleAblationConfig | None = None) -> list[dict]:
+    """Decision error and solve time versus the Monte Carlo sample size R.
+
+    With a constant intensity the HP-constrained optimum has the closed form
+    ``x* = quantile_alpha(Exp(rate)) - tau``, so the Monte Carlo decision can
+    be compared against an exact reference.
+    """
+    config = config or MCSampleAblationConfig()
+    rate = config.arrival_rate
+    alpha = 1.0 - config.target_hp
+    exact = -np.log(1.0 - alpha) / rate - config.pending_time
+    intensity = PiecewiseConstantIntensity(np.array([rate]), 60.0, extrapolation="hold")
+    pending = DeterministicPendingTime(config.pending_time)
+
+    rows: list[dict] = []
+    for n_samples in config.sample_sizes:
+        errors = []
+        timings = []
+        for trial in range(config.n_trials):
+            scenarios = generate_scenarios(
+                intensity,
+                pending,
+                n_queries=1,
+                n_samples=int(n_samples),
+                random_state=config.seed + trial,
+            )
+            xi, tau = scenarios.for_query(0)
+            started = time.perf_counter()
+            decision = solve_hp_constrained(xi, tau, config.target_hp)
+            timings.append(time.perf_counter() - started)
+            errors.append(abs(decision.raw_creation_time - exact))
+        rows.append(
+            {
+                "n_samples": int(n_samples),
+                "exact_decision": float(exact),
+                "mean_abs_error": float(np.mean(errors)),
+                "solve_time_ms": 1000.0 * float(np.median(timings)),
+            }
+        )
+    return rows
+
+
+@dataclass
+class RegularizationSensitivityConfig:
+    """Parameters of the beta_1 / beta_2 sensitivity sweep."""
+
+    period_seconds: float = 7200.0
+    n_periods: int = 6
+    bin_seconds: float = 60.0
+    peak_qps: float = 1.0
+    base_qps: float = 0.1
+    beta_smooth_values: Sequence[float] = (0.0, 10.0, 50.0, 200.0)
+    beta_period_values: Sequence[float] = (0.0, 10.0, 100.0)
+    seed: int = 0
+    max_iterations: int = 200
+
+
+def run_regularization_sensitivity(
+    config: RegularizationSensitivityConfig | None = None,
+) -> list[dict]:
+    """Intensity error over a grid of smoothness / periodicity weights."""
+    config = config or RegularizationSensitivityConfig()
+    horizon = config.period_seconds * config.n_periods
+    n_bins = int(horizon / config.bin_seconds)
+    times = (np.arange(n_bins) + 0.5) * config.bin_seconds
+    truth = beta_bump_intensity(
+        times,
+        peak=config.peak_qps,
+        period_seconds=config.period_seconds,
+        exponent=10.0,
+        base=config.base_qps,
+    )
+    counts = sample_counts(
+        PiecewiseConstantIntensity(truth, config.bin_seconds, extrapolation="periodic"),
+        horizon,
+        config.seed,
+    )
+    period_bins = int(round(config.period_seconds / config.bin_seconds))
+    admm = ADMMConfig(max_iterations=config.max_iterations)
+
+    rows: list[dict] = []
+    for beta_smooth in config.beta_smooth_values:
+        for beta_period in config.beta_period_values:
+            objective = RegularizedNHPPObjective(
+                counts=counts,
+                bin_seconds=config.bin_seconds,
+                beta_smooth=float(beta_smooth),
+                beta_period=float(beta_period),
+                period_bins=period_bins if beta_period > 0 else None,
+            )
+            result = fit_log_intensity(objective, admm)
+            estimate = np.exp(result.log_intensity)
+            rows.append(
+                {
+                    "beta_smooth": float(beta_smooth),
+                    "beta_period": float(beta_period),
+                    "mse": mean_squared_error(estimate, truth),
+                    "mae": mean_absolute_error(estimate, truth),
+                }
+            )
+    return rows

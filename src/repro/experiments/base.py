@@ -1,0 +1,283 @@
+"""Shared machinery for the experiment drivers.
+
+The drivers all follow the same recipe — generate (or accept) a trace, split
+it into training and test windows, fit the NHPP workload model on the
+training part, and replay the test part under a set of autoscalers — so the
+common steps live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..config import NHPPConfig, PlannerConfig, SimulationConfig
+from ..metrics.report import summarize_result
+from ..nhpp.intensity import PiecewiseConstantIntensity
+from ..nhpp.model import NHPPModel
+from ..pending import DeterministicPendingTime, PendingTimeModel
+from ..scaling.adaptive_backup_pool import AdaptiveBackupPoolScaler
+from ..scaling.backup_pool import BackupPoolScaler, ReactiveScaler
+from ..scaling.base import Autoscaler
+from ..scaling.robustscaler import RobustScaler, RobustScalerObjective
+from ..simulation.engine import ScalingPerQuerySimulator
+from ..types import ArrivalTrace, SimulationResult
+
+__all__ = [
+    "PreparedWorkload",
+    "prepare_workload",
+    "sweep_targets",
+    "run_scaler_sweep",
+    "default_planner",
+    "build_robustscaler",
+    "make_trace",
+    "trace_defaults",
+]
+
+
+@dataclass
+class PreparedWorkload:
+    """A trace split into train/test together with the fitted workload model.
+
+    Attributes
+    ----------
+    name:
+        Trace name (used in report rows).
+    train, test:
+        The training and test sub-traces; the test trace is rebased to start
+        at time 0 and the forecast's origin coincides with it.
+    model:
+        The NHPP model fitted on the training window.
+    forecast:
+        The extrapolated intensity used by the RobustScaler variants.
+    pending_model:
+        The pending-time model shared by the planner and the simulator.
+    simulation:
+        Simulator configuration used for the replays.
+    reference_cost:
+        Total cost of the purely reactive baseline on the test trace, the
+        denominator of the ``relative cost`` metric.
+    """
+
+    name: str
+    train: ArrivalTrace
+    test: ArrivalTrace
+    model: NHPPModel
+    forecast: PiecewiseConstantIntensity
+    pending_model: PendingTimeModel
+    simulation: SimulationConfig
+    reference_cost: float
+
+    @property
+    def mean_processing_time(self) -> float:
+        """Average processing time of the test queries (``mu_s``)."""
+        processing = np.asarray(self.test.processing_times, dtype=float)
+        return float(processing.mean()) if processing.size else 0.0
+
+    def replay(self, scaler: Autoscaler) -> SimulationResult:
+        """Replay the test trace under ``scaler``."""
+        simulator = ScalingPerQuerySimulator(self.simulation)
+        return simulator.replay(self.test, scaler)
+
+    def evaluate(self, scaler: Autoscaler, **extra: float | str) -> dict:
+        """Replay ``scaler`` and return a summary row for report tables."""
+        result = self.replay(scaler)
+        row: dict = {"trace": self.name, "scaler": scaler.name}
+        row.update(extra)
+        row.update(summarize_result(result, reference_cost=self.reference_cost))
+        return row
+
+
+def prepare_workload(
+    trace: ArrivalTrace,
+    *,
+    train_fraction: float = 0.75,
+    bin_seconds: float = 60.0,
+    pending_time: float = 13.0,
+    nhpp_config: NHPPConfig | None = None,
+    simulation: SimulationConfig | None = None,
+    period_bins: int | None = None,
+) -> PreparedWorkload:
+    """Split, fit, and package a trace for the experiment drivers.
+
+    Parameters
+    ----------
+    trace:
+        The full trace (training + test).
+    train_fraction:
+        Fraction of the horizon used for training.
+    bin_seconds:
+        Bin width for the QPS series the NHPP is fitted on.
+    pending_time:
+        Instance startup latency (seconds) used in both planning and replay.
+    nhpp_config:
+        NHPP hyper-parameters; defaults to the library defaults.
+    simulation:
+        Simulator configuration; defaults to a deterministic pending time of
+        ``pending_time`` seconds.
+    period_bins:
+        Explicit period (in bins) to use instead of running detection.
+    """
+    train, test = trace.split(train_fraction)
+    model = NHPPModel(nhpp_config, bin_seconds=bin_seconds)
+    model.fit(train, period_bins=period_bins)
+    forecast = model.forecast()
+    pending_model = DeterministicPendingTime(pending_time)
+    sim_config = simulation or SimulationConfig(pending_time=pending_time)
+    simulator = ScalingPerQuerySimulator(sim_config)
+    reference = simulator.replay(test, ReactiveScaler())
+    return PreparedWorkload(
+        name=trace.name,
+        train=train,
+        test=test,
+        model=model,
+        forecast=forecast,
+        pending_model=pending_model,
+        simulation=sim_config,
+        reference_cost=reference.total_cost,
+    )
+
+
+def default_planner(
+    planning_interval: float = 2.0,
+    monte_carlo_samples: int = 500,
+) -> PlannerConfig:
+    """Planner configuration used by the experiments (paper uses Delta = 1 s)."""
+    return PlannerConfig(
+        planning_interval=planning_interval,
+        monte_carlo_samples=monte_carlo_samples,
+    )
+
+
+def build_robustscaler(
+    workload: PreparedWorkload,
+    objective: RobustScalerObjective,
+    target: float,
+    *,
+    planner: PlannerConfig | None = None,
+    random_state: int = 0,
+) -> RobustScaler:
+    """Construct a RobustScaler variant against a prepared workload."""
+    return RobustScaler(
+        workload.forecast,
+        workload.pending_model,
+        objective=objective,
+        target=target,
+        planner=planner or default_planner(),
+        random_state=random_state,
+    )
+
+
+def sweep_targets(values: Iterable[float]) -> list[float]:
+    """Normalize a sweep of constraint levels into a sorted float list."""
+    return sorted(float(v) for v in values)
+
+
+def trace_defaults(name: str) -> dict:
+    """Per-trace defaults (train split, bin width, sweep grids) used by drivers."""
+    defaults = {
+        "crs": {
+            "train_fraction": 0.75,
+            "bin_seconds": 300.0,
+            "pool_sizes": [0, 1, 2, 4, 8],
+            "adaptive_factors": [0.0, 25.0, 50.0, 100.0, 200.0],
+            "hp_targets": [0.3, 0.5, 0.7, 0.9, 0.99],
+        },
+        "google": {
+            "train_fraction": 0.75,
+            "bin_seconds": 60.0,
+            "pool_sizes": [0, 1, 2, 4, 8, 16],
+            "adaptive_factors": [0.0, 5.0, 10.0, 20.0, 40.0, 80.0],
+            "hp_targets": [0.3, 0.5, 0.7, 0.9, 0.99],
+        },
+        "alibaba": {
+            "train_fraction": 0.8,
+            "bin_seconds": 60.0,
+            "pool_sizes": [0, 1, 2, 4, 8, 16],
+            "adaptive_factors": [0.0, 5.0, 10.0, 20.0, 40.0],
+            "hp_targets": [0.3, 0.5, 0.7, 0.9, 0.99],
+        },
+    }
+    key = name.lower()
+    if key not in defaults:
+        raise KeyError(f"unknown trace name {name!r}; expected one of {sorted(defaults)}")
+    return defaults[key]
+
+
+def make_trace(name: str, *, scale: float = 0.25, seed: int = 7) -> ArrivalTrace:
+    """Generate one of the three named traces at a configurable size.
+
+    ``scale = 1.0`` approximates the paper's trace sizes (weeks of data,
+    hundreds of thousands of queries for Alibaba); the default ``scale =
+    0.25`` generates traces that keep the same structure — periodicity,
+    spikes, noise, the Alibaba burst — but replay in seconds rather than
+    minutes, which is what the test suite and the benchmark defaults use.
+    """
+    from ..traces.synthetic import (
+        generate_alibaba_like_trace,
+        generate_crs_like_trace,
+        generate_google_like_trace,
+    )
+
+    scale = float(scale)
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    key = name.lower()
+    if key == "crs":
+        # The CRS workload needs at least two weeks so that the weekday /
+        # weekend alternation is represented in the training window; with a
+        # single week the test window would be all-weekend and the forecast
+        # systematically biased.
+        n_weeks = max(2, int(round(4 * scale)))
+        return generate_crs_like_trace(n_weeks=n_weeks, seed=seed)
+    if key == "google":
+        n_hours = max(6, int(round(24 * scale * 2)))
+        return generate_google_like_trace(n_hours=n_hours, seed=seed)
+    if key == "alibaba":
+        n_days = max(2, int(round(5 * scale)))
+        mean_qps = 1.2 * min(1.0, max(scale, 0.2))
+        return generate_alibaba_like_trace(n_days=n_days, mean_qps=mean_qps, seed=seed)
+    raise KeyError(f"unknown trace name {name!r}")
+
+
+def run_scaler_sweep(
+    workload: PreparedWorkload,
+    scaler_factory: Callable[[float], Autoscaler],
+    parameter_values: Sequence[float],
+    *,
+    parameter_name: str = "parameter",
+) -> list[dict]:
+    """Evaluate ``scaler_factory(value)`` for every value in the sweep.
+
+    Returns one summary row per parameter value, each carrying the parameter
+    under ``parameter_name``.
+    """
+    rows = []
+    for value in parameter_values:
+        scaler = scaler_factory(value)
+        rows.append(workload.evaluate(scaler, **{parameter_name: float(value)}))
+    return rows
+
+
+def baseline_sweeps(
+    workload: PreparedWorkload,
+    *,
+    pool_sizes: Sequence[int],
+    adaptive_factors: Sequence[float],
+) -> list[dict]:
+    """Evaluate the BP and AdapBP baselines over their parameter sweeps."""
+    rows = run_scaler_sweep(
+        workload,
+        lambda size: BackupPoolScaler(int(size)),
+        list(pool_sizes),
+        parameter_name="pool_size",
+    )
+    rows += run_scaler_sweep(
+        workload,
+        lambda factor: AdaptiveBackupPoolScaler(float(factor)),
+        list(adaptive_factors),
+        parameter_name="rate_factor",
+    )
+    return rows

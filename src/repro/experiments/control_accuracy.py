@@ -1,0 +1,152 @@
+"""Fig. 10 — accuracy of QoS/cost control and the effect of planning frequency.
+
+Three nominal-vs-actual sweeps (panels a-c) check that requesting a hitting
+probability / waiting budget / idle-cost budget of ``x`` actually yields
+``approximately x`` on the replayed trace, and one sweep over the planning
+interval ``Delta`` (panel d) shows that less frequent planning costs more
+resources for the same QoS target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..scaling.robustscaler import RobustScalerObjective
+from .base import (
+    build_robustscaler,
+    default_planner,
+    make_trace,
+    prepare_workload,
+    trace_defaults,
+)
+
+__all__ = [
+    "ControlAccuracyExperimentConfig",
+    "run_control_accuracy_experiment",
+    "run_planning_frequency_experiment",
+]
+
+
+@dataclass
+class ControlAccuracyExperimentConfig:
+    """Parameters of the nominal-vs-actual experiment (Fig. 10 a-c)."""
+
+    trace_name: str = "crs"
+    scale: float = 0.25
+    seed: int = 7
+    hp_targets: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 0.95)
+    waiting_budgets: Sequence[float] = (1.0, 3.0, 6.0, 10.0, 13.0)
+    idle_budgets: Sequence[float] = (2.0, 5.0, 10.0, 20.0, 40.0)
+    planning_interval: float = 2.0
+    monte_carlo_samples: int = 400
+
+
+def run_control_accuracy_experiment(
+    config: ControlAccuracyExperimentConfig | None = None,
+) -> list[dict]:
+    """Nominal vs actual HP, waiting time, and idle cost (Fig. 10 a-c)."""
+    config = config or ControlAccuracyExperimentConfig()
+    defaults = trace_defaults(config.trace_name)
+    trace = make_trace(config.trace_name, scale=config.scale, seed=config.seed)
+    workload = prepare_workload(
+        trace,
+        train_fraction=defaults["train_fraction"],
+        bin_seconds=defaults["bin_seconds"],
+    )
+    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
+
+    rows: list[dict] = []
+    for target in config.hp_targets:
+        scaler = build_robustscaler(
+            workload, RobustScalerObjective.HIT_PROBABILITY, target, planner=planner
+        )
+        result = workload.replay(scaler)
+        rows.append(
+            {
+                "trace": config.trace_name,
+                "panel": "hit_probability",
+                "nominal": float(target),
+                "actual": result.hit_rate,
+                "relative_cost": result.total_cost / workload.reference_cost,
+            }
+        )
+    for budget in config.waiting_budgets:
+        scaler = build_robustscaler(
+            workload, RobustScalerObjective.RESPONSE_TIME, budget, planner=planner
+        )
+        result = workload.replay(scaler)
+        rows.append(
+            {
+                "trace": config.trace_name,
+                "panel": "waiting_time",
+                "nominal": float(budget),
+                "actual": float(result.waiting_times.mean()),
+                "relative_cost": result.total_cost / workload.reference_cost,
+            }
+        )
+    for budget in config.idle_budgets:
+        scaler = build_robustscaler(
+            workload, RobustScalerObjective.COST, budget, planner=planner
+        )
+        result = workload.replay(scaler)
+        idle = np.array([o.instance.idle_time for o in result.outcomes])
+        rows.append(
+            {
+                "trace": config.trace_name,
+                "panel": "idle_cost",
+                "nominal": float(budget),
+                "actual": float(idle.mean()) if idle.size else float("nan"),
+                "relative_cost": result.total_cost / workload.reference_cost,
+            }
+        )
+    return rows
+
+
+@dataclass
+class PlanningFrequencyExperimentConfig:
+    """Parameters of the planning-frequency experiment (Fig. 10 d)."""
+
+    trace_name: str = "crs"
+    scale: float = 0.25
+    seed: int = 7
+    planning_intervals: Sequence[float] = (1.0, 5.0, 15.0, 30.0, 60.0)
+    waiting_budget: float = 3.0
+    monte_carlo_samples: int = 400
+
+
+def run_planning_frequency_experiment(
+    config: PlanningFrequencyExperimentConfig | None = None,
+) -> list[dict]:
+    """Cost of achieving the same waiting budget at different planning intervals."""
+    config = config or PlanningFrequencyExperimentConfig()
+    defaults = trace_defaults(config.trace_name)
+    trace = make_trace(config.trace_name, scale=config.scale, seed=config.seed)
+    workload = prepare_workload(
+        trace,
+        train_fraction=defaults["train_fraction"],
+        bin_seconds=defaults["bin_seconds"],
+    )
+    rows: list[dict] = []
+    for interval in config.planning_intervals:
+        planner = default_planner(float(interval), config.monte_carlo_samples)
+        scaler = build_robustscaler(
+            workload,
+            RobustScalerObjective.RESPONSE_TIME,
+            config.waiting_budget,
+            planner=planner,
+        )
+        result = workload.replay(scaler)
+        rows.append(
+            {
+                "trace": config.trace_name,
+                "planning_interval": float(interval),
+                "waiting_budget": float(config.waiting_budget),
+                "actual_waiting": float(result.waiting_times.mean()),
+                "rt_avg": result.mean_response_time,
+                "relative_cost": result.total_cost / workload.reference_cost,
+            }
+        )
+    return rows

@@ -1,0 +1,148 @@
+"""Fig. 4 — Pareto comparison of autoscalers on the three traces.
+
+For every trace the driver sweeps the trade-off parameter of each autoscaler
+(pool size for BP, rate factor for AdapBP, target HP / RT / cost for the
+three RobustScaler variants) and records ``hit_rate``, ``rt_avg`` and
+``relative_cost`` for each point — exactly the data behind the six Pareto
+plots of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..scaling.robustscaler import RobustScalerObjective
+from ..types import ArrivalTrace
+from .base import (
+    PreparedWorkload,
+    baseline_sweeps,
+    build_robustscaler,
+    default_planner,
+    make_trace,
+    prepare_workload,
+    run_scaler_sweep,
+    trace_defaults,
+)
+
+__all__ = ["ParetoExperimentConfig", "run_pareto_experiment", "run_single_trace_pareto"]
+
+
+@dataclass
+class ParetoExperimentConfig:
+    """Parameters of the Pareto experiment.
+
+    Attributes
+    ----------
+    trace_names:
+        Which of the three traces to include.
+    scale:
+        Size factor of the generated traces (1.0 ~ paper size).
+    seed:
+        Seed for trace generation.
+    planning_interval:
+        RobustScaler planning interval Delta in seconds (paper: 1 s).
+    monte_carlo_samples:
+        Monte Carlo sample size R for the decision solvers.
+    hp_targets, rt_budgets, cost_budgets:
+        Sweep grids of the three RobustScaler variants; ``None`` uses
+        per-trace defaults (RT budgets and cost budgets are expressed in
+        seconds of waiting time / idle time respectively).
+    include_rt_variant, include_cost_variant:
+        Allow dropping the extra variants for faster runs.
+    """
+
+    trace_names: tuple[str, ...] = ("crs", "google", "alibaba")
+    scale: float = 0.25
+    seed: int = 7
+    planning_interval: float = 2.0
+    monte_carlo_samples: int = 400
+    hp_targets: Sequence[float] | None = None
+    rt_budgets: Sequence[float] | None = None
+    cost_budgets: Sequence[float] | None = None
+    include_rt_variant: bool = True
+    include_cost_variant: bool = True
+    pool_sizes: Sequence[int] | None = None
+    adaptive_factors: Sequence[float] | None = None
+    extra_simulation: SimulationConfig | None = field(default=None)
+
+
+def run_pareto_experiment(config: ParetoExperimentConfig | None = None) -> list[dict]:
+    """Run the Fig. 4 sweeps on every configured trace and return all rows."""
+    config = config or ParetoExperimentConfig()
+    rows: list[dict] = []
+    for name in config.trace_names:
+        trace = make_trace(name, scale=config.scale, seed=config.seed)
+        rows.extend(run_single_trace_pareto(trace, trace_key=name, config=config))
+    return rows
+
+
+def run_single_trace_pareto(
+    trace: ArrivalTrace,
+    *,
+    trace_key: str,
+    config: ParetoExperimentConfig | None = None,
+    workload: PreparedWorkload | None = None,
+) -> list[dict]:
+    """Run the Fig. 4 sweeps for one trace (reused by the robustness drivers)."""
+    config = config or ParetoExperimentConfig()
+    defaults = trace_defaults(trace_key)
+    if workload is None:
+        workload = prepare_workload(
+            trace,
+            train_fraction=defaults["train_fraction"],
+            bin_seconds=defaults["bin_seconds"],
+            simulation=config.extra_simulation,
+        )
+    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
+
+    pool_sizes = config.pool_sizes or defaults["pool_sizes"]
+    adaptive_factors = config.adaptive_factors or defaults["adaptive_factors"]
+    hp_targets = list(config.hp_targets or defaults["hp_targets"])
+
+    mu_tau = workload.pending_model.mean
+    rt_budgets = config.rt_budgets
+    if rt_budgets is None:
+        # Waiting-time budgets spanning "almost always wait the full pending
+        # time" down to "almost never wait".
+        rt_budgets = [mu_tau * f for f in (0.75, 0.5, 0.25, 0.1, 0.02)]
+    cost_budgets = config.cost_budgets
+    if cost_budgets is None:
+        mean_gap = 1.0 / max(workload.test.mean_qps, 1e-9)
+        cost_budgets = [mean_gap * f for f in (0.05, 0.25)]
+
+    rows = baseline_sweeps(
+        workload, pool_sizes=pool_sizes, adaptive_factors=adaptive_factors
+    )
+    rows += run_scaler_sweep(
+        workload,
+        lambda p: build_robustscaler(
+            workload, RobustScalerObjective.HIT_PROBABILITY, p, planner=planner
+        ),
+        hp_targets,
+        parameter_name="target_hp",
+    )
+    if config.include_rt_variant:
+        rows += run_scaler_sweep(
+            workload,
+            lambda d: build_robustscaler(
+                workload, RobustScalerObjective.RESPONSE_TIME, d, planner=planner
+            ),
+            sorted(rt_budgets, reverse=True),
+            parameter_name="waiting_budget",
+        )
+    if config.include_cost_variant:
+        rows += run_scaler_sweep(
+            workload,
+            lambda b: build_robustscaler(
+                workload, RobustScalerObjective.COST, b, planner=planner
+            ),
+            sorted(cost_budgets),
+            parameter_name="idle_budget",
+        )
+    for row in rows:
+        row["trace"] = trace_key
+    return rows

@@ -1,0 +1,111 @@
+"""Table III — impact of the periodicity regularization on intensity error.
+
+Arrival data are generated from the paper's known daily-bump intensity
+``lambda(t) = 4^10 u^10 (1-u)^10 + 0.1`` (``u`` the phase within one day)
+over one week; the regularized NHPP (eq. 1) is fitted once with and once
+without the periodicity penalty, and the MSE/MAE of the fitted intensity
+against the ground truth is reported together with the relative improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ADMMConfig, NHPPConfig
+from ..metrics.errors import mean_absolute_error, mean_squared_error
+from ..nhpp.admm import fit_log_intensity
+from ..nhpp.objective import RegularizedNHPPObjective
+from ..nhpp.sampling import sample_counts
+from ..traces.synthetic import beta_bump_intensity
+from ..nhpp.intensity import PiecewiseConstantIntensity
+
+__all__ = ["RegularizationExperimentConfig", "run_regularization_experiment"]
+
+
+@dataclass
+class RegularizationExperimentConfig:
+    """Parameters of the periodicity-regularization study (Table III).
+
+    The paper uses a one-week horizon with a one-day period at 60-second
+    bins (10 080 bins); the default here shortens the horizon but keeps the
+    number of observed cycles the same so the comparison is meaningful.
+    """
+
+    period_seconds: float = 14_400.0
+    n_periods: int = 7
+    bin_seconds: float = 60.0
+    peak_qps: float = 1.0
+    base_qps: float = 0.1
+    exponent: float = 10.0
+    beta_smooth: float = 50.0
+    beta_period: float = 10.0
+    seed: int = 0
+    max_iterations: int = 300
+
+
+def run_regularization_experiment(
+    config: RegularizationExperimentConfig | None = None,
+) -> list[dict]:
+    """Fit the NHPP with and without the periodicity penalty and compare errors."""
+    config = config or RegularizationExperimentConfig()
+    horizon = config.period_seconds * config.n_periods
+    n_bins = int(horizon / config.bin_seconds)
+    times = (np.arange(n_bins) + 0.5) * config.bin_seconds
+    truth = beta_bump_intensity(
+        times,
+        peak=config.peak_qps,
+        period_seconds=config.period_seconds,
+        exponent=config.exponent,
+        base=config.base_qps,
+    )
+    truth_intensity = PiecewiseConstantIntensity(
+        truth, config.bin_seconds, extrapolation="periodic"
+    )
+    counts = sample_counts(truth_intensity, horizon, config.seed)
+    period_bins = int(round(config.period_seconds / config.bin_seconds))
+    admm = ADMMConfig(max_iterations=config.max_iterations)
+
+    rows: list[dict] = []
+    estimates: dict[str, np.ndarray] = {}
+    for label, beta_period, period in (
+        ("NHPP w/o periodicity reg.", 0.0, None),
+        ("NHPP w/ periodicity reg.", config.beta_period, period_bins),
+    ):
+        objective = RegularizedNHPPObjective(
+            counts=counts,
+            bin_seconds=config.bin_seconds,
+            beta_smooth=config.beta_smooth,
+            beta_period=beta_period,
+            period_bins=period,
+        )
+        result = fit_log_intensity(objective, admm)
+        estimate = np.exp(result.log_intensity)
+        estimates[label] = estimate
+        rows.append(
+            {
+                "model": label,
+                "mse": mean_squared_error(estimate, truth),
+                "mae": mean_absolute_error(estimate, truth),
+                "admm_iterations": result.n_iterations,
+            }
+        )
+
+    without, with_reg = rows[0], rows[1]
+    rows.append(
+        {
+            "model": "improvement",
+            "mse": _relative_improvement(without["mse"], with_reg["mse"]),
+            "mae": _relative_improvement(without["mae"], with_reg["mae"]),
+            "admm_iterations": None,
+        }
+    )
+    return rows
+
+
+def _relative_improvement(baseline: float, improved: float) -> float:
+    """Fractional reduction of an error metric (positive means better)."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - improved) / baseline

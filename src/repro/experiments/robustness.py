@@ -1,0 +1,144 @@
+"""Fig. 9 and Table II — robustness against missing data and anomalies.
+
+Two modifications are studied, matching Section VII-B3:
+
+* **missing data** (CRS trace) — all queries of one entire day are removed
+  from the training window and the experiments are re-run;
+* **anomaly removal** (Alibaba trace) — the unexpected burst is erased with
+  the robust-thinning utility and the experiments are re-run.
+
+For each modification the driver evaluates RobustScaler-HP and
+RobustScaler-cost on the original and the modified trace, reporting hit rate,
+average response time, relative cost, and the high-level response-time
+quantiles of Table II.  A robust autoscaler produces near-identical numbers
+with and without the modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..metrics.qos import response_time_quantiles
+from ..scaling.robustscaler import RobustScalerObjective
+from ..traces.perturbation import inject_missing_window, remove_anomalous_bursts
+from ..types import ArrivalTrace
+from .base import (
+    PreparedWorkload,
+    build_robustscaler,
+    default_planner,
+    make_trace,
+    prepare_workload,
+    trace_defaults,
+)
+
+__all__ = ["RobustnessExperimentConfig", "run_robustness_experiment"]
+
+_DAY = 86_400.0
+
+
+@dataclass
+class RobustnessExperimentConfig:
+    """Parameters of the missing-data / anomaly-removal experiment."""
+
+    scale: float = 0.25
+    seed: int = 7
+    hp_targets: Sequence[float] = (0.5, 0.9)
+    cost_budget_fractions: Sequence[float] = (0.05, 0.2)
+    planning_interval: float = 2.0
+    monte_carlo_samples: int = 400
+    include_alibaba: bool = True
+    include_crs: bool = True
+
+
+def run_robustness_experiment(
+    config: RobustnessExperimentConfig | None = None,
+) -> list[dict]:
+    """Evaluate RobustScaler variants before/after trace modifications."""
+    config = config or RobustnessExperimentConfig()
+    rows: list[dict] = []
+    if config.include_crs:
+        rows.extend(_run_missing_data(config))
+    if config.include_alibaba:
+        rows.extend(_run_anomaly_removal(config))
+    return rows
+
+
+def _run_missing_data(config: RobustnessExperimentConfig) -> list[dict]:
+    """CRS trace with one full training day of queries removed."""
+    trace = make_trace("crs", scale=config.scale, seed=config.seed)
+    defaults = trace_defaults("crs")
+    # Remove the last full day of the training window; the training window is
+    # the first `train_fraction` of the horizon.
+    train_end = trace.horizon * defaults["train_fraction"]
+    missing_start = max(0.0, train_end - _DAY)
+    modified = inject_missing_window(trace, missing_start, _DAY)
+    return _compare(
+        "crs", trace, modified, "missing_data", config, defaults
+    )
+
+
+def _run_anomaly_removal(config: RobustnessExperimentConfig) -> list[dict]:
+    """Alibaba trace with the unexpected burst thinned away."""
+    trace = make_trace("alibaba", scale=config.scale, seed=config.seed)
+    defaults = trace_defaults("alibaba")
+    modified = remove_anomalous_bursts(trace, random_state=config.seed)
+    return _compare(
+        "alibaba", trace, modified, "anomaly_removed", config, defaults
+    )
+
+
+def _compare(
+    trace_key: str,
+    original: ArrivalTrace,
+    modified: ArrivalTrace,
+    modification: str,
+    config: RobustnessExperimentConfig,
+    defaults: dict,
+) -> list[dict]:
+    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
+    rows: list[dict] = []
+    for label, trace in (("original", original), (modification, modified)):
+        workload = prepare_workload(
+            trace,
+            train_fraction=defaults["train_fraction"],
+            bin_seconds=defaults["bin_seconds"],
+        )
+        rows.extend(
+            _evaluate_variants(workload, trace_key, label, config, planner)
+        )
+    return rows
+
+
+def _evaluate_variants(
+    workload: PreparedWorkload,
+    trace_key: str,
+    label: str,
+    config: RobustnessExperimentConfig,
+    planner,
+) -> list[dict]:
+    rows: list[dict] = []
+    mean_gap = 1.0 / max(workload.test.mean_qps, 1e-9)
+    candidates = [
+        ("target_hp", target, RobustScalerObjective.HIT_PROBABILITY, target)
+        for target in config.hp_targets
+    ] + [
+        ("idle_budget", mean_gap * fraction, RobustScalerObjective.COST, mean_gap * fraction)
+        for fraction in config.cost_budget_fractions
+    ]
+    for parameter_name, parameter, objective, target in candidates:
+        scaler = build_robustscaler(workload, objective, target, planner=planner)
+        result = workload.replay(scaler)
+        row = {
+            "trace": trace_key,
+            "condition": label,
+            "scaler": scaler.name,
+            parameter_name: float(parameter),
+            "hit_rate": result.hit_rate,
+            "rt_avg": result.mean_response_time,
+            "relative_cost": result.total_cost / workload.reference_cost,
+        }
+        for level, value in response_time_quantiles(result).items():
+            row[f"rt_p{level * 100:g}"] = value
+        rows.append(row)
+    return rows

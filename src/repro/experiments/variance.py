@@ -1,0 +1,106 @@
+"""Fig. 5 — variability of the delivered QoS on the CRS trace.
+
+For each autoscaler and each setting of its trade-off parameter, the queries
+are ordered by arrival time, their per-query QoS is averaged over blocks of
+50 consecutive queries, and the variance of those block means is reported
+against the overall mean — the construction of Fig. 5(a) (hit rate) and
+Fig. 5(b) (response time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..metrics.variance import windowed_mean_variance
+from ..scaling.adaptive_backup_pool import AdaptiveBackupPoolScaler
+from ..scaling.backup_pool import BackupPoolScaler
+from ..scaling.robustscaler import RobustScalerObjective
+from .base import (
+    build_robustscaler,
+    default_planner,
+    make_trace,
+    prepare_workload,
+    trace_defaults,
+)
+
+__all__ = ["VarianceExperimentConfig", "run_variance_experiment"]
+
+
+@dataclass
+class VarianceExperimentConfig:
+    """Parameters of the QoS-variance experiment (Fig. 5)."""
+
+    trace_name: str = "crs"
+    scale: float = 0.25
+    seed: int = 7
+    window: int = 50
+    planning_interval: float = 2.0
+    monte_carlo_samples: int = 400
+    hp_targets: Sequence[float] = (0.3, 0.6, 0.9)
+    cost_budget_fractions: Sequence[float] = (0.02, 0.1, 0.3)
+    pool_sizes: Sequence[int] = (1, 2, 4)
+    adaptive_factors: Sequence[float] = (25.0, 50.0, 100.0)
+
+
+def run_variance_experiment(config: VarianceExperimentConfig | None = None) -> list[dict]:
+    """Measure windowed QoS variance for each autoscaler sweep (Fig. 5)."""
+    config = config or VarianceExperimentConfig()
+    defaults = trace_defaults(config.trace_name)
+    trace = make_trace(config.trace_name, scale=config.scale, seed=config.seed)
+    workload = prepare_workload(
+        trace,
+        train_fraction=defaults["train_fraction"],
+        bin_seconds=defaults["bin_seconds"],
+    )
+    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
+
+    candidates: list = []
+    for size in config.pool_sizes:
+        candidates.append(("BP", size, BackupPoolScaler(int(size))))
+    for factor in config.adaptive_factors:
+        candidates.append(("AdapBP", factor, AdaptiveBackupPoolScaler(float(factor))))
+    for target in config.hp_targets:
+        candidates.append(
+            (
+                "RobustScaler-HP",
+                target,
+                build_robustscaler(
+                    workload, RobustScalerObjective.HIT_PROBABILITY, target, planner=planner
+                ),
+            )
+        )
+    mean_gap = 1.0 / max(workload.test.mean_qps, 1e-9)
+    for fraction in config.cost_budget_fractions:
+        budget = mean_gap * fraction
+        candidates.append(
+            (
+                "RobustScaler-cost",
+                budget,
+                build_robustscaler(
+                    workload, RobustScalerObjective.COST, budget, planner=planner
+                ),
+            )
+        )
+
+    rows: list[dict] = []
+    for family, parameter, scaler in candidates:
+        result = workload.replay(scaler)
+        hit_mean, hit_var = windowed_mean_variance(
+            result.hits.astype(float), config.window
+        )
+        rt_mean, rt_var = windowed_mean_variance(result.response_times, config.window)
+        rows.append(
+            {
+                "trace": config.trace_name,
+                "family": family,
+                "parameter": float(parameter),
+                "scaler": scaler.name,
+                "hit_rate_mean": hit_mean,
+                "hit_rate_variance": hit_var,
+                "rt_mean": rt_mean,
+                "rt_variance": rt_var,
+                "relative_cost": result.total_cost / workload.reference_cost,
+            }
+        )
+    return rows

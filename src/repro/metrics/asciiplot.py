@@ -1,0 +1,155 @@
+"""Plain-text plots for terminals and logs.
+
+The experiment harness reports its results as tables, but the Pareto curves
+of Fig. 4 and the QPS series of Fig. 3 are easier to eyeball as pictures.
+Since the offline environment has no plotting backend, this module renders
+small scatter/line charts as ASCII grids — enough to see orderings,
+crossovers and periodic structure at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_integer
+from ..exceptions import ValidationError
+
+__all__ = ["ascii_scatter", "ascii_series"]
+
+#: Marker characters assigned to successive labelled groups.
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, size: int) -> np.ndarray:
+    """Map values to integer grid coordinates in ``[0, size - 1]``."""
+    low = float(values.min())
+    high = float(values.max())
+    if high - low < 1e-300:
+        return np.full(values.size, (size - 1) // 2, dtype=int)
+    scaled = (values - low) / (high - low) * (size - 1)
+    return np.clip(np.round(scaled).astype(int), 0, size - 1)
+
+
+def ascii_scatter(
+    groups: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 60,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render labelled (x, y) point groups as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    groups:
+        Mapping from group label to a ``(x_values, y_values)`` pair; each
+        group gets its own marker character and a legend entry.
+    width, height:
+        Plot area size in characters.
+    x_label, y_label:
+        Axis labels shown below / beside the plot.
+    title:
+        Optional title line.
+
+    Returns
+    -------
+    str
+        The rendered plot, ready to ``print``.
+    """
+    check_integer(width, "width", minimum=10)
+    check_integer(height, "height", minimum=5)
+    if not groups:
+        raise ValidationError("at least one group of points is required")
+
+    xs: list[np.ndarray] = []
+    ys: list[np.ndarray] = []
+    for label, (x_values, y_values) in groups.items():
+        x = as_1d_float_array(x_values, f"x values of {label!r}")
+        y = as_1d_float_array(y_values, f"y values of {label!r}")
+        if x.size != y.size:
+            raise ValidationError(f"group {label!r} has mismatched x/y lengths")
+        if x.size == 0:
+            raise ValidationError(f"group {label!r} has no points")
+        xs.append(x)
+        ys.append(y)
+
+    all_x = np.concatenate(xs)
+    all_y = np.concatenate(ys)
+    grid = [[" "] * width for _ in range(height)]
+
+    legend: list[str] = []
+    for i, (label, x, y) in enumerate(zip(groups, xs, ys)):
+        marker = _MARKERS[i % len(_MARKERS)]
+        legend.append(f"  {marker} {label}")
+        cols = _scale(x, width) if all_x.max() == all_x.min() else np.clip(
+            np.round((x - all_x.min()) / (all_x.max() - all_x.min() + 1e-300) * (width - 1)),
+            0,
+            width - 1,
+        ).astype(int)
+        rows = np.clip(
+            np.round((y - all_y.min()) / (all_y.max() - all_y.min() + 1e-300) * (height - 1)),
+            0,
+            height - 1,
+        ).astype(int)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{all_y.max():10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{all_y.min():10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"{all_x.min():<.3g}".ljust(width // 2) + f"{x_label} → {all_x.max():.3g}"
+    )
+    lines.append(f"(y axis: {y_label})")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    values: Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Render a single series (e.g. a QPS series) as an ASCII line chart.
+
+    Long series are downsampled to the plot width by averaging.
+    """
+    check_integer(width, "width", minimum=10)
+    check_integer(height, "height", minimum=3)
+    series = as_1d_float_array(values, "values")
+    if series.size == 0:
+        raise ValidationError("values must not be empty")
+
+    if series.size > width:
+        # Average consecutive chunks down to one value per column.
+        edges = np.linspace(0, series.size, width + 1).astype(int)
+        series = np.array(
+            [series[a:b].mean() if b > a else series[min(a, series.size - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+
+    rows = _scale(series, height)
+    grid = [[" "] * series.size for _ in range(height)]
+    for col, row in enumerate(rows):
+        grid[height - 1 - row][col] = "█"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{float(np.max(values)):10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{float(np.min(values)):10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * series.size)
+    return "\n".join(lines)

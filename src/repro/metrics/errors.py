@@ -1,0 +1,25 @@
+"""Elementary error measures used by the intensity-estimation experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_same_length
+
+__all__ = ["mean_squared_error", "mean_absolute_error"]
+
+
+def mean_squared_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Mean squared error between an estimate and the ground truth."""
+    estimate = as_1d_float_array(estimate, "estimate")
+    truth = as_1d_float_array(truth, "truth")
+    check_same_length("estimate", estimate, "truth", truth)
+    return float(np.mean((estimate - truth) ** 2))
+
+
+def mean_absolute_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute error between an estimate and the ground truth."""
+    estimate = as_1d_float_array(estimate, "estimate")
+    truth = as_1d_float_array(truth, "truth")
+    check_same_length("estimate", estimate, "truth", truth)
+    return float(np.mean(np.abs(estimate - truth)))

@@ -1,0 +1,62 @@
+"""Pareto-frontier utilities for comparing autoscalers across sweeps.
+
+Each point of a sweep is a ``(cost, qos)`` pair; the paper's Fig. 4 compares
+strategies by how close their sweep curves sit to the ideal corner (low cost,
+high hit rate / low response time).  These helpers extract the
+non-dominated subset of a point cloud and compare points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ParetoPoint", "dominates", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One sweep point in (cost, qos) space.
+
+    Attributes
+    ----------
+    cost:
+        The cost coordinate (lower is better).
+    qos:
+        The QoS coordinate; interpret with ``qos_higher_is_better``.
+    label:
+        Free-form metadata (e.g. the parameter value that produced the point).
+    """
+
+    cost: float
+    qos: float
+    label: Any = field(default=None, compare=False)
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint, *, qos_higher_is_better: bool = True) -> bool:
+    """Whether point ``a`` weakly dominates ``b`` (and is strictly better somewhere)."""
+    if qos_higher_is_better:
+        no_worse = a.cost <= b.cost and a.qos >= b.qos
+        strictly_better = a.cost < b.cost or a.qos > b.qos
+    else:
+        no_worse = a.cost <= b.cost and a.qos <= b.qos
+        strictly_better = a.cost < b.cost or a.qos < b.qos
+    return no_worse and strictly_better
+
+
+def pareto_frontier(
+    points: list[ParetoPoint],
+    *,
+    qos_higher_is_better: bool = True,
+) -> list[ParetoPoint]:
+    """Return the non-dominated points, sorted by increasing cost."""
+    frontier: list[ParetoPoint] = []
+    for candidate in points:
+        if any(
+            dominates(other, candidate, qos_higher_is_better=qos_higher_is_better)
+            for other in points
+            if other is not candidate
+        ):
+            continue
+        frontier.append(candidate)
+    return sorted(frontier, key=lambda p: (p.cost, p.qos))

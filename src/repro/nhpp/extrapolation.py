@@ -1,0 +1,107 @@
+"""Extrapolation of a fitted historical intensity into the future (module 3).
+
+Given the per-bin intensity estimated on historical data, the query-arrival
+prediction module extends it beyond the end of the training window:
+
+* when a period ``L`` was detected, the last complete cycle(s) of the fitted
+  intensity are repeated cyclically — the periodicity regularizer has already
+  pulled each cycle towards the common pattern, so the last cycle is a robust
+  template;
+* when no period was detected, the median intensity of a trailing window is
+  held constant, which is the natural prediction for a locally stationary
+  process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_integer, check_non_negative, check_positive
+from ..exceptions import ValidationError
+from .intensity import PiecewiseConstantIntensity
+
+__all__ = ["extrapolate_intensity"]
+
+
+def extrapolate_intensity(
+    fitted_values: np.ndarray,
+    bin_seconds: float,
+    *,
+    period_bins: int | None = None,
+    horizon_seconds: float | None = None,
+    trailing_window_bins: int = 30,
+) -> PiecewiseConstantIntensity:
+    """Build a forecast intensity starting at the end of the training window.
+
+    Parameters
+    ----------
+    fitted_values:
+        Historical per-bin intensity (queries per second) from the NHPP fit.
+    bin_seconds:
+        Bin width of the fitted intensity.
+    period_bins:
+        Detected period in bins, or ``None`` when the workload is aperiodic.
+    horizon_seconds:
+        Length of the forecast to materialize explicitly.  Defaults to one
+        period (periodic case) or one bin (aperiodic case); the returned
+        intensity extrapolates itself beyond that horizon anyway.
+    trailing_window_bins:
+        Number of trailing bins whose median is held constant in the
+        aperiodic case.
+
+    Returns
+    -------
+    PiecewiseConstantIntensity
+        Forecast intensity whose time origin is the end of the training data.
+    """
+    values = np.asarray(fitted_values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValidationError("fitted_values must be a non-empty 1-D array")
+    if np.any(values < 0):
+        raise ValidationError("fitted_values must be non-negative")
+    bin_seconds = check_positive(bin_seconds, "bin_seconds")
+    check_integer(trailing_window_bins, "trailing_window_bins", minimum=1)
+    if horizon_seconds is not None:
+        check_non_negative(horizon_seconds, "horizon_seconds")
+
+    if period_bins is not None and period_bins > 0 and values.size >= period_bins:
+        template = _periodic_template(values, int(period_bins))
+        forecast = PiecewiseConstantIntensity(
+            template, bin_seconds, extrapolation="periodic"
+        )
+    else:
+        window = min(trailing_window_bins, values.size)
+        level = float(np.median(values[-window:]))
+        forecast = PiecewiseConstantIntensity(
+            np.array([level]), bin_seconds, extrapolation="hold"
+        )
+
+    if horizon_seconds is None or horizon_seconds <= forecast.duration:
+        return forecast
+    # Materialize the requested horizon explicitly so the caller can inspect
+    # the forecast as a plain array if it wants to.
+    n_bins = int(np.ceil(horizon_seconds / bin_seconds))
+    times = (np.arange(n_bins) + 0.5) * bin_seconds
+    materialized = np.asarray(forecast.value(times), dtype=float)
+    return PiecewiseConstantIntensity(
+        materialized, bin_seconds, extrapolation=forecast.extrapolation
+    )
+
+
+def _periodic_template(values: np.ndarray, period_bins: int) -> np.ndarray:
+    """Average the trailing complete cycles to form one template cycle.
+
+    The template starts at the phase immediately following the last training
+    bin so that "time 0 of the forecast" lines up with the correct phase of
+    the cycle.
+    """
+    n = values.size
+    n_cycles = n // period_bins
+    usable = values[n - n_cycles * period_bins:]
+    cycles = usable.reshape(n_cycles, period_bins)
+    # Robust average across cycles: the median resists a single anomalous cycle.
+    template = np.median(cycles, axis=0)
+    # ``usable`` covers a whole number of cycles ending exactly at the last
+    # training bin, so the template's index 0 is already the phase of the
+    # first forecast bin; no further alignment is needed.
+    return template

@@ -1,0 +1,244 @@
+"""Piecewise-constant intensity functions.
+
+The NHPP model of the paper assumes the intensity is constant within each
+time step ``delta_t`` (``lambda_t = exp(r_t)``).  This module provides the
+intensity object shared by the fitter, the forecaster, the Monte Carlo
+samplers and the scaling planner: it can evaluate the intensity at any time,
+integrate it, and invert the integrated intensity — the operation needed to
+map Gamma-distributed event counts back to arrival times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_non_negative, check_positive
+from ..exceptions import ValidationError
+
+__all__ = ["PiecewiseConstantIntensity"]
+
+
+class PiecewiseConstantIntensity:
+    """A right-open piecewise-constant intensity on ``[0, horizon)``.
+
+    Parameters
+    ----------
+    values:
+        Intensity (queries per second) in each bin; must be non-negative.
+    bin_seconds:
+        Width of each bin in seconds.
+    extrapolation:
+        Behaviour for times beyond the last bin:
+
+        * ``"hold"`` — keep the last bin's value forever (default);
+        * ``"periodic"`` — repeat the whole profile cyclically;
+        * ``"zero"`` — intensity drops to zero.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        bin_seconds: float,
+        *,
+        extrapolation: str = "hold",
+    ) -> None:
+        values = as_1d_float_array(values, "values")
+        if values.size == 0:
+            raise ValidationError("intensity requires at least one bin")
+        if np.any(values < 0):
+            raise ValidationError("intensity values must be non-negative")
+        if extrapolation not in ("hold", "periodic", "zero"):
+            raise ValidationError(
+                f"extrapolation must be 'hold', 'periodic' or 'zero', got {extrapolation!r}"
+            )
+        self._values = values
+        self.bin_seconds = check_positive(bin_seconds, "bin_seconds")
+        self.extrapolation = extrapolation
+        # Cumulative integral at bin edges: shape (n_bins + 1,)
+        self._cum_edges = np.concatenate([[0.0], np.cumsum(values) * self.bin_seconds])
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the per-bin intensity values."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_bins(self) -> int:
+        """Number of explicit bins."""
+        return int(self._values.size)
+
+    @property
+    def duration(self) -> float:
+        """Length of the explicitly specified window in seconds."""
+        return self.n_bins * self.bin_seconds
+
+    @property
+    def total_mass(self) -> float:
+        """Integrated intensity over the explicit window (expected count)."""
+        return float(self._cum_edges[-1])
+
+    def value(self, t: float | np.ndarray) -> np.ndarray | float:
+        """Intensity at time(s) ``t`` (seconds)."""
+        t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.empty_like(t_arr)
+        duration = self.duration
+        inside = t_arr < duration
+        idx = np.clip((t_arr[inside] / self.bin_seconds).astype(int), 0, self.n_bins - 1)
+        out[inside] = self._values[idx]
+        beyond = ~inside
+        if np.any(beyond):
+            out[beyond] = self._extrapolated_value(t_arr[beyond])
+        out[t_arr < 0] = 0.0
+        return out if np.ndim(t) else float(out[0])
+
+    def _extrapolated_value(self, t: np.ndarray) -> np.ndarray:
+        if self.extrapolation == "zero":
+            return np.zeros_like(t)
+        if self.extrapolation == "hold":
+            return np.full_like(t, self._values[-1])
+        wrapped = np.mod(t, self.duration)
+        idx = np.clip((wrapped / self.bin_seconds).astype(int), 0, self.n_bins - 1)
+        return self._values[idx]
+
+    def cumulative(self, t: float | np.ndarray) -> np.ndarray | float:
+        """Integrated intensity ``Lambda(t) = int_0^t lambda(u) du``."""
+        t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.empty_like(t_arr)
+        duration = self.duration
+        t_clipped = np.clip(t_arr, 0.0, None)
+
+        inside = t_clipped <= duration
+        ti = t_clipped[inside]
+        idx = np.minimum((ti / self.bin_seconds).astype(int), self.n_bins - 1)
+        within = ti - idx * self.bin_seconds
+        out[inside] = self._cum_edges[idx] + self._values[idx] * within
+
+        beyond = ~inside
+        if np.any(beyond):
+            tb = t_clipped[beyond]
+            extra = tb - duration
+            if self.extrapolation == "zero":
+                tail = np.zeros_like(extra)
+            elif self.extrapolation == "hold":
+                tail = self._values[-1] * extra
+            else:  # periodic
+                full_cycles = np.floor(extra / duration)
+                remainder = extra - full_cycles * duration
+                tail = full_cycles * self.total_mass + self.cumulative(remainder)
+            out[beyond] = self.total_mass + tail
+        return out if np.ndim(t) else float(out[0])
+
+    def inverse_cumulative(self, mass: float | np.ndarray) -> np.ndarray | float:
+        """Smallest ``t`` with ``Lambda(t) >= mass`` (vectorized).
+
+        Raises
+        ------
+        ValidationError
+            If the requested mass can never be reached (e.g. zero
+            extrapolation and ``mass > total_mass``).
+        """
+        m_arr = np.atleast_1d(np.asarray(mass, dtype=float))
+        if np.any(m_arr < 0):
+            raise ValidationError("mass must be non-negative")
+        out = np.empty_like(m_arr)
+        total = self.total_mass
+
+        inside = m_arr <= total
+        if np.any(inside):
+            out[inside] = self._invert_within_window(m_arr[inside])
+
+        beyond = ~inside
+        if np.any(beyond):
+            mb = m_arr[beyond]
+            if self.extrapolation == "zero":
+                raise ValidationError(
+                    "requested cumulative mass exceeds the total mass of a "
+                    "zero-extrapolated intensity"
+                )
+            if self.extrapolation == "hold":
+                rate = self._values[-1]
+                if rate <= 0:
+                    raise ValidationError(
+                        "cannot invert cumulative intensity: held intensity is zero"
+                    )
+                out[beyond] = self.duration + (mb - total) / rate
+            else:  # periodic
+                if total <= 0:
+                    raise ValidationError(
+                        "cannot invert cumulative intensity: periodic profile has zero mass"
+                    )
+                extra = mb - total
+                cycles = np.floor(extra / total)
+                remainder = extra - cycles * total
+                base = self.duration * (1.0 + cycles)
+                out[beyond] = base + self._invert_within_window(remainder)
+        return out if np.ndim(mass) else float(out[0])
+
+    def _invert_within_window(self, masses: np.ndarray) -> np.ndarray:
+        """Vectorized inversion for masses within the explicit window.
+
+        For a target mass ``m`` the smallest ``t`` with ``Lambda(t) >= m`` lies
+        in the bin just before the first cumulative edge reaching ``m`` (that
+        bin necessarily has positive intensity), except for ``m = 0`` which
+        maps to ``t = 0``.
+        """
+        out = np.zeros_like(masses)
+        positive = masses > 0
+        if not np.any(positive):
+            return out
+        m = masses[positive]
+        edge_index = np.searchsorted(self._cum_edges, m, side="left")
+        edge_index = np.clip(edge_index, 1, self.n_bins)
+        bin_index = edge_index - 1
+        rates = self._values[bin_index]
+        # cum_edges[bin_index] < m <= cum_edges[bin_index + 1] guarantees a
+        # strictly positive rate; the maximum guards against float round-off.
+        within = (m - self._cum_edges[bin_index]) / np.maximum(rates, 1e-300)
+        out[positive] = bin_index * self.bin_seconds + np.minimum(within, self.bin_seconds)
+        return out
+
+    def upper_bound(self, window_seconds: float | None = None) -> float:
+        """Maximum intensity over ``[0, window_seconds]`` (or the whole profile)."""
+        if window_seconds is None:
+            return float(self._values.max())
+        check_non_negative(window_seconds, "window_seconds")
+        if window_seconds >= self.duration:
+            bound = float(self._values.max())
+            if self.extrapolation == "hold":
+                bound = max(bound, float(self._values[-1]))
+            return bound
+        n = max(1, int(np.ceil(window_seconds / self.bin_seconds)))
+        return float(self._values[:n].max())
+
+    def shift(self, offset_seconds: float) -> "PiecewiseConstantIntensity":
+        """Return the intensity viewed from ``offset_seconds`` onwards.
+
+        The returned object has its own time origin at ``offset_seconds`` of
+        this intensity; extrapolation behaviour is preserved.  Used by the
+        planner, which always reasons in "seconds from now".
+        """
+        check_non_negative(offset_seconds, "offset_seconds")
+        horizon = self.duration
+        if offset_seconds >= horizon:
+            if self.extrapolation == "hold":
+                return PiecewiseConstantIntensity(
+                    np.array([self._values[-1]]), self.bin_seconds, extrapolation="hold"
+                )
+            if self.extrapolation == "zero":
+                return PiecewiseConstantIntensity(
+                    np.array([0.0]), self.bin_seconds, extrapolation="zero"
+                )
+            offset_seconds = float(np.mod(offset_seconds, horizon))
+        # Sample the shifted profile on the same grid width.
+        n_bins = self.n_bins
+        times = offset_seconds + np.arange(n_bins) * self.bin_seconds + 0.5 * self.bin_seconds
+        values = np.asarray(self.value(times), dtype=float)
+        return PiecewiseConstantIntensity(values, self.bin_seconds, extrapolation=self.extrapolation)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PiecewiseConstantIntensity(n_bins={self.n_bins}, "
+            f"bin_seconds={self.bin_seconds}, extrapolation={self.extrapolation!r})"
+        )

@@ -1,0 +1,41 @@
+"""Stochastically constrained scaling optimization (module 4, Section VI).
+
+The subpackage provides:
+
+* Monte Carlo sampling of the upcoming arrival times and pending times
+  (:mod:`repro.optimization.montecarlo`);
+* the three per-query decision rules of the paper — HP-constrained (eq. 3),
+  RT-constrained (eq. 5 via the sort-and-search Algorithm 3) and
+  cost-constrained (eq. 7) — in :mod:`repro.optimization.formulations`;
+* the look-ahead threshold ``kappa`` of eq. (8) in
+  :mod:`repro.optimization.threshold`.
+"""
+
+from .montecarlo import ArrivalScenarios, generate_scenarios
+from .formulations import (
+    DecisionObjective,
+    solve_cost_constrained,
+    solve_hp_constrained,
+    solve_rt_constrained,
+)
+from .sort_and_search import (
+    expected_idle_time,
+    expected_waiting_time,
+    solve_idle_time_budget,
+    solve_waiting_time_budget,
+)
+from .threshold import compute_kappa
+
+__all__ = [
+    "ArrivalScenarios",
+    "generate_scenarios",
+    "DecisionObjective",
+    "solve_hp_constrained",
+    "solve_rt_constrained",
+    "solve_cost_constrained",
+    "expected_idle_time",
+    "expected_waiting_time",
+    "solve_idle_time_budget",
+    "solve_waiting_time_budget",
+    "compute_kappa",
+]

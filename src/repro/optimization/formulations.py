@@ -1,0 +1,208 @@
+"""Per-query scaling decision rules (Section VI-B of the paper).
+
+Each formulation decomposes into independent single-variable problems, one
+per upcoming query, so the solvers below take the Monte Carlo samples for one
+query and return one creation time:
+
+* :func:`solve_hp_constrained` — eq. (3): the creation time is the
+  ``alpha``-quantile of the slack ``xi - tau``;
+* :func:`solve_rt_constrained` — eq. (5): the largest creation time whose
+  expected waiting time stays within the budget ``d - mu_s``, solved with the
+  sort-and-search Algorithm 3;
+* :func:`solve_cost_constrained` — eq. (7): the smallest creation time whose
+  expected idle cost stays within the budget ``B - mu_tau - mu_s``.
+
+Every solver returns a :class:`ScalingDecision` carrying the raw (possibly
+negative) optimum, the clamped creation time actually used, and feasibility
+information.  Negative optima mean the instance "should" already exist — the
+sequential scheme avoids this by planning ``kappa`` queries ahead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    as_1d_float_array,
+    check_non_negative,
+    check_probability,
+    check_same_length,
+)
+from ..exceptions import ValidationError
+from .montecarlo import ArrivalScenarios
+from .sort_and_search import (
+    expected_idle_time,
+    expected_waiting_time,
+    solve_idle_time_budget,
+    solve_waiting_time_budget,
+)
+
+__all__ = [
+    "DecisionObjective",
+    "ScalingDecision",
+    "solve_hp_constrained",
+    "solve_rt_constrained",
+    "solve_cost_constrained",
+    "solve_batch",
+]
+
+
+class DecisionObjective(enum.Enum):
+    """Which QoS/cost trade-off formulation drives the decisions."""
+
+    HIT_PROBABILITY = "hp"
+    RESPONSE_TIME = "rt"
+    COST = "cost"
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """The outcome of one per-query decision problem.
+
+    Attributes
+    ----------
+    raw_creation_time:
+        The unclamped optimum ``x_i^*`` (seconds from "now", may be negative).
+    creation_time:
+        ``max(raw_creation_time, 0)`` — the time actually used.
+    feasible:
+        ``False`` when the constraint could only be met by creating the
+        instance in the past (``raw_creation_time < 0``).
+    expected_waiting_time:
+        Monte Carlo estimate of the waiting time at ``creation_time``.
+    expected_idle_time:
+        Monte Carlo estimate of the idle cost at ``creation_time``.
+    objective:
+        The formulation that produced this decision.
+    """
+
+    raw_creation_time: float
+    creation_time: float
+    feasible: bool
+    expected_waiting_time: float
+    expected_idle_time: float
+    objective: DecisionObjective
+
+
+def _finalize(
+    raw_x: float,
+    xi: np.ndarray,
+    tau: np.ndarray,
+    objective: DecisionObjective,
+) -> ScalingDecision:
+    creation_time = max(float(raw_x), 0.0)
+    return ScalingDecision(
+        raw_creation_time=float(raw_x),
+        creation_time=creation_time,
+        feasible=raw_x >= 0.0,
+        expected_waiting_time=expected_waiting_time(creation_time, xi, tau),
+        expected_idle_time=expected_idle_time(creation_time, xi, tau),
+        objective=objective,
+    )
+
+
+def solve_hp_constrained(
+    arrival_samples: np.ndarray,
+    pending_samples: np.ndarray,
+    target_hit_probability: float,
+) -> ScalingDecision:
+    """Eq. (3): latest creation time achieving the target hitting probability.
+
+    The hitting probability of a query is ``P(xi > x + tau)``; requiring it to
+    be at least ``1 - alpha`` and maximizing ``x`` (to minimize idle cost)
+    gives ``x* = alpha-quantile of (xi - tau)``.
+
+    Parameters
+    ----------
+    arrival_samples, pending_samples:
+        Monte Carlo samples of ``xi_i`` and ``tau_i``.
+    target_hit_probability:
+        The desired ``1 - alpha`` in [0, 1].
+    """
+    xi = as_1d_float_array(arrival_samples, "arrival_samples")
+    tau = as_1d_float_array(pending_samples, "pending_samples")
+    check_same_length("arrival_samples", xi, "pending_samples", tau)
+    if xi.size == 0:
+        raise ValidationError("at least one Monte Carlo sample is required")
+    target = check_probability(target_hit_probability, "target_hit_probability")
+    alpha = 1.0 - target
+    slack = xi - tau
+    # "lower" interpolation keeps P(slack <= x*) <= alpha with empirical samples.
+    raw_x = float(np.quantile(slack, alpha, method="lower")) if xi.size > 1 else float(slack[0])
+    return _finalize(raw_x, xi, tau, DecisionObjective.HIT_PROBABILITY)
+
+
+def solve_rt_constrained(
+    arrival_samples: np.ndarray,
+    pending_samples: np.ndarray,
+    waiting_budget: float,
+) -> ScalingDecision:
+    """Eq. (5): latest creation time whose expected waiting time meets the budget.
+
+    Parameters
+    ----------
+    waiting_budget:
+        The response-time budget net of processing time, ``d - mu_s``
+        (seconds).
+    """
+    xi = as_1d_float_array(arrival_samples, "arrival_samples")
+    tau = as_1d_float_array(pending_samples, "pending_samples")
+    check_same_length("arrival_samples", xi, "pending_samples", tau)
+    check_non_negative(waiting_budget, "waiting_budget")
+    raw_x = solve_waiting_time_budget(xi, tau, waiting_budget)
+    return _finalize(raw_x, xi, tau, DecisionObjective.RESPONSE_TIME)
+
+
+def solve_cost_constrained(
+    arrival_samples: np.ndarray,
+    pending_samples: np.ndarray,
+    idle_budget: float,
+) -> ScalingDecision:
+    """Eq. (7): earliest creation time whose expected idle cost meets the budget.
+
+    Parameters
+    ----------
+    idle_budget:
+        The per-instance cost budget net of the irreducible pending and
+        processing times, ``B - mu_tau - mu_s`` (seconds).
+    """
+    xi = as_1d_float_array(arrival_samples, "arrival_samples")
+    tau = as_1d_float_array(pending_samples, "pending_samples")
+    check_same_length("arrival_samples", xi, "pending_samples", tau)
+    check_non_negative(idle_budget, "idle_budget")
+    raw_x = solve_idle_time_budget(xi, tau, idle_budget)
+    return _finalize(raw_x, xi, tau, DecisionObjective.COST)
+
+
+def solve_batch(
+    scenarios: ArrivalScenarios,
+    objective: DecisionObjective,
+    target: float,
+) -> list[ScalingDecision]:
+    """Solve the per-query problem for every upcoming query in ``scenarios``.
+
+    Parameters
+    ----------
+    scenarios:
+        Joint Monte Carlo samples for the next ``K`` queries.
+    objective:
+        Which formulation to apply.
+    target:
+        The formulation's constraint level: the target hitting probability,
+        the waiting-time budget, or the idle-cost budget respectively.
+    """
+    decisions: list[ScalingDecision] = []
+    for i in range(scenarios.n_queries):
+        xi, tau = scenarios.for_query(i)
+        if objective is DecisionObjective.HIT_PROBABILITY:
+            decisions.append(solve_hp_constrained(xi, tau, target))
+        elif objective is DecisionObjective.RESPONSE_TIME:
+            decisions.append(solve_rt_constrained(xi, tau, target))
+        elif objective is DecisionObjective.COST:
+            decisions.append(solve_cost_constrained(xi, tau, target))
+        else:  # pragma: no cover - exhaustive enum
+            raise ValidationError(f"unknown objective {objective!r}")
+    return decisions

@@ -1,0 +1,201 @@
+"""Sort-and-search solvers for the stochastic root-finding problems (Alg. 3).
+
+Two empirical expectations appear in the decision formulations:
+
+* the **expected waiting time** ``E_hat(x) = mean((tau_r - (xi_r - x)+)+)``,
+  a non-decreasing piecewise-linear function of the creation time ``x`` whose
+  slope changes only at the sample points ``xi_r - tau_r`` (slope +1/R) and
+  ``xi_r`` (slope -1/R); Algorithm 3 walks these breakpoints in order and
+  stops inside the segment containing the target value — ``O(R log R)``
+  overall;
+* the **expected idle cost** ``C_hat(x) = mean((xi_r - tau_r - x)+)``, a
+  non-increasing piecewise-linear function with breakpoints at
+  ``xi_r - tau_r``, solved by the same technique.
+
+Both solvers return the *smallest* ``x >= 0`` meeting the target, matching
+the optimization direction of formulations (4) and (6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_non_negative, check_same_length
+from ..exceptions import InfeasibleConstraintError, ValidationError
+
+__all__ = [
+    "expected_waiting_time",
+    "expected_idle_time",
+    "solve_waiting_time_budget",
+    "solve_idle_time_budget",
+]
+
+
+def expected_waiting_time(
+    x: float,
+    arrival_samples: np.ndarray,
+    pending_samples: np.ndarray,
+) -> float:
+    """Empirical expected waiting time ``mean((tau - (xi - x)+)+)`` at creation time ``x``.
+
+    This is the Monte Carlo estimate of the controllable part of the response
+    time (eq. in Section VI-A); the full expected RT adds the mean processing
+    time ``mu_s``.
+    """
+    xi = as_1d_float_array(arrival_samples, "arrival_samples")
+    tau = as_1d_float_array(pending_samples, "pending_samples")
+    check_same_length("arrival_samples", xi, "pending_samples", tau)
+    waiting = np.maximum(tau - np.maximum(xi - x, 0.0), 0.0)
+    return float(waiting.mean())
+
+
+def expected_idle_time(
+    x: float,
+    arrival_samples: np.ndarray,
+    pending_samples: np.ndarray,
+) -> float:
+    """Empirical expected idle time ``mean((xi - tau - x)+)`` at creation time ``x``.
+
+    This is the controllable part of the instance cost; the full cost adds
+    the irreducible ``tau + s``.
+    """
+    xi = as_1d_float_array(arrival_samples, "arrival_samples")
+    tau = as_1d_float_array(pending_samples, "pending_samples")
+    check_same_length("arrival_samples", xi, "pending_samples", tau)
+    idle = np.maximum(xi - tau - x, 0.0)
+    return float(idle.mean())
+
+
+def solve_waiting_time_budget(
+    arrival_samples: np.ndarray,
+    pending_samples: np.ndarray,
+    waiting_budget: float,
+) -> float:
+    """Algorithm 3: find the latest creation time meeting a waiting-time budget.
+
+    Finds the largest ``x`` with ``E_hat(x) <= waiting_budget`` where
+    ``E_hat`` is :func:`expected_waiting_time` — equivalently the solution of
+    ``E_hat(x) = waiting_budget`` because ``E_hat`` is non-decreasing.  The
+    returned value may be negative, meaning the instance would have needed to
+    be created in the past; callers clamp to 0 (create immediately) exactly
+    as the sequential scaling scheme does.
+
+    Parameters
+    ----------
+    arrival_samples, pending_samples:
+        Monte Carlo samples of ``xi_i`` and ``tau_i`` for this query.
+    waiting_budget:
+        The target ``d - mu_s`` of formulation (4), in seconds.
+
+    Returns
+    -------
+    float
+        The optimal creation time ``x_i^*`` (possibly negative).
+    """
+    xi = as_1d_float_array(arrival_samples, "arrival_samples")
+    tau = as_1d_float_array(pending_samples, "pending_samples")
+    check_same_length("arrival_samples", xi, "pending_samples", tau)
+    if xi.size == 0:
+        raise ValidationError("at least one Monte Carlo sample is required")
+    waiting_budget = check_non_negative(waiting_budget, "waiting_budget")
+    n = xi.size
+
+    max_waiting = float(tau.mean())
+    if waiting_budget >= max_waiting:
+        # Even creating the instance upon arrival (x -> +inf) meets the
+        # budget; the latest sensible creation time is the largest arrival.
+        return float(xi.max())
+
+    # Breakpoints: slope increases by 1/R at xi - tau, decreases by 1/R at xi.
+    slack_sorted = np.sort(xi - tau)
+    arrival_sorted = np.sort(xi)
+
+    r1 = 0  # pointer into arrival_sorted (slope -1/R events)
+    r2 = 0  # pointer into slack_sorted (slope +1/R events)
+    slope = 0.0
+    x_left = float(slack_sorted[0])
+    e_left = 0.0  # E_hat at x_left; zero because E_hat(x) = 0 for x <= min(xi - tau)
+
+    # Walk the breakpoints left to right, tracking E_hat on each linear piece.
+    while r1 < n or r2 < n:
+        take_arrival = r2 >= n or (r1 < n and arrival_sorted[r1] <= slack_sorted[r2])
+        x_right = float(arrival_sorted[r1]) if take_arrival else float(slack_sorted[r2])
+        e_right = e_left + slope * (x_right - x_left)
+        if e_left <= waiting_budget <= e_right and slope > 0:
+            return x_left + (waiting_budget - e_left) / slope
+        if take_arrival:
+            slope -= 1.0 / n
+            r1 += 1
+        else:
+            slope += 1.0 / n
+            r2 += 1
+        x_left, e_left = x_right, e_right
+
+    # The budget was not bracketed (can happen only through floating error
+    # because waiting_budget < mean(tau) = E_hat(max xi)); fall back to the
+    # latest arrival sample.
+    return float(arrival_sorted[-1])
+
+
+def solve_idle_time_budget(
+    arrival_samples: np.ndarray,
+    pending_samples: np.ndarray,
+    idle_budget: float,
+) -> float:
+    """Find the earliest creation time whose expected idle time is within budget.
+
+    Implements the root-finding step of the cost-constrained solution (7):
+    the expected idle time ``C_hat(x) = mean((xi - tau - x)+)`` is
+    non-increasing in ``x``; we return
+
+    * ``0`` when ``C_hat(0) <= idle_budget`` (creating immediately is already
+      affordable, which gives the best possible QoS), and
+    * the smallest ``x`` with ``C_hat(x) <= idle_budget`` otherwise.
+
+    Raises
+    ------
+    InfeasibleConstraintError
+        If ``idle_budget`` is negative (no creation time can achieve a
+        negative expected idle time).
+    """
+    xi = as_1d_float_array(arrival_samples, "arrival_samples")
+    tau = as_1d_float_array(pending_samples, "pending_samples")
+    check_same_length("arrival_samples", xi, "pending_samples", tau)
+    if xi.size == 0:
+        raise ValidationError("at least one Monte Carlo sample is required")
+    if idle_budget < 0:
+        raise InfeasibleConstraintError(
+            f"idle budget must be non-negative, got {idle_budget}"
+        )
+    n = xi.size
+
+    if expected_idle_time(0.0, xi, tau) <= idle_budget:
+        return 0.0
+
+    # C_hat is piecewise linear, non-increasing, with breakpoints at xi - tau.
+    slack_sorted = np.sort(xi - tau)
+    # Evaluate C_hat at every breakpoint via suffix sums:
+    # C_hat(v_k) = sum_{j > k} (v_j - v_k) / n
+    suffix_sums = np.concatenate([np.cumsum(slack_sorted[::-1])[::-1][1:], [0.0]])
+    counts_after = np.arange(n - 1, -1, -1, dtype=float)
+    c_at_breaks = (suffix_sums - counts_after * slack_sorted) / n
+
+    # Find the first breakpoint where C_hat drops to or below the budget.
+    idx = int(np.searchsorted(-c_at_breaks, -idle_budget, side="left"))
+    if idx >= n:
+        # Budget below zero is impossible here; C_hat reaches 0 at the last
+        # breakpoint, so the budget is met exactly there.
+        return float(max(slack_sorted[-1], 0.0))
+    if idx == 0:
+        # Slope before the first breakpoint is -1 (all samples active), so
+        # extrapolate left from (slack_sorted[0], c_at_breaks[0]).
+        x_star = slack_sorted[0] + (idle_budget - c_at_breaks[0]) / (-1.0)
+        return float(max(x_star, 0.0))
+    # Interpolate inside the segment [slack_sorted[idx-1], slack_sorted[idx]].
+    slope = -counts_after[idx - 1] / n  # number of samples still active on this piece
+    x_left = slack_sorted[idx - 1]
+    c_left = c_at_breaks[idx - 1]
+    if slope == 0:
+        return float(max(x_left, 0.0))
+    x_star = x_left + (idle_budget - c_left) / slope
+    return float(max(x_star, 0.0))

@@ -1,0 +1,121 @@
+"""Instance pending-time (startup latency) models.
+
+The pending time ``tau_i`` is the delay between creating an instance and the
+instance becoming ready to serve a query.  Both the simulator (to realize
+actual startup delays) and the scaling optimizer (to sample ``tau`` in its
+Monte Carlo formulation) need the same model, so it lives in a shared module.
+
+The paper's experiments use a fixed pod pending time (13 seconds in the
+scalability study); we also provide uniformly jittered and exponential
+variants for robustness experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ._validation import check_integer, check_non_negative, check_positive
+from .exceptions import ValidationError
+from .rng import RandomState, ensure_rng
+
+__all__ = [
+    "PendingTimeModel",
+    "DeterministicPendingTime",
+    "UniformPendingTime",
+    "ExponentialPendingTime",
+]
+
+
+class PendingTimeModel(abc.ABC):
+    """Distribution of the instance startup time ``tau``."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected pending time ``mu_tau`` in seconds."""
+
+    @abc.abstractmethod
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        """Draw ``size`` i.i.d. pending times (seconds)."""
+
+    @property
+    def upper_bound(self) -> float:
+        """A finite upper bound when one exists, otherwise ``inf``."""
+        return float("inf")
+
+
+@dataclass(frozen=True)
+class DeterministicPendingTime(PendingTimeModel):
+    """Constant pending time; the paper's default setting.
+
+    Attributes
+    ----------
+    value:
+        The constant startup latency in seconds.
+    """
+
+    value: float = 13.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.value, "value")
+
+    @property
+    def mean(self) -> float:
+        return float(self.value)
+
+    @property
+    def upper_bound(self) -> float:
+        return float(self.value)
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        check_integer(size, "size", minimum=0)
+        return np.full(size, float(self.value))
+
+
+@dataclass(frozen=True)
+class UniformPendingTime(PendingTimeModel):
+    """Pending time uniformly distributed on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.low, "low")
+        check_non_negative(self.high, "high")
+        if self.high < self.low:
+            raise ValidationError(f"high ({self.high}) must be >= low ({self.low})")
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def upper_bound(self) -> float:
+        return float(self.high)
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        check_integer(size, "size", minimum=0)
+        rng = ensure_rng(random_state)
+        return rng.uniform(self.low, self.high, size=size)
+
+
+@dataclass(frozen=True)
+class ExponentialPendingTime(PendingTimeModel):
+    """Exponentially distributed pending time with the given mean."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.mean_value, "mean_value")
+
+    @property
+    def mean(self) -> float:
+        return float(self.mean_value)
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        check_integer(size, "size", minimum=0)
+        rng = ensure_rng(random_state)
+        return rng.exponential(self.mean_value, size=size)

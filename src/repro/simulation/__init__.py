@@ -1,0 +1,12 @@
+"""Discrete-event simulation of the scaling-per-query dynamics (Algorithm 1)."""
+
+from .engine import ScalingPerQuerySimulator
+from .runner import evaluate_scaler, replay
+from .realenv import real_environment_config
+
+__all__ = [
+    "ScalingPerQuerySimulator",
+    "replay",
+    "evaluate_scaler",
+    "real_environment_config",
+]

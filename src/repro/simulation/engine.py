@@ -1,0 +1,279 @@
+"""The scaling-per-query discrete-event simulator.
+
+The simulator replays an :class:`~repro.types.ArrivalTrace` against an
+:class:`~repro.scaling.base.Autoscaler` policy and records, for every query,
+whether it hit a warm instance, how long it waited, and how long the serving
+instance lived — exactly the dynamics of Algorithm 1 in the paper:
+
+* if an unassigned instance exists at arrival time, the query takes the one
+  that becomes ready earliest: it is a **hit** when the instance is already
+  ready, otherwise the query waits until startup finishes;
+* if no instance exists, one is created **reactively** (cold start) and the
+  earliest not-yet-executed scheduled creation, which was intended for this
+  query, is cancelled;
+* the instance is deleted as soon as it finishes processing its query.
+
+The simulator optionally charges the wall-clock time the policy spends
+computing decisions ("real environment" mode, Table IV): actions then cannot
+take effect before the decision computation would have finished.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time as _time
+from typing import Callable
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..exceptions import SimulationError
+from ..pending import DeterministicPendingTime, PendingTimeModel, UniformPendingTime
+from ..rng import ensure_rng
+from ..scaling.base import Autoscaler, PlanningContext, ScalingResponse
+from ..types import (
+    ArrivalTrace,
+    InstanceRecord,
+    Query,
+    QueryOutcome,
+    ScalingAction,
+    SimulationResult,
+)
+
+__all__ = ["ScalingPerQuerySimulator"]
+
+
+class _PendingInstance:
+    """A created-but-unassigned instance tracked by the simulator."""
+
+    __slots__ = ("creation_time", "ready_time", "pending_time", "proactive")
+
+    def __init__(
+        self, creation_time: float, ready_time: float, pending_time: float, proactive: bool
+    ) -> None:
+        self.creation_time = creation_time
+        self.ready_time = ready_time
+        self.pending_time = pending_time
+        self.proactive = proactive
+
+
+class ScalingPerQuerySimulator:
+    """Replays traces against autoscaling policies.
+
+    Parameters
+    ----------
+    config:
+        Simulator configuration (pending-time model, latency charging, seed).
+    pending_model:
+        Optional explicit pending-time model; overrides the one derived from
+        ``config.pending_time`` / ``config.pending_time_jitter``.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig | None = None,
+        *,
+        pending_model: PendingTimeModel | None = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        if pending_model is not None:
+            self.pending_model = pending_model
+        elif self.config.pending_time_jitter > 0:
+            self.pending_model = UniformPendingTime(
+                self.config.pending_time - self.config.pending_time_jitter,
+                self.config.pending_time + self.config.pending_time_jitter,
+            )
+        else:
+            self.pending_model = DeterministicPendingTime(self.config.pending_time)
+
+    # ------------------------------------------------------------------ API
+
+    def replay(self, trace: ArrivalTrace, scaler: Autoscaler) -> SimulationResult:
+        """Replay ``trace`` under ``scaler`` and return the per-query outcomes."""
+        scaler.reset()
+        rng = ensure_rng(self.config.seed)
+        arrivals = np.asarray(trace.arrival_times, dtype=float)
+        processing_times = np.asarray(trace.processing_times, dtype=float)
+
+        available: list[tuple[float, int, _PendingInstance]] = []  # heap by ready_time
+        scheduled: list[tuple[float, int, ScalingAction]] = []  # heap by creation_time
+        tiebreak = itertools.count()
+        outcomes: list[QueryOutcome] = []
+        planning_times: list[float] = []
+        unused_cost = 0.0
+
+        def draw_pending() -> float:
+            return float(self.pending_model.sample(1, rng)[0])
+
+        def make_context(now: float, n_arrivals: int) -> PlanningContext:
+            ready = sum(1 for ready_time, _, _ in available if ready_time <= now)
+            return PlanningContext(
+                time=now,
+                n_arrivals=n_arrivals,
+                arrival_history=arrivals[:n_arrivals],
+                created_unassigned=len(available),
+                ready_unassigned=ready,
+                scheduled_creations=len(scheduled),
+            )
+
+        def materialize_scheduled(now: float) -> None:
+            """Turn scheduled creations whose time has come into real instances."""
+            while scheduled and scheduled[0][0] <= now:
+                creation_time, _, _action = heapq.heappop(scheduled)
+                pending = draw_pending()
+                ready = creation_time + self.config.scheduling_latency + pending
+                heapq.heappush(
+                    available,
+                    (
+                        ready,
+                        next(tiebreak),
+                        _PendingInstance(creation_time, ready, pending, proactive=True),
+                    ),
+                )
+
+        def call_policy(
+            hook: Callable[[PlanningContext], ScalingResponse], context: PlanningContext
+        ) -> tuple[ScalingResponse, float]:
+            started = _time.perf_counter()
+            response = hook(context)
+            elapsed = _time.perf_counter() - started
+            planning_times.append(elapsed)
+            if response is None:
+                response = ScalingResponse.empty()
+            return response, elapsed
+
+        def apply_response(response: ScalingResponse, now: float, latency: float) -> None:
+            nonlocal unused_cost
+            effective_now = now
+            if self.config.charge_decision_latency:
+                effective_now = now + latency
+            for _ in range(min(response.cancel_scheduled, len(scheduled))):
+                heapq.heappop(scheduled)
+            if response.scale_in > 0 and available:
+                # Remove the instances that became (or will become) ready last:
+                # they are the "youngest" members of the pool.
+                survivors = sorted(available)
+                to_remove = survivors[len(survivors) - min(response.scale_in, len(survivors)):]
+                del survivors[len(survivors) - len(to_remove):]
+                available[:] = survivors
+                heapq.heapify(available)
+                for _, _, instance in to_remove:
+                    unused_cost += max(0.0, now - instance.creation_time)
+            for action in response.actions:
+                creation_time = max(float(action.creation_time), effective_now)
+                if creation_time <= now:
+                    pending = draw_pending()
+                    ready = creation_time + self.config.scheduling_latency + pending
+                    heapq.heappush(
+                        available,
+                        (
+                            ready,
+                            next(tiebreak),
+                            _PendingInstance(creation_time, ready, pending, proactive=True),
+                        ),
+                    )
+                else:
+                    heapq.heappush(scheduled, (creation_time, next(tiebreak), action))
+
+        # -------------------------------------------------------- main loop
+        response, latency = call_policy(scaler.initialize, make_context(0.0, 0))
+        apply_response(response, 0.0, latency)
+
+        interval = scaler.planning_interval
+        next_tick = interval if interval else None
+
+        for index in range(arrivals.size):
+            arrival_time = float(arrivals[index])
+
+            # Planning ticks strictly before this arrival.
+            if next_tick is not None:
+                while next_tick <= arrival_time:
+                    materialize_scheduled(next_tick)
+                    response, latency = call_policy(
+                        scaler.on_planning_tick, make_context(next_tick, index)
+                    )
+                    apply_response(response, next_tick, latency)
+                    next_tick += interval
+
+            materialize_scheduled(arrival_time)
+
+            query = Query(
+                index=index,
+                arrival_time=arrival_time,
+                processing_time=float(processing_times[index]),
+            )
+            outcomes.append(self._serve_query(query, available, scheduled, draw_pending))
+
+            response, latency = call_policy(
+                scaler.on_query_arrival, make_context(arrival_time, index + 1)
+            )
+            apply_response(response, arrival_time, latency)
+
+        # Instances created but never consumed cost until the end of the trace.
+        horizon = max(trace.horizon, arrivals[-1] if arrivals.size else 0.0)
+        for _, _, instance in available:
+            unused_cost += max(0.0, horizon - instance.creation_time)
+
+        return SimulationResult(
+            scaler_name=scaler.name,
+            trace_name=trace.name,
+            outcomes=outcomes,
+            unused_instance_cost=unused_cost,
+            planning_times=planning_times,
+        )
+
+    # ------------------------------------------------------------- internal
+
+    def _serve_query(
+        self,
+        query: Query,
+        available: list[tuple[float, int, _PendingInstance]],
+        scheduled: list[tuple[float, int, ScalingAction]],
+        draw_pending: Callable[[], float],
+    ) -> QueryOutcome:
+        """Match a freshly arrived query to an instance per Algorithm 1."""
+        arrival = query.arrival_time
+        if available:
+            ready_time, _, instance = heapq.heappop(available)
+            hit = ready_time <= arrival
+            start = max(ready_time, arrival)
+            record = InstanceRecord(
+                query_index=query.index,
+                creation_time=instance.creation_time,
+                ready_time=ready_time,
+                start_processing_time=start,
+                deletion_time=start + query.processing_time,
+                pending_time=instance.pending_time,
+                proactive=instance.proactive,
+            )
+        else:
+            # Reactive cold start; the originally scheduled creation for this
+            # query (the earliest outstanding one) is cancelled.
+            if scheduled:
+                heapq.heappop(scheduled)
+            pending = draw_pending()
+            ready_time = arrival + self.config.scheduling_latency + pending
+            start = ready_time
+            hit = False
+            record = InstanceRecord(
+                query_index=query.index,
+                creation_time=arrival,
+                ready_time=ready_time,
+                start_processing_time=start,
+                deletion_time=start + query.processing_time,
+                pending_time=pending,
+                proactive=False,
+            )
+        waiting = start - arrival
+        if waiting < -1e-9:
+            raise SimulationError(
+                f"negative waiting time {waiting} for query {query.index}"
+            )
+        return QueryOutcome(
+            query=query,
+            hit=hit,
+            waiting_time=max(waiting, 0.0),
+            response_time=max(waiting, 0.0) + query.processing_time,
+            instance=record,
+        )

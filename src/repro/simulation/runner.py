@@ -1,0 +1,46 @@
+"""Convenience wrappers around the simulator for experiments and examples."""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..metrics.report import summarize_result
+from ..scaling.base import Autoscaler
+from ..types import ArrivalTrace, SimulationResult
+from .engine import ScalingPerQuerySimulator
+
+__all__ = ["replay", "evaluate_scaler"]
+
+
+def replay(
+    trace: ArrivalTrace,
+    scaler: Autoscaler,
+    config: SimulationConfig | None = None,
+) -> SimulationResult:
+    """Replay ``trace`` under ``scaler`` with the given simulator configuration."""
+    simulator = ScalingPerQuerySimulator(config)
+    return simulator.replay(trace, scaler)
+
+
+def evaluate_scaler(
+    trace: ArrivalTrace,
+    scaler: Autoscaler,
+    config: SimulationConfig | None = None,
+    *,
+    reference_cost: float | None = None,
+) -> dict[str, float]:
+    """Replay and return the summary metric dictionary used by the experiments.
+
+    Parameters
+    ----------
+    trace:
+        The (test) trace to replay.
+    scaler:
+        The policy to evaluate.
+    config:
+        Simulator configuration.
+    reference_cost:
+        Cost of the purely reactive baseline on the same trace; when given,
+        the summary includes ``relative_cost``.
+    """
+    result = replay(trace, scaler, config)
+    return summarize_result(result, reference_cost=reference_cost)

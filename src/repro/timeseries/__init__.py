@@ -1,0 +1,44 @@
+"""Time-series substrate: aggregation, differencing, spectra, robust filters.
+
+This subpackage contains the low-level numerical building blocks used by the
+periodicity detector and the NHPP model: sparse difference operators, robust
+statistics, autocorrelation, periodograms, and a robust seasonal-trend
+decomposition used for exploratory workload analysis.
+"""
+
+from .aggregation import aggregate_counts, moving_average, rolling_sum
+from .differencing import (
+    first_difference_matrix,
+    second_difference_matrix,
+    seasonal_difference_matrix,
+)
+from .acf import autocorrelation, autocovariance
+from .periodogram import periodogram, dominant_frequencies
+from .robust import (
+    huber_weights,
+    mad,
+    median_filter,
+    robust_zscore,
+    winsorize,
+)
+from .decomposition import RobustDecomposition, robust_stl
+
+__all__ = [
+    "aggregate_counts",
+    "moving_average",
+    "rolling_sum",
+    "first_difference_matrix",
+    "second_difference_matrix",
+    "seasonal_difference_matrix",
+    "autocorrelation",
+    "autocovariance",
+    "periodogram",
+    "dominant_frequencies",
+    "huber_weights",
+    "mad",
+    "median_filter",
+    "robust_zscore",
+    "winsorize",
+    "RobustDecomposition",
+    "robust_stl",
+]

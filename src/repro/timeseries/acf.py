@@ -1,0 +1,53 @@
+"""Autocovariance and autocorrelation estimators.
+
+The robust periodicity detector validates periodogram candidates by checking
+the sample autocorrelation at the candidate lag, following the two-stage
+design of RobustPeriod (periodogram proposes, ACF confirms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_integer
+from ..exceptions import ValidationError
+
+__all__ = ["autocovariance", "autocorrelation"]
+
+
+def autocovariance(values: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Biased sample autocovariance for lags ``0 .. max_lag``.
+
+    The biased (divide by ``n``) estimator is used because it guarantees a
+    positive semi-definite autocovariance sequence, which keeps downstream
+    peak detection well behaved.
+    """
+    values = as_1d_float_array(values, "values")
+    n = values.size
+    if n < 2:
+        raise ValidationError("autocovariance requires at least two observations")
+    if max_lag is None:
+        max_lag = n - 1
+    max_lag = check_integer(max_lag, "max_lag", minimum=0)
+    max_lag = min(max_lag, n - 1)
+    centered = values - values.mean()
+    # FFT-based full autocovariance: O(n log n) instead of O(n * max_lag).
+    n_fft = int(2 ** np.ceil(np.log2(2 * n - 1)))
+    spectrum = np.fft.rfft(centered, n_fft)
+    acov_full = np.fft.irfft(spectrum * np.conj(spectrum), n_fft)[: max_lag + 1]
+    return acov_full / n
+
+
+def autocorrelation(values: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Sample autocorrelation for lags ``0 .. max_lag`` (lag 0 is 1 by definition).
+
+    A constant series has zero variance; by convention its autocorrelation is
+    returned as zero for all positive lags.
+    """
+    acov = autocovariance(values, max_lag)
+    variance = acov[0]
+    if variance <= 0:
+        out = np.zeros_like(acov)
+        out[0] = 1.0
+        return out
+    return acov / variance

@@ -1,0 +1,82 @@
+"""Time aggregation utilities.
+
+The periodicity detector first aggregates the raw QPS series into coarser
+bins so that low-traffic noise does not drown out cyclic structure
+(Section IV of the paper).  These helpers implement that aggregation plus a
+couple of smoothing primitives used elsewhere in the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_integer
+from ..exceptions import ValidationError
+
+__all__ = ["aggregate_counts", "moving_average", "rolling_sum"]
+
+
+def aggregate_counts(counts: np.ndarray, factor: int, *, how: str = "sum") -> np.ndarray:
+    """Merge every ``factor`` consecutive bins of a count series.
+
+    Parameters
+    ----------
+    counts:
+        One-dimensional array of per-bin counts.
+    factor:
+        Number of consecutive bins to merge; trailing bins that do not fill a
+        complete group are dropped.
+    how:
+        ``"sum"`` (default) or ``"mean"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The aggregated series of length ``len(counts) // factor``.
+    """
+    counts = as_1d_float_array(counts, "counts")
+    factor = check_integer(factor, "factor", minimum=1)
+    if how not in ("sum", "mean"):
+        raise ValidationError(f"how must be 'sum' or 'mean', got {how!r}")
+    n_full = (counts.size // factor) * factor
+    if n_full == 0:
+        raise ValidationError(
+            f"series of length {counts.size} is too short to aggregate by {factor}"
+        )
+    grouped = counts[:n_full].reshape(-1, factor)
+    if how == "sum":
+        return grouped.sum(axis=1)
+    return grouped.mean(axis=1)
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinkage.
+
+    The window shrinks near the boundaries so the output has the same length
+    as the input and no NaN padding is needed.
+    """
+    values = as_1d_float_array(values, "values")
+    window = check_integer(window, "window", minimum=1)
+    if window == 1 or values.size == 0:
+        return values.copy()
+    half = window // 2
+    padded = np.concatenate([np.full(half, np.nan), values, np.full(half, np.nan)])
+    out = np.empty_like(values)
+    for i in range(values.size):
+        segment = padded[i : i + 2 * half + 1]
+        out[i] = np.nanmean(segment)
+    return out
+
+
+def rolling_sum(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing rolling sum; the first ``window - 1`` entries sum what is available."""
+    values = as_1d_float_array(values, "values")
+    window = check_integer(window, "window", minimum=1)
+    if values.size == 0:
+        return values.copy()
+    cumulative = np.concatenate([[0.0], np.cumsum(values)])
+    out = np.empty_like(values)
+    for i in range(values.size):
+        start = max(0, i + 1 - window)
+        out[i] = cumulative[i + 1] - cumulative[start]
+    return out

@@ -1,0 +1,118 @@
+"""Periodogram estimation and dominant-frequency extraction.
+
+The first stage of the robust periodicity detector computes a periodogram of
+the (aggregated, detrended, outlier-clipped) QPS series and keeps frequencies
+whose power stands well above the median power as period candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_integer, check_positive
+from ..exceptions import ValidationError
+
+__all__ = ["periodogram", "dominant_frequencies", "FrequencyCandidate"]
+
+
+@dataclass(frozen=True)
+class FrequencyCandidate:
+    """A candidate periodic component extracted from the periodogram.
+
+    Attributes
+    ----------
+    frequency:
+        Frequency in cycles per bin.
+    period:
+        Corresponding period in bins (``1 / frequency`` rounded to an int).
+    power:
+        Periodogram power at this frequency.
+    score:
+        Power expressed as a multiple of the median periodogram power.
+    """
+
+    frequency: float
+    period: int
+    power: float
+    score: float
+
+
+def periodogram(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(frequencies, power)`` of the standard periodogram.
+
+    Frequencies are in cycles per bin and exclude the zero frequency (the
+    mean is removed before the transform).
+    """
+    values = as_1d_float_array(values, "values")
+    n = values.size
+    if n < 4:
+        raise ValidationError("periodogram requires at least 4 observations")
+    centered = values - values.mean()
+    spectrum = np.fft.rfft(centered)
+    power = (np.abs(spectrum) ** 2) / n
+    freqs = np.fft.rfftfreq(n, d=1.0)
+    # Drop the zero frequency; it only carries the (removed) mean.
+    return freqs[1:], power[1:]
+
+
+def dominant_frequencies(
+    values: np.ndarray,
+    *,
+    power_threshold: float = 4.0,
+    max_candidates: int = 10,
+    min_period: int = 2,
+    max_period: int | None = None,
+) -> list[FrequencyCandidate]:
+    """Extract dominant frequencies from the periodogram of ``values``.
+
+    Parameters
+    ----------
+    values:
+        The (detrended) series to analyse.
+    power_threshold:
+        A frequency qualifies only if its power exceeds ``power_threshold``
+        times the median periodogram power.
+    max_candidates:
+        Return at most this many candidates, strongest first.
+    min_period, max_period:
+        Period bounds in bins; candidates outside the bounds are discarded.
+
+    Returns
+    -------
+    list[FrequencyCandidate]
+        Candidates sorted by decreasing power.
+    """
+    check_positive(power_threshold, "power_threshold")
+    check_integer(max_candidates, "max_candidates", minimum=1)
+    check_integer(min_period, "min_period", minimum=2)
+    freqs, power = periodogram(values)
+    if max_period is None:
+        max_period = len(np.asarray(values))
+    median_power = float(np.median(power))
+    if median_power <= 0:
+        median_power = float(np.mean(power)) or 1.0
+    candidates: list[FrequencyCandidate] = []
+    order = np.argsort(power)[::-1]
+    for idx in order:
+        if len(candidates) >= max_candidates:
+            break
+        score = power[idx] / median_power
+        if score < power_threshold:
+            break
+        freq = freqs[idx]
+        if freq <= 0:
+            continue
+        period = int(round(1.0 / freq))
+        if period < min_period or period > max_period:
+            continue
+        candidates.append(
+            FrequencyCandidate(
+                frequency=float(freq),
+                period=period,
+                power=float(power[idx]),
+                score=float(score),
+            )
+        )
+    return candidates

@@ -1,0 +1,49 @@
+"""Workload traces: synthetic generators, IO, perturbation, and a catalog.
+
+The paper evaluates on a proprietary container-registry trace (CRS), the
+Google cluster trace 2019 and the Alibaba cluster trace 2018.  None of those
+can be bundled offline, so this subpackage provides seeded synthetic
+generators that reproduce the structural features each experiment relies on
+(see DESIGN.md for the substitution rationale), together with CSV/JSONL IO
+for users who want to plug in their own traces, and the perturbation /
+missing-data / anomaly utilities used by the robustness experiments.
+"""
+
+from .synthetic import (
+    IntensityProfile,
+    beta_bump_intensity,
+    generate_alibaba_like_trace,
+    generate_crs_like_trace,
+    generate_google_like_trace,
+    generate_trace_from_intensity,
+    paper_regularization_intensity,
+    paper_scalability_intensity,
+)
+from .io import load_trace_csv, save_trace_csv, load_qps_csv, save_qps_csv
+from .perturbation import (
+    inject_missing_window,
+    perturb_trace,
+    remove_anomalous_bursts,
+)
+from .catalog import TraceSpec, get_trace, list_traces
+
+__all__ = [
+    "IntensityProfile",
+    "beta_bump_intensity",
+    "generate_crs_like_trace",
+    "generate_google_like_trace",
+    "generate_alibaba_like_trace",
+    "generate_trace_from_intensity",
+    "paper_scalability_intensity",
+    "paper_regularization_intensity",
+    "load_trace_csv",
+    "save_trace_csv",
+    "load_qps_csv",
+    "save_qps_csv",
+    "perturb_trace",
+    "inject_missing_window",
+    "remove_anomalous_bursts",
+    "TraceSpec",
+    "get_trace",
+    "list_traces",
+]

@@ -1,0 +1,94 @@
+"""A small catalog of the named traces used throughout the experiments.
+
+Each entry records how to generate the trace, the train/test split the paper
+uses, and the default simulator parameters (pending time, processing time)
+that go with it.  Experiment drivers and the CLI look traces up by name so
+that "crs", "google" and "alibaba" mean the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import TraceError
+from ..types import ArrivalTrace
+from .synthetic import (
+    generate_alibaba_like_trace,
+    generate_crs_like_trace,
+    generate_google_like_trace,
+)
+
+__all__ = ["TraceSpec", "get_trace", "list_traces"]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """How to build one named trace and how the paper splits/evaluates it.
+
+    Attributes
+    ----------
+    name:
+        Catalog key.
+    generator:
+        Zero-argument callable returning the full trace.
+    train_fraction:
+        Fraction of the horizon used for training (the remainder is test).
+    pending_time:
+        Instance startup latency (seconds) used with this trace.
+    description:
+        One-line description shown by the CLI.
+    """
+
+    name: str
+    generator: Callable[[], ArrivalTrace]
+    train_fraction: float
+    pending_time: float
+    description: str
+
+    def build(self) -> ArrivalTrace:
+        """Generate the full trace."""
+        return self.generator()
+
+    def build_split(self) -> tuple[ArrivalTrace, ArrivalTrace]:
+        """Generate the trace and return its (train, test) split."""
+        return self.build().split(self.train_fraction)
+
+
+_CATALOG: dict[str, TraceSpec] = {
+    "crs": TraceSpec(
+        name="crs",
+        generator=generate_crs_like_trace,
+        train_fraction=0.75,  # first three of four weeks
+        pending_time=13.0,
+        description="CRS-like container registry trace: 4 weeks, low QPS, weekly pattern",
+    ),
+    "google": TraceSpec(
+        name="google",
+        generator=generate_google_like_trace,
+        train_fraction=0.75,  # first 18 of 24 hours
+        pending_time=13.0,
+        description="Google-cluster-like trace: 24 hours with recurrent spikes",
+    ),
+    "alibaba": TraceSpec(
+        name="alibaba",
+        generator=generate_alibaba_like_trace,
+        train_fraction=0.8,  # first four of five days
+        pending_time=13.0,
+        description="Alibaba-cluster-like trace: 5 days, daily spikes plus one burst",
+    ),
+}
+
+
+def list_traces() -> list[TraceSpec]:
+    """Return the catalog entries in a stable order."""
+    return [_CATALOG[key] for key in sorted(_CATALOG)]
+
+
+def get_trace(name: str) -> TraceSpec:
+    """Look up a trace spec by name (case-insensitive)."""
+    key = str(name).lower()
+    if key not in _CATALOG:
+        known = ", ".join(sorted(_CATALOG))
+        raise TraceError(f"unknown trace {name!r}; known traces: {known}")
+    return _CATALOG[key]

@@ -1,0 +1,117 @@
+"""Reading and writing traces and QPS series as plain CSV files.
+
+The on-disk formats are intentionally simple so users can export traces from
+their own systems:
+
+* **trace CSV** — header ``arrival_time,processing_time`` followed by one row
+  per query, times in seconds (floats);
+* **QPS CSV** — header ``bin_start,count`` with the bin width recorded in a
+  ``# bin_seconds=<value>`` comment on the first line.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import TraceFormatError
+from ..types import ArrivalTrace, QPSSeries
+
+__all__ = ["save_trace_csv", "load_trace_csv", "save_qps_csv", "load_qps_csv"]
+
+
+def save_trace_csv(trace: ArrivalTrace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` in the trace CSV format and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["# horizon", f"{trace.horizon!r}", trace.name])
+        writer.writerow(["arrival_time", "processing_time"])
+        for arrival, processing in zip(trace.arrival_times, trace.processing_times):
+            writer.writerow([f"{arrival:.6f}", f"{processing:.6f}"])
+    return path
+
+
+def load_trace_csv(path: str | Path, *, name: str | None = None) -> ArrivalTrace:
+    """Read an :class:`~repro.types.ArrivalTrace` from a trace CSV file."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"trace file not found: {path}")
+    arrivals: list[float] = []
+    processing: list[float] = []
+    horizon: float | None = None
+    trace_name = name or path.stem
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row in reader:
+            if not row:
+                continue
+            if row[0].startswith("#"):
+                if len(row) >= 2 and row[0].strip() == "# horizon":
+                    try:
+                        horizon = float(row[1])
+                    except ValueError as exc:
+                        raise TraceFormatError(f"invalid horizon in {path}: {row[1]!r}") from exc
+                    if name is None and len(row) >= 3 and row[2]:
+                        trace_name = row[2]
+                continue
+            if row[0] == "arrival_time":
+                continue
+            try:
+                arrivals.append(float(row[0]))
+                processing.append(float(row[1]) if len(row) > 1 else 0.0)
+            except (ValueError, IndexError) as exc:
+                raise TraceFormatError(f"malformed row in {path}: {row!r}") from exc
+    return ArrivalTrace(arrivals, processing, name=trace_name, horizon=horizon)
+
+
+def save_qps_csv(series: QPSSeries, path: str | Path) -> Path:
+    """Write ``series`` to ``path`` in the QPS CSV format and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f"# bin_seconds={series.bin_seconds!r}", series.name])
+        writer.writerow(["bin_start", "count"])
+        for start, count in zip(series.times, series.counts):
+            writer.writerow([f"{start:.6f}", f"{count:.6f}"])
+    return path
+
+
+def load_qps_csv(path: str | Path, *, name: str | None = None) -> QPSSeries:
+    """Read a :class:`~repro.types.QPSSeries` from a QPS CSV file."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"QPS file not found: {path}")
+    counts: list[float] = []
+    bin_seconds: float | None = None
+    series_name = name or path.stem
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row in reader:
+            if not row:
+                continue
+            if row[0].startswith("#"):
+                token = row[0].lstrip("# ").strip()
+                if token.startswith("bin_seconds="):
+                    try:
+                        bin_seconds = float(token.split("=", 1)[1])
+                    except ValueError as exc:
+                        raise TraceFormatError(
+                            f"invalid bin_seconds in {path}: {token!r}"
+                        ) from exc
+                if name is None and len(row) >= 2 and row[1]:
+                    series_name = row[1]
+                continue
+            if row[0] == "bin_start":
+                continue
+            try:
+                counts.append(float(row[1]))
+            except (ValueError, IndexError) as exc:
+                raise TraceFormatError(f"malformed row in {path}: {row!r}") from exc
+    if bin_seconds is None:
+        raise TraceFormatError(f"missing '# bin_seconds=' header in {path}")
+    return QPSSeries(counts, bin_seconds, name=series_name)

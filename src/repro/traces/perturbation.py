@@ -1,0 +1,184 @@
+"""Trace perturbation, missing-data injection, and anomaly removal.
+
+These transformations drive the robustness experiments:
+
+* :func:`perturb_trace` implements the CRS perturbation protocol of
+  Figures 6 and 7 — every hour, a five-minute window is emptied and, offset
+  by a few minutes, another five-minute window receives ``c`` extra copies of
+  its queries;
+* :func:`inject_missing_window` removes every query in a contiguous window
+  (the "erase one entire day" missing-data experiment of Fig. 9 / Table II);
+* :func:`remove_anomalous_bursts` thins arrivals in bins whose rate is an
+  extreme outlier relative to the robust baseline (the Alibaba burst-removal
+  experiment of Fig. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_non_negative, check_positive
+from ..exceptions import ValidationError
+from ..rng import RandomState, ensure_rng
+from ..timeseries.robust import mad
+from ..types import ArrivalTrace
+
+__all__ = ["perturb_trace", "inject_missing_window", "remove_anomalous_bursts"]
+
+
+def perturb_trace(
+    trace: ArrivalTrace,
+    perturbation_size: float,
+    *,
+    cycle_seconds: float = 3600.0,
+    delete_window_seconds: float = 300.0,
+    add_offset_seconds: float = 360.0,
+    add_window_seconds: float = 300.0,
+    random_state: RandomState = None,
+) -> ArrivalTrace:
+    """Apply the paper's hourly delete-and-amplify perturbation.
+
+    Parameters
+    ----------
+    trace:
+        The trace to perturb.
+    perturbation_size:
+        ``c`` — how many extra copies of the queries inside each "add" window
+        are appended (fractional values duplicate a random subset).
+    cycle_seconds:
+        Length of the perturbation cycle (one hour in the paper).
+    delete_window_seconds:
+        Width of the window, starting at each cycle boundary, whose queries
+        are deleted.
+    add_offset_seconds:
+        Offset from the cycle boundary to the start of the "add" window
+        (the sixth minute in the paper).
+    add_window_seconds:
+        Width of the "add" window.
+    random_state:
+        Seed or generator used to jitter the duplicated arrival times.
+
+    Returns
+    -------
+    ArrivalTrace
+        A new trace; the input is not modified.
+    """
+    check_non_negative(perturbation_size, "perturbation_size")
+    check_positive(cycle_seconds, "cycle_seconds")
+    check_positive(delete_window_seconds, "delete_window_seconds")
+    check_non_negative(add_offset_seconds, "add_offset_seconds")
+    check_positive(add_window_seconds, "add_window_seconds")
+    rng = ensure_rng(random_state)
+
+    arrivals = np.asarray(trace.arrival_times, dtype=float)
+    processing = np.asarray(trace.processing_times, dtype=float)
+    phase = np.mod(arrivals, cycle_seconds)
+
+    keep = phase >= delete_window_seconds
+    kept_arrivals = arrivals[keep]
+    kept_processing = processing[keep]
+    kept_phase = phase[keep]
+
+    in_add_window = (kept_phase >= add_offset_seconds) & (
+        kept_phase < add_offset_seconds + add_window_seconds
+    )
+    base_arrivals = kept_arrivals[in_add_window]
+    base_processing = kept_processing[in_add_window]
+
+    extra_arrivals: list[np.ndarray] = []
+    extra_processing: list[np.ndarray] = []
+    full_copies = int(np.floor(perturbation_size))
+    fractional = perturbation_size - full_copies
+    for _ in range(full_copies):
+        jitter = rng.uniform(0.0, add_window_seconds * 0.1, size=base_arrivals.size)
+        extra_arrivals.append(np.minimum(base_arrivals + jitter, trace.horizon))
+        extra_processing.append(base_processing.copy())
+    if fractional > 0 and base_arrivals.size:
+        take = rng.random(base_arrivals.size) < fractional
+        jitter = rng.uniform(0.0, add_window_seconds * 0.1, size=int(take.sum()))
+        extra_arrivals.append(np.minimum(base_arrivals[take] + jitter, trace.horizon))
+        extra_processing.append(base_processing[take].copy())
+
+    if extra_arrivals:
+        new_arrivals = np.concatenate([kept_arrivals, *extra_arrivals])
+        new_processing = np.concatenate([kept_processing, *extra_processing])
+    else:
+        new_arrivals = kept_arrivals
+        new_processing = kept_processing
+    order = np.argsort(new_arrivals, kind="stable")
+    return ArrivalTrace(
+        new_arrivals[order],
+        new_processing[order],
+        name=f"{trace.name}-perturbed-c{perturbation_size:g}",
+        horizon=trace.horizon,
+    )
+
+
+def inject_missing_window(
+    trace: ArrivalTrace,
+    start_seconds: float,
+    duration_seconds: float,
+) -> ArrivalTrace:
+    """Remove every query arriving in ``[start, start + duration)``."""
+    check_non_negative(start_seconds, "start_seconds")
+    check_positive(duration_seconds, "duration_seconds")
+    arrivals = np.asarray(trace.arrival_times, dtype=float)
+    processing = np.asarray(trace.processing_times, dtype=float)
+    keep = (arrivals < start_seconds) | (arrivals >= start_seconds + duration_seconds)
+    return ArrivalTrace(
+        arrivals[keep],
+        processing[keep],
+        name=f"{trace.name}-missing",
+        horizon=trace.horizon,
+    )
+
+
+def remove_anomalous_bursts(
+    trace: ArrivalTrace,
+    *,
+    bin_seconds: float = 300.0,
+    z_threshold: float = 6.0,
+    random_state: RandomState = None,
+) -> ArrivalTrace:
+    """Thin arrivals in bins whose count is an extreme robust outlier.
+
+    Bins whose count exceeds ``median + z_threshold * MAD`` are treated as
+    anomalous bursts; their queries are randomly thinned down to the robust
+    baseline level so the remaining trace follows the regular pattern.
+
+    Returns
+    -------
+    ArrivalTrace
+        A new trace with the bursts removed.
+    """
+    check_positive(bin_seconds, "bin_seconds")
+    check_positive(z_threshold, "z_threshold")
+    if trace.n_queries == 0:
+        return ArrivalTrace([], [], name=f"{trace.name}-deburst", horizon=trace.horizon)
+    rng = ensure_rng(random_state)
+
+    series = trace.to_qps_series(bin_seconds)
+    counts = np.asarray(series.counts, dtype=float)
+    center = float(np.median(counts))
+    scale = mad(counts)
+    if scale <= 0:
+        scale = max(center, 1.0)
+    threshold = center + z_threshold * scale
+
+    arrivals = np.asarray(trace.arrival_times, dtype=float)
+    processing = np.asarray(trace.processing_times, dtype=float)
+    bin_index = np.minimum((arrivals / bin_seconds).astype(int), counts.size - 1)
+    keep = np.ones(arrivals.size, dtype=bool)
+    baseline = max(center, 1.0)
+    for b in np.nonzero(counts > threshold)[0]:
+        members = np.nonzero(bin_index == b)[0]
+        if members.size == 0:
+            continue
+        keep_probability = min(1.0, baseline / members.size)
+        keep[members] = rng.random(members.size) < keep_probability
+    return ArrivalTrace(
+        arrivals[keep],
+        processing[keep],
+        name=f"{trace.name}-deburst",
+        horizon=trace.horizon,
+    )

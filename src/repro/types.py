@@ -1,0 +1,517 @@
+"""Core data types shared across the RobustScaler reproduction.
+
+The types mirror the formalism of Section III of the paper:
+
+* a **query** arrives at a random time ``xi`` and needs processing time ``s``;
+* an **instance** is created at a deterministic time ``x``, becomes ready
+  after a pending/startup time ``tau``, processes exactly one query, and is
+  deleted immediately afterwards;
+* a **trace** is the arrival-time record replayed through the simulator;
+* a **QPS series** is the per-interval query count used to fit the NHPP.
+
+All time quantities are in seconds, measured on a single simulation clock
+whose origin is the start of the trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ._validation import as_1d_float_array, check_non_negative, check_positive
+from .exceptions import TraceError, ValidationError
+
+__all__ = [
+    "Query",
+    "InstanceRecord",
+    "ArrivalTrace",
+    "QPSSeries",
+    "ScalingAction",
+    "ScalingPlan",
+    "QueryOutcome",
+    "SimulationResult",
+]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single query in a scaling-per-query workload.
+
+    Attributes
+    ----------
+    index:
+        Zero-based position of the query in arrival order.
+    arrival_time:
+        Arrival time ``xi_i`` in seconds from the trace origin.
+    processing_time:
+        Processing time ``s_i`` in seconds (time the instance spends serving
+        the query once it starts).
+    """
+
+    index: int
+    arrival_time: float
+    processing_time: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValidationError(f"query index must be >= 0, got {self.index}")
+        if not math.isfinite(self.arrival_time) or self.arrival_time < 0:
+            raise ValidationError(
+                f"arrival_time must be finite and >= 0, got {self.arrival_time!r}"
+            )
+        if not math.isfinite(self.processing_time) or self.processing_time < 0:
+            raise ValidationError(
+                f"processing_time must be finite and >= 0, got {self.processing_time!r}"
+            )
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """The full lifecycle of one instance as observed by the simulator.
+
+    Attributes
+    ----------
+    query_index:
+        Index of the query the instance ended up serving (instances serve
+        exactly one query in the scaling-per-query model).
+    creation_time:
+        Wall-clock time the instance was created (either proactively by the
+        scaling plan or reactively at query arrival).
+    ready_time:
+        ``creation_time + pending_time`` — when the instance finished startup.
+    start_processing_time:
+        When the instance actually began serving its query.
+    deletion_time:
+        When the instance was deleted (= ``start_processing_time`` plus the
+        query's processing time).
+    pending_time:
+        Startup latency ``tau_i`` drawn for this instance.
+    proactive:
+        ``True`` if the instance was created by the scaling plan ahead of the
+        query, ``False`` for reactive cold-start creation.
+    """
+
+    query_index: int
+    creation_time: float
+    ready_time: float
+    start_processing_time: float
+    deletion_time: float
+    pending_time: float
+    proactive: bool
+
+    @property
+    def lifecycle_length(self) -> float:
+        """Total billed lifetime: deletion_time - creation_time (seconds)."""
+        return self.deletion_time - self.creation_time
+
+    @property
+    def idle_time(self) -> float:
+        """Time between becoming ready and starting to process (>= 0)."""
+        return max(0.0, self.start_processing_time - self.ready_time)
+
+
+class ArrivalTrace:
+    """An ordered record of query arrivals and processing times.
+
+    This is the event-level representation replayed through the simulator.
+    It is immutable by convention: transformation helpers return new traces.
+
+    Parameters
+    ----------
+    arrival_times:
+        Ascending arrival times in seconds from the trace origin.
+    processing_times:
+        Per-query processing times; either one value per query or a scalar
+        broadcast to every query.
+    name:
+        Human-readable identifier used in reports.
+    horizon:
+        Optional explicit end of the observation window in seconds; defaults
+        to the last arrival time.
+    """
+
+    def __init__(
+        self,
+        arrival_times: Sequence[float],
+        processing_times: Sequence[float] | float,
+        *,
+        name: str = "trace",
+        horizon: Optional[float] = None,
+    ) -> None:
+        arrivals = as_1d_float_array(arrival_times, "arrival_times")
+        if arrivals.size and np.any(np.diff(arrivals) < 0):
+            raise TraceError("arrival_times must be sorted in ascending order")
+        if arrivals.size and arrivals[0] < 0:
+            raise TraceError("arrival_times must be non-negative")
+        if np.isscalar(processing_times):
+            processing = np.full(arrivals.size, float(processing_times))
+        else:
+            processing = as_1d_float_array(processing_times, "processing_times")
+        if processing.size != arrivals.size:
+            raise TraceError(
+                "processing_times must have one entry per arrival, got "
+                f"{processing.size} for {arrivals.size} arrivals"
+            )
+        if processing.size and np.any(processing < 0):
+            raise TraceError("processing_times must be non-negative")
+        self._arrivals = arrivals
+        self._processing = processing
+        self.name = str(name)
+        if horizon is None:
+            horizon = float(arrivals[-1]) if arrivals.size else 0.0
+        horizon = float(horizon)
+        if arrivals.size and horizon < arrivals[-1]:
+            raise TraceError(
+                f"horizon ({horizon}) must not be earlier than the last arrival "
+                f"({arrivals[-1]})"
+            )
+        self.horizon = horizon
+
+    @property
+    def arrival_times(self) -> np.ndarray:
+        """Read-only view of the arrival times."""
+        view = self._arrivals.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def processing_times(self) -> np.ndarray:
+        """Read-only view of the processing times."""
+        view = self._processing.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries in the trace."""
+        return int(self._arrivals.size)
+
+    @property
+    def duration(self) -> float:
+        """Length of the observation window in seconds."""
+        return self.horizon
+
+    @property
+    def mean_qps(self) -> float:
+        """Average queries-per-second over the observation window."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.n_queries / self.horizon
+
+    def __len__(self) -> int:
+        return self.n_queries
+
+    def __iter__(self) -> Iterator[Query]:
+        for i in range(self.n_queries):
+            yield Query(
+                index=i,
+                arrival_time=float(self._arrivals[i]),
+                processing_time=float(self._processing[i]),
+            )
+
+    def __getitem__(self, index: int) -> Query:
+        i = int(index)
+        if i < 0:
+            i += self.n_queries
+        if not 0 <= i < self.n_queries:
+            raise IndexError(f"query index {index} out of range for {self.n_queries} queries")
+        return Query(
+            index=i,
+            arrival_time=float(self._arrivals[i]),
+            processing_time=float(self._processing[i]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ArrivalTrace(name={self.name!r}, n_queries={self.n_queries}, "
+            f"horizon={self.horizon:.1f}s, mean_qps={self.mean_qps:.4f})"
+        )
+
+    def slice_time(self, start: float, end: float, *, rebase: bool = True) -> "ArrivalTrace":
+        """Return the sub-trace of queries arriving in ``[start, end)``.
+
+        Parameters
+        ----------
+        start, end:
+            Window boundaries in seconds.
+        rebase:
+            If ``True`` (default) arrival times in the returned trace are
+            shifted so that ``start`` maps to 0.
+        """
+        if end < start:
+            raise ValidationError(f"end ({end}) must be >= start ({start})")
+        mask = (self._arrivals >= start) & (self._arrivals < end)
+        arrivals = self._arrivals[mask]
+        processing = self._processing[mask]
+        offset = start if rebase else 0.0
+        horizon = (end - offset) if rebase else end
+        return ArrivalTrace(
+            arrivals - offset,
+            processing,
+            name=f"{self.name}[{start:.0f}:{end:.0f}]",
+            horizon=horizon,
+        )
+
+    def split(self, fraction: float) -> tuple["ArrivalTrace", "ArrivalTrace"]:
+        """Split the trace into (train, test) at ``fraction`` of the horizon.
+
+        The test trace is rebased so that its own origin is time 0, matching
+        how the experiments in the paper train on the first weeks/days and
+        test on the remainder.
+        """
+        fraction = float(fraction)
+        if not 0.0 < fraction < 1.0:
+            raise ValidationError(f"fraction must be in (0, 1), got {fraction}")
+        cut = self.horizon * fraction
+        train = self.slice_time(0.0, cut, rebase=False)
+        train = ArrivalTrace(
+            train.arrival_times, train.processing_times, name=f"{self.name}-train", horizon=cut
+        )
+        test = self.slice_time(cut, self.horizon, rebase=True)
+        test = ArrivalTrace(
+            test.arrival_times,
+            test.processing_times,
+            name=f"{self.name}-test",
+            horizon=self.horizon - cut,
+        )
+        return train, test
+
+    def to_qps_series(self, bin_seconds: float = 60.0) -> "QPSSeries":
+        """Aggregate arrivals into a per-interval count series.
+
+        Parameters
+        ----------
+        bin_seconds:
+            Width ``delta_t`` of each counting interval in seconds.
+        """
+        bin_seconds = check_positive(bin_seconds, "bin_seconds")
+        n_bins = max(1, int(math.ceil(self.horizon / bin_seconds)))
+        if self.n_queries and self._arrivals[-1] >= n_bins * bin_seconds:
+            n_bins += 1
+        edges = np.arange(n_bins + 1) * bin_seconds
+        counts, _ = np.histogram(self._arrivals, bins=edges)
+        return QPSSeries(counts=counts, bin_seconds=bin_seconds, name=self.name)
+
+    def with_processing_times(self, processing_times: Sequence[float] | float) -> "ArrivalTrace":
+        """Return a copy of the trace with different processing times."""
+        return ArrivalTrace(
+            self._arrivals, processing_times, name=self.name, horizon=self.horizon
+        )
+
+
+class QPSSeries:
+    """Per-interval query counts, the input representation for NHPP fitting.
+
+    Attributes
+    ----------
+    counts:
+        Integer query count ``Q_t`` in each interval of length ``bin_seconds``.
+    bin_seconds:
+        The interval width ``delta_t`` in seconds.
+    name:
+        Human-readable identifier.
+    """
+
+    def __init__(
+        self,
+        counts: Sequence[float],
+        bin_seconds: float,
+        *,
+        name: str = "qps",
+    ) -> None:
+        counts_arr = as_1d_float_array(counts, "counts")
+        if counts_arr.size == 0:
+            raise ValidationError("counts must contain at least one interval")
+        if np.any(counts_arr < 0):
+            raise ValidationError("counts must be non-negative")
+        self._counts = counts_arr
+        self.bin_seconds = check_positive(bin_seconds, "bin_seconds")
+        self.name = str(name)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Read-only view of the interval counts."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def qps(self) -> np.ndarray:
+        """Queries-per-second in each interval (counts / bin_seconds)."""
+        return self._counts / self.bin_seconds
+
+    @property
+    def n_bins(self) -> int:
+        """Number of intervals in the series."""
+        return int(self._counts.size)
+
+    @property
+    def duration(self) -> float:
+        """Total covered duration in seconds."""
+        return self.n_bins * self.bin_seconds
+
+    @property
+    def times(self) -> np.ndarray:
+        """Left edge (seconds) of each interval."""
+        return np.arange(self.n_bins) * self.bin_seconds
+
+    def __len__(self) -> int:
+        return self.n_bins
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"QPSSeries(name={self.name!r}, n_bins={self.n_bins}, "
+            f"bin_seconds={self.bin_seconds}, total={self._counts.sum():.0f})"
+        )
+
+    def aggregate(self, factor: int) -> "QPSSeries":
+        """Merge every ``factor`` consecutive bins (summing counts).
+
+        Used by the periodicity-detection module to average out randomness
+        before searching for cyclic patterns (Section IV of the paper).
+        """
+        if factor < 1:
+            raise ValidationError(f"factor must be >= 1, got {factor}")
+        factor = int(factor)
+        n_full = (self.n_bins // factor) * factor
+        if n_full == 0:
+            raise ValidationError(
+                f"series with {self.n_bins} bins is too short to aggregate by {factor}"
+            )
+        merged = self._counts[:n_full].reshape(-1, factor).sum(axis=1)
+        return QPSSeries(merged, self.bin_seconds * factor, name=f"{self.name}@x{factor}")
+
+
+@dataclass(frozen=True)
+class ScalingAction:
+    """A single planned instance creation.
+
+    Attributes
+    ----------
+    creation_time:
+        Absolute time (seconds) at which the instance should be created.
+    planned_at:
+        Time the decision was made; used by the real-environment simulator to
+        charge decision latency.
+    target_query_index:
+        Index of the upcoming query this instance is intended for, if known.
+    """
+
+    creation_time: float
+    planned_at: float = 0.0
+    target_query_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.creation_time):
+            raise ValidationError("creation_time must be finite")
+        if not math.isfinite(self.planned_at):
+            raise ValidationError("planned_at must be finite")
+
+
+@dataclass
+class ScalingPlan:
+    """A batch of scaling actions emitted by an autoscaler at one planning step."""
+
+    actions: list[ScalingAction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.actions = sorted(self.actions, key=lambda a: a.creation_time)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[ScalingAction]:
+        return iter(self.actions)
+
+    @property
+    def creation_times(self) -> np.ndarray:
+        """Planned creation times as an array (sorted ascending)."""
+        return np.array([a.creation_time for a in self.actions], dtype=float)
+
+    def merge(self, other: "ScalingPlan") -> "ScalingPlan":
+        """Return a plan containing the actions of both plans."""
+        return ScalingPlan(actions=list(self.actions) + list(other.actions))
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Per-query QoS outcome recorded by the simulator.
+
+    Attributes
+    ----------
+    query:
+        The query this outcome belongs to.
+    hit:
+        ``True`` when an instance was ready at or before the arrival time
+        (the paper's hitting event ``xi_i >= x_i + tau_i``).
+    waiting_time:
+        Time the query waited for an instance to become ready (0 on a hit).
+    response_time:
+        waiting_time + processing_time.
+    instance:
+        The lifecycle record of the instance that served this query.
+    """
+
+    query: Query
+    hit: bool
+    waiting_time: float
+    response_time: float
+    instance: InstanceRecord
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate output of replaying a trace with an autoscaler."""
+
+    scaler_name: str
+    trace_name: str
+    outcomes: list[QueryOutcome]
+    unused_instance_cost: float = 0.0
+    planning_times: list[float] = field(default_factory=list)
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries that were replayed."""
+        return len(self.outcomes)
+
+    @property
+    def hits(self) -> np.ndarray:
+        """Boolean array of per-query hit indicators."""
+        return np.array([o.hit for o in self.outcomes], dtype=bool)
+
+    @property
+    def response_times(self) -> np.ndarray:
+        """Array of per-query response times (seconds)."""
+        return np.array([o.response_time for o in self.outcomes], dtype=float)
+
+    @property
+    def waiting_times(self) -> np.ndarray:
+        """Array of per-query waiting times (seconds)."""
+        return np.array([o.waiting_time for o in self.outcomes], dtype=float)
+
+    @property
+    def lifecycle_costs(self) -> np.ndarray:
+        """Array of per-instance lifecycle lengths for instances that served queries."""
+        return np.array([o.instance.lifecycle_length for o in self.outcomes], dtype=float)
+
+    @property
+    def total_cost(self) -> float:
+        """Total cost: sum of all lifecycle lengths plus cost of unused instances."""
+        return float(self.lifecycle_costs.sum()) + float(self.unused_instance_cost)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries that were hits."""
+        if not self.outcomes:
+            return float("nan")
+        return float(self.hits.mean())
+
+    @property
+    def mean_response_time(self) -> float:
+        """Average response time across all queries."""
+        if not self.outcomes:
+            return float("nan")
+        return float(self.response_times.mean())

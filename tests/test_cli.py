@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_traces_command_parses(self):
+        args = build_parser().parse_args(["traces"])
+        assert args.command == "traces"
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.trace == "crs"
+        assert args.scaler == "rs-hp"
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table3"])
+        assert args.name == "table3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "not-an-experiment"])
+
+
+class TestMain:
+    def test_traces_listing(self, capsys):
+        assert main(["traces"]) == 0
+        output = capsys.readouterr().out
+        for name in ("crs", "google", "alibaba"):
+            assert name in output
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        output = capsys.readouterr().out
+        assert "improvement" in output
+
+    def test_simulate_small_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--trace",
+                "google",
+                "--scale",
+                "0.13",
+                "--scaler",
+                "bp",
+                "--target",
+                "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "hit_rate" in output
+
+    def test_simulate_robustscaler(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--trace",
+                "google",
+                "--scale",
+                "0.13",
+                "--scaler",
+                "rs-hp",
+                "--target",
+                "0.8",
+                "--planning-interval",
+                "10",
+                "--mc-samples",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert "hit_rate" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ADMMConfig,
+    NHPPConfig,
+    PeriodicityConfig,
+    PlannerConfig,
+    RobustScalerConfig,
+    SimulationConfig,
+    WorkloadModelConfig,
+)
+from repro.exceptions import ConfigurationError, ValidationError
+
+
+class TestADMMConfig:
+    def test_defaults_valid(self):
+        cfg = ADMMConfig()
+        assert cfg.rho > 0
+        assert cfg.max_iterations >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"rho": 0.0}, {"rho": -1.0}, {"max_iterations": 0}, {"tolerance": 0.0}],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            ADMMConfig(**kwargs)
+
+
+class TestNHPPConfig:
+    def test_defaults_valid(self):
+        cfg = NHPPConfig()
+        assert cfg.beta_smooth >= 0
+        assert cfg.beta_period >= 0
+
+    def test_negative_betas_rejected(self):
+        with pytest.raises(ValidationError):
+            NHPPConfig(beta_smooth=-1.0)
+        with pytest.raises(ValidationError):
+            NHPPConfig(beta_period=-1.0)
+
+    def test_zero_betas_allowed(self):
+        cfg = NHPPConfig(beta_smooth=0.0, beta_period=0.0)
+        assert cfg.beta_smooth == 0.0
+
+
+class TestPeriodicityConfig:
+    def test_defaults_valid(self):
+        PeriodicityConfig()
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            PeriodicityConfig(max_period_fraction=1.5)
+
+    def test_invalid_aggregation_rejected(self):
+        with pytest.raises(ValidationError):
+            PeriodicityConfig(aggregation_factor=0)
+
+
+class TestPlannerConfig:
+    def test_defaults_valid(self):
+        cfg = PlannerConfig()
+        assert cfg.planning_interval > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"planning_interval": 0.0},
+            {"monte_carlo_samples": 0},
+            {"lookahead_margin": -1.0},
+            {"max_plan_horizon": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            PlannerConfig(**kwargs)
+
+
+class TestSimulationConfig:
+    def test_defaults_valid(self):
+        cfg = SimulationConfig()
+        assert cfg.pending_time >= 0
+
+    def test_jitter_larger_than_pending_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(pending_time=5.0, pending_time_jitter=6.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(scheduling_latency=-1.0)
+
+
+class TestRobustScalerConfig:
+    def test_defaults_valid(self):
+        cfg = RobustScalerConfig()
+        assert 0 <= cfg.target_hit_probability <= 1
+
+    def test_invalid_hp_rejected(self):
+        with pytest.raises(ValidationError):
+            RobustScalerConfig(target_hit_probability=1.5)
+
+    def test_with_helpers_return_copies(self):
+        cfg = RobustScalerConfig()
+        other = cfg.with_target_hit_probability(0.5)
+        assert other.target_hit_probability == 0.5
+        assert cfg.target_hit_probability == 0.9
+        assert cfg.with_target_response_time(3.0).target_response_time == 3.0
+        assert cfg.with_cost_budget(7.0).cost_budget == 7.0
+
+    def test_workload_config_nested(self):
+        cfg = WorkloadModelConfig(bin_seconds=30.0)
+        assert cfg.nhpp.beta_smooth >= 0
+        with pytest.raises(ValidationError):
+            WorkloadModelConfig(bin_seconds=0.0)

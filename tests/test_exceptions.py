@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import exceptions
+
+
+@pytest.mark.parametrize(
+    "exc_class",
+    [
+        exceptions.ConfigurationError,
+        exceptions.ValidationError,
+        exceptions.TraceError,
+        exceptions.TraceFormatError,
+        exceptions.PeriodicityDetectionError,
+        exceptions.ModelNotFittedError,
+        exceptions.ConvergenceError,
+        exceptions.InfeasibleConstraintError,
+        exceptions.SimulationError,
+        exceptions.PlanningError,
+        exceptions.ExperimentError,
+    ],
+)
+def test_all_derive_from_base(exc_class):
+    assert issubclass(exc_class, exceptions.RobustScalerError)
+
+
+def test_trace_format_error_is_trace_error():
+    assert issubclass(exceptions.TraceFormatError, exceptions.TraceError)
+
+
+def test_catching_base_catches_subclass():
+    with pytest.raises(exceptions.RobustScalerError):
+        raise exceptions.InfeasibleConstraintError("cannot meet QoS")

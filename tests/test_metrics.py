@@ -1,0 +1,181 @@
+"""Tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.metrics.cost import relative_cost, total_cost
+from repro.metrics.errors import mean_absolute_error, mean_squared_error
+from repro.metrics.pareto import ParetoPoint, dominates, pareto_frontier
+from repro.metrics.qos import hit_rate, mean_response_time, response_time_quantiles
+from repro.metrics.report import format_table, summarize_result
+from repro.metrics.variance import windowed_mean_variance
+from repro.types import InstanceRecord, Query, QueryOutcome, SimulationResult
+
+
+def _result(hits, response_times, processing: float = 1.0) -> SimulationResult:
+    outcomes = []
+    for i, (hit, rt) in enumerate(zip(hits, response_times)):
+        query = Query(index=i, arrival_time=float(i), processing_time=processing)
+        record = InstanceRecord(
+            query_index=i,
+            creation_time=float(i),
+            ready_time=float(i) + 1.0,
+            start_processing_time=float(i) + rt - processing,
+            deletion_time=float(i) + rt,
+            pending_time=1.0,
+            proactive=hit,
+        )
+        outcomes.append(
+            QueryOutcome(
+                query=query,
+                hit=bool(hit),
+                waiting_time=rt - processing,
+                response_time=rt,
+                instance=record,
+            )
+        )
+    return SimulationResult(scaler_name="test", trace_name="trace", outcomes=outcomes)
+
+
+class TestQoSMetrics:
+    def test_hit_rate(self):
+        result = _result([1, 0, 1, 1], [1, 2, 1, 1])
+        assert hit_rate(result) == pytest.approx(0.75)
+
+    def test_mean_response_time(self):
+        result = _result([1, 1], [2.0, 4.0])
+        assert mean_response_time(result) == pytest.approx(3.0)
+
+    def test_quantiles(self):
+        rts = list(np.arange(1.0, 101.0))
+        result = _result([1] * 100, rts)
+        quantiles = response_time_quantiles(result, levels=(0.5, 0.99))
+        assert quantiles[0.5] == pytest.approx(50.5)
+        assert quantiles[0.99] > 99.0
+
+    def test_quantiles_invalid_level(self):
+        result = _result([1], [1.0])
+        with pytest.raises(ValidationError):
+            response_time_quantiles(result, levels=(1.5,))
+
+
+class TestCostMetrics:
+    def test_total_cost_includes_unused(self):
+        result = _result([1, 1], [2.0, 2.0])
+        result.unused_instance_cost = 5.0
+        assert total_cost(result) == pytest.approx(sum(result.lifecycle_costs) + 5.0)
+
+    def test_relative_cost(self):
+        result = _result([1], [2.0])
+        assert relative_cost(result, result.total_cost) == pytest.approx(1.0)
+
+    def test_relative_cost_invalid_reference(self):
+        result = _result([1], [2.0])
+        with pytest.raises(ValidationError):
+            relative_cost(result, 0.0)
+
+
+class TestWindowedVariance:
+    def test_constant_series_zero_variance(self):
+        mean, variance = windowed_mean_variance(np.full(200, 3.0), 50)
+        assert mean == pytest.approx(3.0)
+        assert variance == pytest.approx(0.0)
+
+    def test_alternating_blocks_have_variance(self):
+        values = np.concatenate([np.zeros(50), np.ones(50), np.zeros(50), np.ones(50)])
+        mean, variance = windowed_mean_variance(values, 50)
+        assert mean == pytest.approx(0.5)
+        assert variance == pytest.approx(0.25)
+
+    def test_single_block_zero_variance(self):
+        _, variance = windowed_mean_variance(np.arange(30, dtype=float), 50)
+        assert variance == 0.0
+
+    def test_empty_series(self):
+        mean, variance = windowed_mean_variance(np.array([]), 50)
+        assert np.isnan(mean)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=100, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_block_variance_at_most_total_variance_scale(self, values):
+        values = np.asarray(values)
+        _, block_variance = windowed_mean_variance(values, 10)
+        # Averaging within blocks can only reduce variance.
+        assert block_variance <= values.var() + 1e-9
+
+
+class TestPareto:
+    def test_dominates_higher_qos_better(self):
+        a = ParetoPoint(cost=1.0, qos=0.9)
+        b = ParetoPoint(cost=2.0, qos=0.8)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_dominates_lower_qos_better(self):
+        a = ParetoPoint(cost=1.0, qos=10.0)
+        b = ParetoPoint(cost=2.0, qos=20.0)
+        assert dominates(a, b, qos_higher_is_better=False)
+
+    def test_frontier_removes_dominated(self):
+        points = [
+            ParetoPoint(cost=1.0, qos=0.5, label="a"),
+            ParetoPoint(cost=2.0, qos=0.9, label="b"),
+            ParetoPoint(cost=2.5, qos=0.7, label="dominated"),
+        ]
+        frontier = pareto_frontier(points)
+        labels = [p.label for p in frontier]
+        assert "dominated" not in labels
+        assert labels == ["a", "b"]
+
+    def test_frontier_sorted_by_cost(self):
+        rng = np.random.default_rng(0)
+        points = [
+            ParetoPoint(cost=float(c), qos=float(q))
+            for c, q in zip(rng.uniform(1, 5, 30), rng.uniform(0, 1, 30))
+        ]
+        frontier = pareto_frontier(points)
+        costs = [p.cost for p in frontier]
+        assert costs == sorted(costs)
+        qos = [p.qos for p in frontier]
+        assert qos == sorted(qos)
+
+
+class TestErrors:
+    def test_mse_mae(self):
+        estimate = np.array([1.0, 2.0, 3.0])
+        truth = np.array([1.0, 1.0, 5.0])
+        assert mean_squared_error(estimate, truth) == pytest.approx(5.0 / 3.0)
+        assert mean_absolute_error(estimate, truth) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            mean_squared_error(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestReport:
+    def test_summarize_result_keys(self):
+        result = _result([1, 0] * 60, [2.0, 3.0] * 60)
+        summary = summarize_result(result, reference_cost=100.0)
+        for key in ("hit_rate", "rt_avg", "total_cost", "relative_cost", "rt_p95"):
+            assert key in summary
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 22.5, "b": "yy"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_missing_cells(self):
+        rows = [{"a": 1.0}, {"b": 2.0}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text
+
+    def test_format_table_empty(self):
+        assert format_table([], title="nothing") == "nothing"

@@ -1,0 +1,70 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.asciiplot import ascii_scatter, ascii_series
+
+
+class TestAsciiScatter:
+    def test_renders_all_groups_with_distinct_markers(self):
+        plot = ascii_scatter(
+            {
+                "BP": ([1.0, 2.0, 3.0], [0.1, 0.5, 0.8]),
+                "RobustScaler": ([1.0, 1.5, 2.0], [0.3, 0.7, 0.9]),
+            },
+            title="hit rate vs cost",
+        )
+        assert "hit rate vs cost" in plot
+        assert "o BP" in plot
+        assert "x RobustScaler" in plot
+        assert "o" in plot.splitlines()[1] or any("o" in line for line in plot.splitlines())
+
+    def test_axis_extremes_labelled(self):
+        plot = ascii_scatter({"a": ([0.0, 10.0], [1.0, 5.0])}, x_label="cost", y_label="hit")
+        assert "5" in plot
+        assert "cost" in plot
+        assert "hit" in plot
+
+    def test_single_point_group(self):
+        plot = ascii_scatter({"only": ([1.0], [1.0])})
+        assert "only" in plot
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_scatter({})
+        with pytest.raises(ValidationError):
+            ascii_scatter({"a": ([], [])})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_scatter({"a": ([1.0, 2.0], [1.0])})
+
+    def test_size_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_scatter({"a": ([1.0], [1.0])}, width=2)
+
+
+class TestAsciiSeries:
+    def test_renders_peak(self):
+        values = np.concatenate([np.zeros(20), [10.0], np.zeros(20)])
+        plot = ascii_series(values, title="spike")
+        assert "spike" in plot
+        assert "█" in plot
+
+    def test_long_series_downsampled_to_width(self):
+        values = np.sin(np.linspace(0, 20 * np.pi, 5000)) + 1.0
+        plot = ascii_series(values, width=60)
+        longest = max(len(line) for line in plot.splitlines())
+        assert longest <= 60 + 15
+
+    def test_constant_series(self):
+        plot = ascii_series(np.full(30, 2.0))
+        assert "█" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_series([])

@@ -1,0 +1,113 @@
+"""Tests for the NHPP samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.exceptions import ValidationError
+from repro.nhpp.intensity import PiecewiseConstantIntensity
+from repro.nhpp.sampling import (
+    sample_arrival_times,
+    sample_counts,
+    sample_homogeneous_arrivals,
+    sample_next_arrivals,
+)
+
+
+class TestSampleCounts:
+    def test_mean_matches_intensity(self):
+        intensity = PiecewiseConstantIntensity(np.array([0.5, 2.0]), 100.0)
+        totals = [sample_counts(intensity, 200.0, seed).sum() for seed in range(200)]
+        assert np.mean(totals) == pytest.approx(250.0, rel=0.05)
+
+    def test_output_length(self):
+        intensity = PiecewiseConstantIntensity(np.array([1.0]), 60.0, extrapolation="hold")
+        counts = sample_counts(intensity, 300.0, 0)
+        assert counts.size == 5
+
+    def test_truncated_last_bin(self):
+        intensity = PiecewiseConstantIntensity(np.array([10.0]), 60.0, extrapolation="hold")
+        # Horizon of 90 seconds: last bin only covers 30 seconds.
+        totals = [sample_counts(intensity, 90.0, seed).sum() for seed in range(300)]
+        assert np.mean(totals) == pytest.approx(900.0, rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        intensity = PiecewiseConstantIntensity(np.array([1.0, 2.0]), 60.0)
+        np.testing.assert_array_equal(
+            sample_counts(intensity, 120.0, 5), sample_counts(intensity, 120.0, 5)
+        )
+
+
+class TestSampleArrivalTimes:
+    def test_sorted_and_within_horizon(self):
+        intensity = PiecewiseConstantIntensity(np.array([0.5]), 60.0, extrapolation="hold")
+        arrivals = sample_arrival_times(intensity, 600.0, 1)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals.min() >= 0.0
+        assert arrivals.max() < 600.0
+
+    def test_zero_intensity_no_arrivals(self):
+        intensity = PiecewiseConstantIntensity(np.array([0.0]), 60.0, extrapolation="hold")
+        assert sample_arrival_times(intensity, 600.0, 2).size == 0
+
+    def test_count_mean_matches_mass(self):
+        intensity = PiecewiseConstantIntensity(np.array([1.0, 3.0]), 50.0)
+        counts = [sample_arrival_times(intensity, 100.0, seed).size for seed in range(200)]
+        assert np.mean(counts) == pytest.approx(200.0, rel=0.05)
+
+    def test_nonhomogeneous_distribution(self):
+        """More arrivals should land in the high-intensity bin."""
+        intensity = PiecewiseConstantIntensity(np.array([0.2, 5.0]), 100.0)
+        arrivals = sample_arrival_times(intensity, 200.0, 3)
+        early = np.count_nonzero(arrivals < 100.0)
+        late = arrivals.size - early
+        assert late > 5 * early
+
+
+class TestSampleNextArrivals:
+    def test_shape(self):
+        intensity = PiecewiseConstantIntensity(np.array([1.0]), 60.0, extrapolation="hold")
+        samples = sample_next_arrivals(intensity, 4, 100, 0)
+        assert samples.shape == (100, 4)
+
+    def test_rows_increasing(self):
+        intensity = PiecewiseConstantIntensity(np.array([0.7]), 60.0, extrapolation="hold")
+        samples = sample_next_arrivals(intensity, 5, 50, 1)
+        assert np.all(np.diff(samples, axis=1) >= 0)
+
+    def test_first_arrival_exponential_for_constant_rate(self):
+        rate = 2.0
+        intensity = PiecewiseConstantIntensity(np.array([rate]), 60.0, extrapolation="hold")
+        samples = sample_next_arrivals(intensity, 1, 5000, 2)[:, 0]
+        result = stats.kstest(samples, "expon", args=(0, 1.0 / rate))
+        assert result.pvalue > 0.01
+
+    def test_kth_arrival_gamma_for_constant_rate(self):
+        rate = 1.5
+        k = 4
+        intensity = PiecewiseConstantIntensity(np.array([rate]), 60.0, extrapolation="hold")
+        samples = sample_next_arrivals(intensity, k, 5000, 3)[:, k - 1]
+        result = stats.kstest(samples, "gamma", args=(k, 0, 1.0 / rate))
+        assert result.pvalue > 0.01
+
+    def test_invalid_arguments(self):
+        intensity = PiecewiseConstantIntensity(np.array([1.0]), 60.0)
+        with pytest.raises(ValidationError):
+            sample_next_arrivals(intensity, 0, 10)
+        with pytest.raises(ValidationError):
+            sample_next_arrivals(intensity, 2, 0)
+
+
+class TestSampleHomogeneousArrivals:
+    def test_zero_rate(self):
+        assert sample_homogeneous_arrivals(0.0, 100.0, 0).size == 0
+
+    def test_mean_count(self):
+        counts = [sample_homogeneous_arrivals(0.5, 1000.0, seed).size for seed in range(100)]
+        assert np.mean(counts) == pytest.approx(500.0, rel=0.05)
+
+    def test_sorted(self):
+        arrivals = sample_homogeneous_arrivals(1.0, 500.0, 4)
+        assert np.all(np.diff(arrivals) >= 0)

@@ -1,0 +1,146 @@
+"""Tests for the sort-and-search stochastic root-finding solvers (Algorithm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleConstraintError, ValidationError
+from repro.optimization.sort_and_search import (
+    expected_idle_time,
+    expected_waiting_time,
+    solve_idle_time_budget,
+    solve_waiting_time_budget,
+)
+
+
+def _samples(seed: int, n: int = 400, rate: float = 0.5, pending: float = 4.0):
+    rng = np.random.default_rng(seed)
+    xi = rng.exponential(1.0 / rate, size=n)
+    tau = np.full(n, pending)
+    return xi, tau
+
+
+class TestEmpiricalExpectations:
+    def test_waiting_time_limits(self):
+        xi, tau = _samples(0)
+        # Creating infinitely early -> no waiting; creating at the last
+        # possible moment (x = max arrival) -> full pending wait.
+        assert expected_waiting_time(-1e9, xi, tau) == pytest.approx(0.0)
+        assert expected_waiting_time(float(xi.max()), xi, tau) == pytest.approx(tau.mean())
+
+    def test_waiting_time_monotone_in_x(self):
+        xi, tau = _samples(1)
+        values = [expected_waiting_time(x, xi, tau) for x in np.linspace(-10, 30, 50)]
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_idle_time_limits(self):
+        xi, tau = _samples(2)
+        assert expected_idle_time(1e9, xi, tau) == pytest.approx(0.0)
+        expected_at_zero = np.maximum(xi - tau, 0.0).mean()
+        assert expected_idle_time(0.0, xi, tau) == pytest.approx(expected_at_zero)
+
+    def test_idle_time_monotone_decreasing(self):
+        xi, tau = _samples(3)
+        values = [expected_idle_time(x, xi, tau) for x in np.linspace(-10, 30, 50)]
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            expected_waiting_time(0.0, np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestSolveWaitingTimeBudget:
+    def test_root_property(self):
+        xi, tau = _samples(4)
+        budget = 1.5
+        x_star = solve_waiting_time_budget(xi, tau, budget)
+        assert expected_waiting_time(x_star, xi, tau) == pytest.approx(budget, abs=1e-6)
+
+    def test_budget_zero_gives_no_waiting(self):
+        xi, tau = _samples(5)
+        x_star = solve_waiting_time_budget(xi, tau, 0.0)
+        assert expected_waiting_time(x_star, xi, tau) == pytest.approx(0.0, abs=1e-9)
+
+    def test_budget_above_mean_pending_returns_latest_arrival(self):
+        xi, tau = _samples(6)
+        x_star = solve_waiting_time_budget(xi, tau, float(tau.mean()) + 1.0)
+        assert x_star == pytest.approx(float(xi.max()))
+
+    def test_matches_brute_force_bisection(self):
+        xi, tau = _samples(7, n=300)
+        budget = 2.0
+        x_star = solve_waiting_time_budget(xi, tau, budget)
+        # Brute force: bisect on the monotone empirical function.
+        lo, hi = float((xi - tau).min()) - 1.0, float(xi.max()) + 1.0
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if expected_waiting_time(mid, xi, tau) < budget:
+                lo = mid
+            else:
+                hi = mid
+        assert x_star == pytest.approx(0.5 * (lo + hi), abs=1e-3)
+
+    def test_single_sample(self):
+        x_star = solve_waiting_time_budget(np.array([10.0]), np.array([4.0]), 1.0)
+        # E(x) = (4 - (10 - x)+)+ ; equals 1 at x = 7.
+        assert x_star == pytest.approx(7.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_waiting_time_budget(np.array([]), np.array([]), 1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_root_property_random(self, n, budget, seed):
+        rng = np.random.default_rng(seed)
+        xi = rng.exponential(5.0, size=n)
+        tau = rng.uniform(0.0, 6.0, size=n)
+        x_star = solve_waiting_time_budget(xi, tau, budget)
+        achieved = expected_waiting_time(x_star, xi, tau)
+        if budget >= tau.mean():
+            assert achieved <= budget + 1e-9
+        else:
+            assert achieved == pytest.approx(budget, abs=1e-6)
+
+
+class TestSolveIdleTimeBudget:
+    def test_budget_already_met_at_zero(self):
+        xi = np.array([1.0, 2.0, 3.0])
+        tau = np.array([5.0, 5.0, 5.0])
+        assert solve_idle_time_budget(xi, tau, 0.5) == 0.0
+
+    def test_root_property(self):
+        xi, tau = _samples(8, rate=0.2, pending=2.0)
+        budget = 0.5
+        x_star = solve_idle_time_budget(xi, tau, budget)
+        assert expected_idle_time(x_star, xi, tau) == pytest.approx(budget, abs=1e-6)
+
+    def test_negative_budget_rejected(self):
+        xi, tau = _samples(9)
+        with pytest.raises(InfeasibleConstraintError):
+            solve_idle_time_budget(xi, tau, -1.0)
+
+    def test_result_non_negative(self):
+        xi, tau = _samples(10)
+        assert solve_idle_time_budget(xi, tau, 0.0) >= 0.0
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=0.0, max_value=20.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budget_respected_random(self, n, budget, seed):
+        rng = np.random.default_rng(seed)
+        xi = rng.exponential(8.0, size=n)
+        tau = rng.uniform(0.0, 4.0, size=n)
+        x_star = solve_idle_time_budget(xi, tau, budget)
+        assert x_star >= 0.0
+        assert expected_idle_time(x_star, xi, tau) <= budget + 1e-6

@@ -1,0 +1,73 @@
+"""Tests for the pending-time (startup latency) models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pending import (
+    DeterministicPendingTime,
+    ExponentialPendingTime,
+    UniformPendingTime,
+)
+
+
+class TestDeterministicPendingTime:
+    def test_mean_and_bound(self):
+        model = DeterministicPendingTime(13.0)
+        assert model.mean == 13.0
+        assert model.upper_bound == 13.0
+
+    def test_samples_are_constant(self):
+        samples = DeterministicPendingTime(5.0).sample(10, 0)
+        np.testing.assert_allclose(samples, 5.0)
+
+    def test_zero_allowed(self):
+        assert DeterministicPendingTime(0.0).mean == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            DeterministicPendingTime(-1.0)
+
+
+class TestUniformPendingTime:
+    def test_mean(self):
+        assert UniformPendingTime(4.0, 6.0).mean == pytest.approx(5.0)
+
+    def test_samples_within_bounds(self):
+        samples = UniformPendingTime(2.0, 8.0).sample(500, 1)
+        assert samples.min() >= 2.0
+        assert samples.max() <= 8.0
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValidationError):
+            UniformPendingTime(5.0, 4.0)
+
+    def test_upper_bound(self):
+        assert UniformPendingTime(1.0, 3.0).upper_bound == 3.0
+
+
+class TestExponentialPendingTime:
+    def test_mean_matches(self):
+        model = ExponentialPendingTime(10.0)
+        samples = model.sample(20_000, 3)
+        assert samples.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_upper_bound_infinite(self):
+        assert np.isinf(ExponentialPendingTime(1.0).upper_bound)
+
+    def test_non_positive_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            ExponentialPendingTime(0.0)
+
+
+class TestReproducibility:
+    @pytest.mark.parametrize(
+        "model",
+        [UniformPendingTime(1.0, 3.0), ExponentialPendingTime(2.0)],
+    )
+    def test_same_seed_same_samples(self, model):
+        a = model.sample(20, 42)
+        b = model.sample(20, 42)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,217 @@
+"""Tests for the scaling-per-query discrete-event simulator (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig
+from repro.pending import DeterministicPendingTime
+from repro.scaling.base import Autoscaler, PlanningContext, ScalingResponse
+from repro.scaling.backup_pool import BackupPoolScaler, ReactiveScaler
+from repro.simulation.engine import ScalingPerQuerySimulator
+from repro.simulation.realenv import real_environment_config
+from repro.simulation.runner import evaluate_scaler, replay
+from repro.types import ArrivalTrace, ScalingAction
+
+
+class FixedPlanScaler(Autoscaler):
+    """Test helper: creates instances at a fixed list of absolute times."""
+
+    name = "FixedPlan"
+
+    def __init__(self, creation_times, slow_seconds: float = 0.0):
+        self._creation_times = list(creation_times)
+        self._slow_seconds = slow_seconds
+
+    def initialize(self, context: PlanningContext) -> ScalingResponse:
+        if self._slow_seconds:
+            import time
+
+            time.sleep(self._slow_seconds)
+        actions = [ScalingAction(creation_time=t, planned_at=0.0) for t in self._creation_times]
+        return ScalingResponse(actions=actions)
+
+
+class TestAlgorithmOneDynamics:
+    """Each branch of Algorithm 1, checked with hand-computed outcomes."""
+
+    def test_instance_ready_before_arrival_is_hit(self):
+        # x=0, tau=10 -> ready at 10; query arrives at 20: hit, RT = processing.
+        config = SimulationConfig(pending_time=10.0)
+        trace = ArrivalTrace([20.0], [7.0], horizon=30.0)
+        result = ScalingPerQuerySimulator(config).replay(trace, FixedPlanScaler([0.0]))
+        outcome = result.outcomes[0]
+        assert outcome.hit
+        assert outcome.waiting_time == 0.0
+        assert outcome.response_time == pytest.approx(7.0)
+        # Lifecycle: creation at 0, deletion at 20 + 7.
+        assert outcome.instance.lifecycle_length == pytest.approx(27.0)
+        assert outcome.instance.idle_time == pytest.approx(10.0)
+
+    def test_instance_pending_at_arrival_waits(self):
+        # x=15, tau=10 -> ready at 25; query arrives at 20: waits 5 seconds.
+        config = SimulationConfig(pending_time=10.0)
+        trace = ArrivalTrace([20.0], [7.0], horizon=40.0)
+        result = ScalingPerQuerySimulator(config).replay(trace, FixedPlanScaler([15.0]))
+        outcome = result.outcomes[0]
+        assert not outcome.hit
+        assert outcome.waiting_time == pytest.approx(5.0)
+        assert outcome.response_time == pytest.approx(12.0)
+        assert outcome.instance.lifecycle_length == pytest.approx(17.0)
+
+    def test_no_instance_triggers_cold_start(self):
+        config = SimulationConfig(pending_time=10.0)
+        trace = ArrivalTrace([20.0], [7.0], horizon=40.0)
+        result = ScalingPerQuerySimulator(config).replay(trace, ReactiveScaler())
+        outcome = result.outcomes[0]
+        assert not outcome.hit
+        assert outcome.waiting_time == pytest.approx(10.0)
+        assert not outcome.instance.proactive
+        assert outcome.instance.creation_time == pytest.approx(20.0)
+
+    def test_scheduled_creation_cancelled_on_cold_start(self):
+        # The scheduled creation at t=100 is intended for the first query, but
+        # the query arrives at t=20 before it exists -> reactive creation and
+        # the scheduled one must be cancelled (no unused instance cost).
+        config = SimulationConfig(pending_time=10.0)
+        trace = ArrivalTrace([20.0], [5.0], horizon=200.0)
+        result = ScalingPerQuerySimulator(config).replay(trace, FixedPlanScaler([100.0]))
+        assert result.n_queries == 1
+        assert result.unused_instance_cost == 0.0
+
+    def test_unused_instances_charged_until_horizon(self):
+        config = SimulationConfig(pending_time=10.0)
+        trace = ArrivalTrace([20.0], [5.0], horizon=100.0)
+        # Two instances created at t=0; only one is consumed.
+        result = ScalingPerQuerySimulator(config).replay(trace, FixedPlanScaler([0.0, 0.0]))
+        assert result.unused_instance_cost == pytest.approx(100.0)
+
+    def test_earliest_ready_instance_assigned_first(self):
+        config = SimulationConfig(pending_time=10.0)
+        trace = ArrivalTrace([30.0, 31.0], [1.0, 1.0], horizon=60.0)
+        result = ScalingPerQuerySimulator(config).replay(trace, FixedPlanScaler([0.0, 15.0]))
+        first, second = result.outcomes
+        assert first.instance.creation_time == pytest.approx(0.0)
+        assert second.instance.creation_time == pytest.approx(15.0)
+        assert first.hit and second.hit
+
+
+class TestSimulatorProperties:
+    def test_every_query_served_exactly_once(self, small_poisson_trace, sim_config):
+        result = ScalingPerQuerySimulator(sim_config).replay(
+            small_poisson_trace, BackupPoolScaler(2)
+        )
+        assert result.n_queries == small_poisson_trace.n_queries
+        served = sorted(o.query.index for o in result.outcomes)
+        assert served == list(range(small_poisson_trace.n_queries))
+
+    def test_cost_identity_per_instance(self, small_poisson_trace, sim_config):
+        """lifecycle = idle + waiting-covered pending + processing, per Algorithm 1."""
+        result = ScalingPerQuerySimulator(sim_config).replay(
+            small_poisson_trace, BackupPoolScaler(3)
+        )
+        for outcome in result.outcomes:
+            record = outcome.instance
+            reconstructed = (
+                record.idle_time
+                + (record.ready_time - record.creation_time)
+                + outcome.query.processing_time
+            )
+            assert record.lifecycle_length == pytest.approx(reconstructed, abs=1e-6)
+
+    def test_response_time_decomposition(self, small_poisson_trace, sim_config):
+        result = ScalingPerQuerySimulator(sim_config).replay(
+            small_poisson_trace, BackupPoolScaler(1)
+        )
+        for outcome in result.outcomes:
+            assert outcome.response_time == pytest.approx(
+                outcome.waiting_time + outcome.query.processing_time
+            )
+            assert outcome.waiting_time >= 0.0
+
+    def test_hit_iff_zero_waiting(self, small_poisson_trace, sim_config):
+        result = ScalingPerQuerySimulator(sim_config).replay(
+            small_poisson_trace, BackupPoolScaler(2)
+        )
+        for outcome in result.outcomes:
+            if outcome.hit:
+                assert outcome.waiting_time == pytest.approx(0.0)
+            else:
+                assert outcome.waiting_time > 0.0 or outcome.instance.ready_time > outcome.query.arrival_time
+
+    def test_deterministic_replay(self, small_poisson_trace, sim_config):
+        simulator = ScalingPerQuerySimulator(sim_config)
+        a = simulator.replay(small_poisson_trace, BackupPoolScaler(2))
+        b = simulator.replay(small_poisson_trace, BackupPoolScaler(2))
+        np.testing.assert_array_equal(a.response_times, b.response_times)
+        assert a.total_cost == b.total_cost
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=3000.0), min_size=1, max_size=60),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_waiting_bounded_by_pending_for_pool_strategies(self, raw_arrivals, pool_size):
+        """With only immediate creations, no query waits longer than the pending time."""
+        arrivals = np.sort(np.asarray(raw_arrivals))
+        trace = ArrivalTrace(arrivals, 1.0, horizon=3100.0)
+        config = SimulationConfig(pending_time=7.0)
+        result = ScalingPerQuerySimulator(config).replay(trace, BackupPoolScaler(pool_size))
+        assert result.n_queries == trace.n_queries
+        assert np.all(result.waiting_times <= 7.0 + 1e-9)
+        assert result.total_cost >= 0.0
+
+
+class TestRealEnvironment:
+    def test_decision_latency_delays_actions(self):
+        trace = ArrivalTrace([1.0], [1.0], horizon=30.0)
+        slow = FixedPlanScaler([0.0], slow_seconds=0.2)
+        charged = SimulationConfig(pending_time=0.5, charge_decision_latency=True)
+        uncharged = SimulationConfig(pending_time=0.5)
+        hit_uncharged = ScalingPerQuerySimulator(uncharged).replay(trace, slow).outcomes[0].hit
+        hit_charged = (
+            ScalingPerQuerySimulator(charged)
+            .replay(trace, FixedPlanScaler([0.0], slow_seconds=2.0))
+            .outcomes[0]
+            .hit
+        )
+        assert hit_uncharged
+        assert not hit_charged
+
+    def test_scheduling_latency_adds_to_ready_time(self):
+        trace = ArrivalTrace([5.0], [1.0], horizon=30.0)
+        config = SimulationConfig(pending_time=1.0, scheduling_latency=2.0)
+        result = ScalingPerQuerySimulator(config).replay(trace, FixedPlanScaler([0.0]))
+        assert result.outcomes[0].instance.ready_time == pytest.approx(3.0)
+
+    def test_real_environment_config_factory(self):
+        base = SimulationConfig(pending_time=13.0)
+        real = real_environment_config(base, scheduling_latency=1.5, pending_time_jitter=2.0)
+        assert real.charge_decision_latency
+        assert real.scheduling_latency == 1.5
+        assert real.pending_time_jitter == 2.0
+
+    def test_jitter_clamped_to_pending_time(self):
+        base = SimulationConfig(pending_time=1.0)
+        real = real_environment_config(base, pending_time_jitter=5.0)
+        assert real.pending_time_jitter <= real.pending_time
+
+
+class TestRunnerHelpers:
+    def test_replay_helper(self, small_poisson_trace, sim_config):
+        result = replay(small_poisson_trace, ReactiveScaler(), sim_config)
+        assert result.n_queries == small_poisson_trace.n_queries
+
+    def test_evaluate_scaler_summary(self, small_poisson_trace, sim_config):
+        summary = evaluate_scaler(
+            small_poisson_trace,
+            BackupPoolScaler(1),
+            sim_config,
+            reference_cost=1000.0,
+        )
+        assert "hit_rate" in summary
+        assert "relative_cost" in summary
+        assert summary["n_queries"] == small_poisson_trace.n_queries

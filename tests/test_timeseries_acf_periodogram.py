@@ -1,0 +1,110 @@
+"""Tests for autocorrelation and periodogram estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.timeseries.acf import autocorrelation, autocovariance
+from repro.timeseries.periodogram import dominant_frequencies, periodogram
+
+
+class TestAutocovariance:
+    def test_lag_zero_is_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500)
+        acov = autocovariance(x, 5)
+        assert acov[0] == pytest.approx(x.var(), rel=1e-6)
+
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=64)
+        acov = autocovariance(x, 10)
+        centered = x - x.mean()
+        for lag in range(11):
+            direct = np.sum(centered[: x.size - lag] * centered[lag:]) / x.size
+            assert acov[lag] == pytest.approx(direct, abs=1e-9)
+
+    def test_requires_two_observations(self):
+        with pytest.raises(ValidationError):
+            autocovariance(np.array([1.0]))
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(2)
+        acf = autocorrelation(rng.normal(size=100), 10)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(3)
+        acf = autocorrelation(rng.normal(size=256))
+        assert np.all(np.abs(acf) <= 1.0 + 1e-9)
+
+    def test_periodic_signal_peaks_at_period(self):
+        n, period = 600, 24
+        t = np.arange(n)
+        x = np.sin(2 * np.pi * t / period)
+        acf = autocorrelation(x, 3 * period)
+        assert acf[period] > 0.9
+
+    def test_constant_series_zero_acf(self):
+        acf = autocorrelation(np.full(50, 2.0), 5)
+        assert acf[0] == 1.0
+        np.testing.assert_allclose(acf[1:], 0.0)
+
+
+class TestPeriodogram:
+    def test_detects_sinusoid_frequency(self):
+        n, period = 512, 16
+        t = np.arange(n)
+        x = np.sin(2 * np.pi * t / period)
+        freqs, power = periodogram(x)
+        peak_freq = freqs[np.argmax(power)]
+        assert peak_freq == pytest.approx(1.0 / period, rel=0.05)
+
+    def test_requires_minimum_length(self):
+        with pytest.raises(ValidationError):
+            periodogram(np.array([1.0, 2.0]))
+
+    def test_zero_frequency_excluded(self):
+        freqs, _ = periodogram(np.arange(32, dtype=float))
+        assert freqs[0] > 0
+
+
+class TestDominantFrequencies:
+    def test_finds_planted_period(self):
+        rng = np.random.default_rng(4)
+        n, period = 480, 24
+        t = np.arange(n)
+        x = 3.0 * np.sin(2 * np.pi * t / period) + rng.normal(scale=0.5, size=n)
+        candidates = dominant_frequencies(x, power_threshold=4.0)
+        assert candidates, "expected at least one candidate"
+        assert any(abs(c.period - period) <= 1 for c in candidates)
+
+    def test_pure_noise_has_few_candidates(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=512)
+        candidates = dominant_frequencies(x, power_threshold=10.0)
+        assert len(candidates) <= 2
+
+    def test_respects_period_bounds(self):
+        rng = np.random.default_rng(6)
+        n, period = 480, 24
+        x = np.sin(2 * np.pi * np.arange(n) / period) + rng.normal(scale=0.1, size=n)
+        candidates = dominant_frequencies(x, min_period=30)
+        assert all(c.period >= 30 for c in candidates)
+
+    def test_candidates_sorted_by_power(self):
+        rng = np.random.default_rng(7)
+        n = 512
+        t = np.arange(n)
+        x = (
+            4.0 * np.sin(2 * np.pi * t / 16)
+            + 2.0 * np.sin(2 * np.pi * t / 50)
+            + rng.normal(scale=0.3, size=n)
+        )
+        candidates = dominant_frequencies(x, power_threshold=3.0)
+        powers = [c.power for c in candidates]
+        assert powers == sorted(powers, reverse=True)

@@ -1,0 +1,84 @@
+"""Tests for time-aggregation and smoothing helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.timeseries.aggregation import aggregate_counts, moving_average, rolling_sum
+
+
+class TestAggregateCounts:
+    def test_sum(self):
+        out = aggregate_counts(np.array([1, 2, 3, 4, 5, 6]), 2)
+        np.testing.assert_allclose(out, [3, 7, 11])
+
+    def test_mean(self):
+        out = aggregate_counts(np.array([1, 3, 5, 7]), 2, how="mean")
+        np.testing.assert_allclose(out, [2, 6])
+
+    def test_drops_incomplete_tail(self):
+        out = aggregate_counts(np.array([1, 1, 1, 1, 9]), 2)
+        np.testing.assert_allclose(out, [2, 2])
+
+    def test_factor_one_is_identity(self):
+        values = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(aggregate_counts(values, 1), values)
+
+    def test_invalid_how_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_counts(np.array([1, 2]), 1, how="median")
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_counts(np.array([1]), 2)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=4, max_size=60),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sum_conserved_over_full_groups(self, values, factor):
+        values = np.asarray(values)
+        n_full = (values.size // factor) * factor
+        if n_full == 0:
+            return
+        out = aggregate_counts(values, factor)
+        assert out.sum() == pytest.approx(values[:n_full].sum())
+
+
+class TestMovingAverage:
+    def test_window_one_identity(self):
+        values = np.array([1.0, 5.0, 2.0])
+        np.testing.assert_allclose(moving_average(values, 1), values)
+
+    def test_constant_series_unchanged(self):
+        values = np.full(10, 3.0)
+        np.testing.assert_allclose(moving_average(values, 5), values)
+
+    def test_smooths_spike(self):
+        values = np.zeros(11)
+        values[5] = 10.0
+        smoothed = moving_average(values, 5)
+        assert smoothed[5] < 10.0
+        assert smoothed[5] > 0.0
+
+    def test_output_length_matches_input(self):
+        values = np.arange(7, dtype=float)
+        assert moving_average(values, 3).shape == values.shape
+
+
+class TestRollingSum:
+    def test_simple(self):
+        out = rolling_sum(np.array([1.0, 2.0, 3.0, 4.0]), 2)
+        np.testing.assert_allclose(out, [1.0, 3.0, 5.0, 7.0])
+
+    def test_window_larger_than_series(self):
+        out = rolling_sum(np.array([1.0, 2.0]), 10)
+        np.testing.assert_allclose(out, [1.0, 3.0])
+
+    def test_empty(self):
+        assert rolling_sum(np.array([]), 3).size == 0

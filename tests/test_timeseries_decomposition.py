@@ -1,0 +1,71 @@
+"""Tests for the robust seasonal-trend decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.timeseries.decomposition import robust_stl
+
+
+def _seasonal_signal(n: int, period: int, rng: np.random.Generator) -> np.ndarray:
+    t = np.arange(n)
+    seasonal = 2.0 * np.sin(2 * np.pi * t / period)
+    trend = 0.01 * t
+    noise = rng.normal(scale=0.2, size=n)
+    return 5.0 + trend + seasonal + noise
+
+
+class TestRobustStl:
+    def test_reconstruction_is_exact(self, rng):
+        x = _seasonal_signal(240, 24, rng)
+        decomposition = robust_stl(x, 24)
+        np.testing.assert_allclose(decomposition.reconstructed, x, atol=1e-9)
+
+    def test_seasonal_component_has_period(self, rng):
+        period = 24
+        x = _seasonal_signal(480, period, rng)
+        decomposition = robust_stl(x, period)
+        seasonal = decomposition.seasonal
+        np.testing.assert_allclose(seasonal[:period], seasonal[period: 2 * period], atol=1e-9)
+
+    def test_strong_seasonality_detected(self, rng):
+        x = _seasonal_signal(480, 24, rng)
+        decomposition = robust_stl(x, 24)
+        assert decomposition.seasonal_strength > 0.7
+
+    def test_noise_only_low_strength(self, rng):
+        x = rng.normal(size=400)
+        decomposition = robust_stl(x, 24)
+        assert decomposition.seasonal_strength < 0.5
+
+    def test_outliers_do_not_corrupt_seasonal(self, rng):
+        period = 24
+        x = _seasonal_signal(480, period, rng)
+        corrupted = x.copy()
+        corrupted[100] += 500.0
+        clean = robust_stl(x, period).seasonal
+        with_outlier = robust_stl(corrupted, period).seasonal
+        assert np.max(np.abs(clean - with_outlier)) < 1.0
+
+    def test_missing_values_interpolated(self, rng):
+        x = _seasonal_signal(240, 24, rng)
+        x[50:55] = np.nan
+        decomposition = robust_stl(x, 24)
+        assert np.all(np.isfinite(decomposition.trend))
+        assert np.all(np.isfinite(decomposition.seasonal))
+
+    def test_period_zero_disables_seasonal(self, rng):
+        x = rng.normal(size=100)
+        decomposition = robust_stl(x, 0)
+        np.testing.assert_allclose(decomposition.seasonal, 0.0)
+        assert decomposition.period == 0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            robust_stl(np.array([1.0, 2.0]), 2)
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            robust_stl(np.full(10, np.nan), 2)

@@ -1,0 +1,76 @@
+"""Tests for trace CSV IO and the trace catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError, TraceFormatError
+from repro.traces.catalog import get_trace, list_traces
+from repro.traces.io import load_qps_csv, load_trace_csv, save_qps_csv, save_trace_csv
+from repro.types import ArrivalTrace, QPSSeries
+
+
+class TestTraceCsv:
+    def test_round_trip(self, tmp_path):
+        trace = ArrivalTrace([1.5, 2.25, 10.0], [3.0, 4.0, 5.0], name="demo", horizon=20.0)
+        path = save_trace_csv(trace, tmp_path / "demo.csv")
+        loaded = load_trace_csv(path)
+        np.testing.assert_allclose(loaded.arrival_times, trace.arrival_times)
+        np.testing.assert_allclose(loaded.processing_times, trace.processing_times)
+        assert loaded.horizon == pytest.approx(20.0)
+        assert loaded.name == "demo"
+
+    def test_round_trip_empty_trace(self, tmp_path):
+        trace = ArrivalTrace([], [], name="empty", horizon=0.0)
+        loaded = load_trace_csv(save_trace_csv(trace, tmp_path / "empty.csv"))
+        assert loaded.n_queries == 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(tmp_path / "does-not-exist.csv")
+
+    def test_malformed_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("arrival_time,processing_time\nnot-a-number,1.0\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_name_override(self, tmp_path):
+        trace = ArrivalTrace([1.0], [2.0], name="original", horizon=5.0)
+        path = save_trace_csv(trace, tmp_path / "x.csv")
+        loaded = load_trace_csv(path, name="override")
+        assert loaded.name == "override"
+
+
+class TestQpsCsv:
+    def test_round_trip(self, tmp_path):
+        series = QPSSeries([1, 0, 5, 2], 300.0, name="qps-demo")
+        loaded = load_qps_csv(save_qps_csv(series, tmp_path / "qps.csv"))
+        np.testing.assert_allclose(loaded.counts, series.counts)
+        assert loaded.bin_seconds == 300.0
+
+    def test_missing_bin_seconds_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("bin_start,count\n0.0,1\n")
+        with pytest.raises(TraceFormatError):
+            load_qps_csv(path)
+
+
+class TestCatalog:
+    def test_lists_three_traces(self):
+        names = [spec.name for spec in list_traces()]
+        assert names == ["alibaba", "crs", "google"]
+
+    def test_get_trace_case_insensitive(self):
+        assert get_trace("CRS").name == "crs"
+
+    def test_unknown_trace_raises(self):
+        with pytest.raises(TraceError):
+            get_trace("azure")
+
+    def test_spec_metadata(self):
+        spec = get_trace("google")
+        assert 0.0 < spec.train_fraction < 1.0
+        assert spec.pending_time > 0
+        assert spec.description

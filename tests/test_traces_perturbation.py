@@ -1,0 +1,99 @@
+"""Tests for trace perturbation, missing-data injection, and anomaly removal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nhpp.sampling import sample_homogeneous_arrivals
+from repro.traces.perturbation import (
+    inject_missing_window,
+    perturb_trace,
+    remove_anomalous_bursts,
+)
+from repro.types import ArrivalTrace
+
+
+@pytest.fixture
+def steady_trace() -> ArrivalTrace:
+    arrivals = sample_homogeneous_arrivals(0.05, 4 * 3600.0, 3)
+    return ArrivalTrace(arrivals, 10.0, name="steady", horizon=4 * 3600.0)
+
+
+class TestPerturbTrace:
+    def test_deletion_window_emptied(self, steady_trace):
+        perturbed = perturb_trace(steady_trace, 0.0, random_state=0)
+        phase = np.mod(perturbed.arrival_times, 3600.0)
+        assert np.all(phase >= 300.0)
+
+    def test_additions_scale_with_c(self, steady_trace):
+        sizes = []
+        for c in (0.0, 2.0, 6.0):
+            perturbed = perturb_trace(steady_trace, c, random_state=0)
+            sizes.append(perturbed.n_queries)
+        assert sizes[0] <= sizes[1] <= sizes[2]
+        assert sizes[2] > sizes[0]
+
+    def test_original_not_modified(self, steady_trace):
+        before = steady_trace.arrival_times.copy()
+        perturb_trace(steady_trace, 3.0, random_state=1)
+        np.testing.assert_array_equal(steady_trace.arrival_times, before)
+
+    def test_output_sorted_within_horizon(self, steady_trace):
+        perturbed = perturb_trace(steady_trace, 4.0, random_state=2)
+        assert np.all(np.diff(perturbed.arrival_times) >= 0)
+        assert perturbed.arrival_times.max() <= perturbed.horizon
+
+    def test_fractional_c(self, steady_trace):
+        whole = perturb_trace(steady_trace, 1.0, random_state=3)
+        half = perturb_trace(steady_trace, 0.5, random_state=3)
+        base = perturb_trace(steady_trace, 0.0, random_state=3)
+        assert base.n_queries <= half.n_queries <= whole.n_queries
+
+
+class TestInjectMissingWindow:
+    def test_removes_all_queries_in_window(self, steady_trace):
+        modified = inject_missing_window(steady_trace, 3600.0, 3600.0)
+        in_window = (modified.arrival_times >= 3600.0) & (modified.arrival_times < 7200.0)
+        assert not np.any(in_window)
+
+    def test_preserves_other_queries(self, steady_trace):
+        modified = inject_missing_window(steady_trace, 3600.0, 3600.0)
+        outside_before = np.count_nonzero(
+            (steady_trace.arrival_times < 3600.0) | (steady_trace.arrival_times >= 7200.0)
+        )
+        assert modified.n_queries == outside_before
+
+    def test_horizon_preserved(self, steady_trace):
+        modified = inject_missing_window(steady_trace, 0.0, 1800.0)
+        assert modified.horizon == steady_trace.horizon
+
+
+class TestRemoveAnomalousBursts:
+    def _trace_with_burst(self) -> ArrivalTrace:
+        base = sample_homogeneous_arrivals(0.05, 4 * 3600.0, 5)
+        burst = 7000.0 + np.sort(np.random.default_rng(6).uniform(0, 300.0, size=400))
+        arrivals = np.sort(np.concatenate([base, burst]))
+        return ArrivalTrace(arrivals, 10.0, name="bursty", horizon=4 * 3600.0)
+
+    def test_burst_thinned(self):
+        trace = self._trace_with_burst()
+        cleaned = remove_anomalous_bursts(trace, bin_seconds=300.0, random_state=0)
+        before = trace.to_qps_series(300.0).counts
+        after_series = cleaned.to_qps_series(300.0)
+        after = after_series.counts
+        burst_bin = int(np.argmax(before))
+        assert after[burst_bin] < before[burst_bin] * 0.2
+
+    def test_regular_traffic_mostly_preserved(self):
+        trace = self._trace_with_burst()
+        cleaned = remove_anomalous_bursts(trace, bin_seconds=300.0, random_state=0)
+        # Only the burst (400 queries) should be removed, give or take.
+        removed = trace.n_queries - cleaned.n_queries
+        assert removed >= 300
+        assert removed <= 450
+
+    def test_empty_trace(self):
+        empty = ArrivalTrace([], [], name="empty", horizon=100.0)
+        cleaned = remove_anomalous_bursts(empty)
+        assert cleaned.n_queries == 0

@@ -1,0 +1,137 @@
+"""Tests for the synthetic trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.nhpp.intensity import PiecewiseConstantIntensity
+from repro.traces.synthetic import (
+    beta_bump_intensity,
+    generate_alibaba_like_trace,
+    generate_crs_like_trace,
+    generate_google_like_trace,
+    generate_trace_from_intensity,
+    paper_regularization_intensity,
+    paper_scalability_intensity,
+)
+
+
+class TestBetaBumpIntensity:
+    def test_peak_at_mid_period(self):
+        values = beta_bump_intensity(
+            np.array([1800.0]), peak=10.0, period_seconds=3600.0, exponent=40.0, base=0.5
+        )
+        assert values[0] == pytest.approx(10.5)
+
+    def test_base_at_period_boundary(self):
+        values = beta_bump_intensity(
+            np.array([0.0, 3600.0]), peak=10.0, period_seconds=3600.0, exponent=40.0, base=0.5
+        )
+        np.testing.assert_allclose(values, 0.5)
+
+    def test_periodic(self):
+        t = np.array([500.0, 4100.0])
+        values = beta_bump_intensity(
+            t, peak=3.0, period_seconds=3600.0, exponent=10.0, base=0.1
+        )
+        assert values[0] == pytest.approx(values[1])
+
+    def test_non_negative(self):
+        t = np.linspace(0, 7200, 500)
+        values = beta_bump_intensity(
+            t, peak=5.0, period_seconds=3600.0, exponent=8.0, base=0.0
+        )
+        assert np.all(values >= 0)
+
+
+class TestPaperIntensities:
+    def test_scalability_intensity_peak(self):
+        profile = paper_scalability_intensity()
+        assert profile.intensity.upper_bound() == pytest.approx(1000.0, rel=0.01)
+        assert profile.period_seconds == 3600.0
+
+    def test_regularization_intensity_period(self):
+        profile = paper_regularization_intensity()
+        assert profile.period_seconds == 86_400.0
+        assert profile.intensity.upper_bound() == pytest.approx(1.1, rel=0.01)
+
+
+class TestGenerateTraceFromIntensity:
+    def test_count_matches_mass(self, periodic_intensity):
+        horizon = 3600.0
+        counts = [
+            generate_trace_from_intensity(
+                periodic_intensity, horizon, random_state=seed
+            ).n_queries
+            for seed in range(30)
+        ]
+        expected = periodic_intensity.cumulative(horizon)
+        assert np.mean(counts) == pytest.approx(expected, rel=0.1)
+
+    def test_processing_distributions(self, constant_intensity):
+        for dist in ("exponential", "lognormal", "constant"):
+            trace = generate_trace_from_intensity(
+                constant_intensity,
+                1800.0,
+                processing_time_mean=10.0,
+                processing_time_distribution=dist,
+                random_state=0,
+            )
+            if trace.n_queries:
+                assert np.all(trace.processing_times >= 0)
+
+    def test_unknown_distribution_rejected(self, constant_intensity):
+        with pytest.raises(ValidationError):
+            generate_trace_from_intensity(
+                constant_intensity,
+                100.0,
+                processing_time_distribution="weird",
+                random_state=0,
+            )
+
+    def test_reproducible(self, constant_intensity):
+        a = generate_trace_from_intensity(constant_intensity, 600.0, random_state=5)
+        b = generate_trace_from_intensity(constant_intensity, 600.0, random_state=5)
+        np.testing.assert_array_equal(a.arrival_times, b.arrival_times)
+
+
+class TestNamedGenerators:
+    def test_crs_like_shape(self):
+        trace = generate_crs_like_trace(n_weeks=2, seed=1)
+        assert trace.horizon == pytest.approx(2 * 7 * 86_400.0)
+        assert 0.001 < trace.mean_qps < 0.1
+        # Long processing times characteristic of image builds.
+        assert trace.processing_times.mean() > 60.0
+
+    def test_google_like_shape(self):
+        trace = generate_google_like_trace(n_hours=12, seed=2)
+        assert trace.horizon == pytest.approx(12 * 3600.0)
+        assert 0.05 < trace.mean_qps < 1.0
+
+    def test_google_like_has_spikes(self):
+        trace = generate_google_like_trace(n_hours=12, seed=3)
+        qps = trace.to_qps_series(60.0).qps
+        assert qps.max() > 3.0 * np.median(qps[qps > 0])
+
+    def test_alibaba_like_burst_present_and_removable(self):
+        with_burst = generate_alibaba_like_trace(n_days=2, burst_day=1, seed=4, mean_qps=0.5)
+        without_burst = generate_alibaba_like_trace(
+            n_days=2, burst_day=-1, seed=4, mean_qps=0.5
+        )
+        qps_with = with_burst.to_qps_series(300.0).qps
+        qps_without = without_burst.to_qps_series(300.0).qps
+        assert qps_with.max() > 1.5 * qps_without.max()
+
+    def test_generators_deterministic(self):
+        a = generate_google_like_trace(n_hours=6, seed=9)
+        b = generate_google_like_trace(n_hours=6, seed=9)
+        np.testing.assert_array_equal(a.arrival_times, b.arrival_times)
+
+    def test_different_seeds_differ(self):
+        a = generate_google_like_trace(n_hours=6, seed=1)
+        b = generate_google_like_trace(n_hours=6, seed=2)
+        assert a.n_queries != b.n_queries or not np.array_equal(
+            a.arrival_times, b.arrival_times
+        )

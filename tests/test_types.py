@@ -1,0 +1,242 @@
+"""Tests for the core data types (queries, traces, QPS series, plans, results)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TraceError, ValidationError
+from repro.types import (
+    ArrivalTrace,
+    InstanceRecord,
+    QPSSeries,
+    Query,
+    QueryOutcome,
+    ScalingAction,
+    ScalingPlan,
+    SimulationResult,
+)
+
+
+class TestQuery:
+    def test_valid(self):
+        q = Query(index=0, arrival_time=1.5, processing_time=2.0)
+        assert q.arrival_time == 1.5
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            Query(index=-1, arrival_time=0.0, processing_time=0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValidationError):
+            Query(index=0, arrival_time=-1.0, processing_time=0.0)
+
+    def test_nan_processing_rejected(self):
+        with pytest.raises(ValidationError):
+            Query(index=0, arrival_time=0.0, processing_time=float("nan"))
+
+
+class TestInstanceRecord:
+    def test_lifecycle_and_idle(self):
+        record = InstanceRecord(
+            query_index=0,
+            creation_time=10.0,
+            ready_time=23.0,
+            start_processing_time=30.0,
+            deletion_time=50.0,
+            pending_time=13.0,
+            proactive=True,
+        )
+        assert record.lifecycle_length == pytest.approx(40.0)
+        assert record.idle_time == pytest.approx(7.0)
+
+    def test_idle_time_never_negative(self):
+        record = InstanceRecord(
+            query_index=0,
+            creation_time=0.0,
+            ready_time=13.0,
+            start_processing_time=13.0,
+            deletion_time=20.0,
+            pending_time=13.0,
+            proactive=False,
+        )
+        assert record.idle_time == 0.0
+
+
+class TestArrivalTrace:
+    def test_basic_properties(self):
+        trace = ArrivalTrace([1.0, 2.0, 4.0], 3.0, name="t", horizon=10.0)
+        assert trace.n_queries == 3
+        assert len(trace) == 3
+        assert trace.duration == 10.0
+        assert trace.mean_qps == pytest.approx(0.3)
+
+    def test_scalar_processing_broadcast(self):
+        trace = ArrivalTrace([1.0, 2.0], 5.0)
+        np.testing.assert_allclose(trace.processing_times, [5.0, 5.0])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(TraceError):
+            ArrivalTrace([2.0, 1.0], 1.0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(TraceError):
+            ArrivalTrace([-1.0, 1.0], 1.0)
+
+    def test_rejects_processing_length_mismatch(self):
+        with pytest.raises(TraceError):
+            ArrivalTrace([1.0, 2.0], [1.0])
+
+    def test_rejects_horizon_before_last_arrival(self):
+        with pytest.raises(TraceError):
+            ArrivalTrace([1.0, 5.0], 1.0, horizon=4.0)
+
+    def test_iteration_and_indexing(self):
+        trace = ArrivalTrace([1.0, 2.0], [3.0, 4.0])
+        queries = list(trace)
+        assert [q.index for q in queries] == [0, 1]
+        assert trace[1].processing_time == 4.0
+        assert trace[-1].arrival_time == 2.0
+        with pytest.raises(IndexError):
+            trace[2]
+
+    def test_views_are_read_only(self):
+        trace = ArrivalTrace([1.0, 2.0], 1.0)
+        with pytest.raises(ValueError):
+            trace.arrival_times[0] = 5.0
+
+    def test_slice_time_rebases(self):
+        trace = ArrivalTrace([1.0, 5.0, 9.0], 1.0, horizon=10.0)
+        sub = trace.slice_time(4.0, 10.0)
+        np.testing.assert_allclose(sub.arrival_times, [1.0, 5.0])
+        assert sub.horizon == pytest.approx(6.0)
+
+    def test_split_partitions_all_queries(self):
+        arrivals = np.linspace(0.5, 99.5, 50)
+        trace = ArrivalTrace(arrivals, 1.0, horizon=100.0)
+        train, test = trace.split(0.6)
+        assert train.n_queries + test.n_queries == trace.n_queries
+        assert train.horizon == pytest.approx(60.0)
+        assert test.horizon == pytest.approx(40.0)
+        # Test trace is rebased to its own origin.
+        assert test.arrival_times[0] == pytest.approx(arrivals[train.n_queries] - 60.0)
+
+    def test_split_rejects_bad_fraction(self):
+        trace = ArrivalTrace([1.0], 1.0, horizon=2.0)
+        with pytest.raises(ValidationError):
+            trace.split(1.0)
+
+    def test_to_qps_series_counts_every_query(self):
+        trace = ArrivalTrace([0.5, 30.0, 59.9, 61.0], 1.0, horizon=120.0)
+        series = trace.to_qps_series(60.0)
+        assert series.counts.sum() == 4
+        assert series.counts[0] == 3
+        assert series.counts[1] == 1
+
+    def test_with_processing_times(self):
+        trace = ArrivalTrace([1.0, 2.0], 1.0, horizon=5.0)
+        new = trace.with_processing_times(9.0)
+        np.testing.assert_allclose(new.processing_times, [9.0, 9.0])
+        assert new.horizon == trace.horizon
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=50),
+        st.floats(min_value=1.0, max_value=120.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_qps_aggregation_preserves_total_count(self, raw_arrivals, bin_seconds):
+        arrivals = np.sort(np.asarray(raw_arrivals))
+        trace = ArrivalTrace(arrivals, 1.0, horizon=1000.0)
+        series = trace.to_qps_series(bin_seconds)
+        assert series.counts.sum() == trace.n_queries
+
+
+class TestQPSSeries:
+    def test_basic_properties(self):
+        series = QPSSeries([2, 0, 4], 60.0, name="s")
+        assert series.n_bins == 3
+        assert series.duration == 180.0
+        np.testing.assert_allclose(series.qps, [2 / 60, 0, 4 / 60])
+        np.testing.assert_allclose(series.times, [0.0, 60.0, 120.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            QPSSeries([], 60.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValidationError):
+            QPSSeries([1, -1], 60.0)
+
+    def test_aggregate_sums_counts(self):
+        series = QPSSeries([1, 2, 3, 4, 5], 60.0)
+        merged = series.aggregate(2)
+        np.testing.assert_allclose(merged.counts, [3, 7])
+        assert merged.bin_seconds == 120.0
+
+    def test_aggregate_rejects_too_large_factor(self):
+        series = QPSSeries([1, 2], 60.0)
+        with pytest.raises(ValidationError):
+            series.aggregate(3)
+
+
+class TestScalingPlan:
+    def test_actions_sorted_by_time(self):
+        plan = ScalingPlan(
+            actions=[ScalingAction(creation_time=5.0), ScalingAction(creation_time=1.0)]
+        )
+        np.testing.assert_allclose(plan.creation_times, [1.0, 5.0])
+        assert len(plan) == 2
+
+    def test_merge(self):
+        a = ScalingPlan(actions=[ScalingAction(creation_time=1.0)])
+        b = ScalingPlan(actions=[ScalingAction(creation_time=0.5)])
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert merged.creation_times[0] == 0.5
+
+    def test_action_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            ScalingAction(creation_time=float("nan"))
+
+
+def _make_outcome(index: int, hit: bool, waiting: float, processing: float) -> QueryOutcome:
+    query = Query(index=index, arrival_time=float(index), processing_time=processing)
+    record = InstanceRecord(
+        query_index=index,
+        creation_time=0.0,
+        ready_time=1.0,
+        start_processing_time=float(index) + waiting,
+        deletion_time=float(index) + waiting + processing,
+        pending_time=1.0,
+        proactive=hit,
+    )
+    return QueryOutcome(
+        query=query,
+        hit=hit,
+        waiting_time=waiting,
+        response_time=waiting + processing,
+        instance=record,
+    )
+
+
+class TestSimulationResult:
+    def test_aggregates(self):
+        outcomes = [
+            _make_outcome(0, True, 0.0, 10.0),
+            _make_outcome(1, False, 5.0, 10.0),
+        ]
+        result = SimulationResult(
+            scaler_name="x", trace_name="t", outcomes=outcomes, unused_instance_cost=3.0
+        )
+        assert result.n_queries == 2
+        assert result.hit_rate == pytest.approx(0.5)
+        assert result.mean_response_time == pytest.approx(12.5)
+        assert result.total_cost == pytest.approx(sum(result.lifecycle_costs) + 3.0)
+
+    def test_empty_result(self):
+        result = SimulationResult(scaler_name="x", trace_name="t", outcomes=[])
+        assert np.isnan(result.hit_rate)
+        assert np.isnan(result.mean_response_time)
+        assert result.total_cost == 0.0
