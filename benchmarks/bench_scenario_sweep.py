@@ -1,0 +1,74 @@
+"""Scenario sweep — RobustScaler vs. baselines across the workload registry.
+
+Beyond the paper's three traces, this benchmark runs the autoscaler
+comparison over every scenario in :mod:`repro.workloads` (flash crowds,
+sale events, batch bursts, multi-tenant mixes, outages, ...) and prints the
+per-scenario Pareto summary.  The assertions check the qualitative story:
+every registered scenario is covered, the reactive baseline anchors
+relative cost at 1, and on the forecastable scenarios RobustScaler-HP
+reaches a hit rate no baseline point matches at any cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario_sweep import (
+    ScenarioSweepConfig,
+    run_scenario_sweep_experiment,
+    summarize_scenario_sweep,
+)
+from repro.workloads import scenario_names
+
+from conftest import print_artifact
+
+_COLUMNS = [
+    "scenario",
+    "scaler",
+    "target_hp",
+    "n_queries",
+    "hit_rate",
+    "rt_avg",
+    "relative_cost",
+    "on_frontier",
+]
+
+
+def test_scenario_sweep_full_registry(run_once):
+    config = ScenarioSweepConfig(
+        scenario_names=None,  # the whole registry
+        scale=0.1,
+        seed=7,
+        planning_interval=10.0,
+        monte_carlo_samples=120,
+        hp_targets=(0.5, 0.9),
+        pool_sizes=(1, 4),
+        adaptive_factors=(10.0,),
+    )
+    rows = run_once(run_scenario_sweep_experiment, config)
+    print_artifact("Scenario sweep (full registry)", rows, columns=_COLUMNS)
+    summary = summarize_scenario_sweep(rows)
+    print_artifact("Per-scenario Pareto summary", summary)
+
+    covered = {row["scenario"] for row in rows}
+    assert covered == set(scenario_names())
+
+    evaluated = [row for row in rows if "hit_rate" in row]
+    assert evaluated, "no scenario produced enough test queries to replay"
+
+    # The reactive baseline anchors relative cost at 1 on every scenario.
+    for row in evaluated:
+        if row["scaler"] == "Reactive":
+            assert row["relative_cost"] == pytest.approx(1.0)
+            assert row["hit_rate"] == 0.0
+
+    # On steady, forecastable traffic the proactive RobustScaler reaches hit
+    # rates the reactive-family baselines cannot at any swept setting.
+    steady = [r for r in evaluated if r["scenario"] == "steady-state"]
+    rs_best = max(
+        r["hit_rate"] for r in steady if r["scaler"].startswith("RobustScaler")
+    )
+    baseline_best = max(
+        r["hit_rate"] for r in steady if not r["scaler"].startswith("RobustScaler")
+    )
+    assert rs_best > baseline_best

@@ -14,7 +14,13 @@ Autoscaling for Complex Workloads* (Qian et al., ICDE 2022).  It provides:
   (:mod:`repro.simulation`);
 * synthetic trace generators, metrics, and an experiment harness that
   regenerates every table and figure of the paper's evaluation section
-  (:mod:`repro.traces`, :mod:`repro.metrics`, :mod:`repro.experiments`).
+  (:mod:`repro.traces`, :mod:`repro.metrics`, :mod:`repro.experiments`);
+* a composable workload-scenario subsystem (:mod:`repro.workloads`):
+  intensity primitives that combine algebraically, a registry of named,
+  seed-reproducible scenarios (flash crowds, diurnal/weekly seasonality,
+  launches, sale events, batch bursts, multi-tenant mixes, outages, plus
+  aliases for the paper traces), and a ``repro workloads list|generate|sweep``
+  CLI that evaluates the autoscalers across the whole registry.
 
 Quickstart
 ----------
@@ -49,6 +55,7 @@ from .exceptions import (
     SimulationError,
     TraceError,
     ValidationError,
+    WorkloadError,
 )
 from .nhpp import NHPPModel, PiecewiseConstantIntensity
 from .pending import (
@@ -75,6 +82,14 @@ from .traces import (
     generate_trace_from_intensity,
 )
 from .types import ArrivalTrace, QPSSeries, ScalingAction, ScalingPlan, SimulationResult
+from .workloads import (
+    Scenario,
+    ScenarioRegistry,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
 
 __version__ = "1.0.0"
 
@@ -99,6 +114,7 @@ __all__ = [
     "InfeasibleConstraintError",
     "SimulationError",
     "PlanningError",
+    "WorkloadError",
     # data types
     "ArrivalTrace",
     "QPSSeries",
@@ -132,4 +148,11 @@ __all__ = [
     "generate_google_like_trace",
     "generate_alibaba_like_trace",
     "generate_trace_from_intensity",
+    # workload scenarios
+    "Scenario",
+    "ScenarioRegistry",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
 ]

@@ -2,13 +2,20 @@
 
 Usage examples::
 
-    robustscaler traces                      # list the synthetic trace catalog
-    robustscaler simulate --trace google --scaler rs-hp --target 0.9
-    robustscaler experiment pareto           # regenerate the Fig. 4 data
-    robustscaler experiment table3           # periodicity-regularization study
+    repro traces                             # list the synthetic trace catalog
+    repro simulate --trace google --scaler rs-hp --target 0.9
+    repro experiment pareto                  # regenerate the Fig. 4 data
+    repro experiment table3                  # periodicity-regularization study
+    repro workloads list                     # the scenario registry
+    repro workloads generate --scenario flash-crowd --seed 7 --out fc.csv
+    repro workloads sweep                    # autoscalers across every scenario
 
-The CLI is a thin wrapper over :mod:`repro.experiments`; every subcommand
-prints a plain-text table that mirrors one of the paper's artifacts.
+The CLI is a thin wrapper over :mod:`repro.experiments`; the paper-facing
+subcommands print plain-text tables mirroring the paper's artifacts, while
+``workloads`` exposes the scenario registry of :mod:`repro.workloads` —
+listing scenarios, generating seed-reproducible traces (optionally saved to
+CSV), and sweeping RobustScaler plus the baselines across the registry.
+(The installed entry points ``repro`` and ``robustscaler`` are synonyms.)
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import sys
 from typing import Callable, Sequence
 
 from .config import PlannerConfig, SimulationConfig
+from .exceptions import ValidationError, WorkloadError
 from .experiments import (
     run_control_accuracy_experiment,
     run_mc_accuracy_experiment,
@@ -28,10 +36,13 @@ from .experiments import (
     run_regularization_experiment,
     run_robustness_experiment,
     run_scalability_experiment,
+    run_scenario_sweep_experiment,
     run_traces_overview,
     run_variance_experiment,
+    summarize_scenario_sweep,
 )
 from .experiments.pareto import ParetoExperimentConfig
+from .experiments.scenario_sweep import ScenarioSweepConfig
 from .metrics.report import format_table, summarize_result
 from .pending import DeterministicPendingTime
 from .scaling import (
@@ -43,7 +54,9 @@ from .scaling import (
 )
 from .simulation import replay
 from .traces import get_trace, list_traces
-from .experiments.base import prepare_workload, trace_defaults, make_trace
+from .traces.io import save_trace_csv
+from .workloads import get_scenario, list_scenarios, scenario_names
+from .experiments.base import prepare_workload
 
 __all__ = ["main", "build_parser"]
 
@@ -59,6 +72,7 @@ _EXPERIMENTS: dict[str, Callable[[], list[dict]]] = {
     "planning-frequency": run_planning_frequency_experiment,
     "table3": run_regularization_experiment,
     "table4": run_realenv_experiment,
+    "scenario-sweep": run_scenario_sweep_experiment,
 }
 
 
@@ -75,7 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = subparsers.add_parser(
         "simulate", help="replay one trace with one autoscaler and print metrics"
     )
-    simulate.add_argument("--trace", default="crs", choices=["crs", "google", "alibaba"])
+    simulate.add_argument(
+        "--trace",
+        default="crs",
+        help="any registered scenario name (see 'workloads list'); default: crs",
+    )
     simulate.add_argument("--scale", type=float, default=0.25, help="trace size factor")
     simulate.add_argument(
         "--scaler",
@@ -98,6 +116,51 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument(
         "--scale", type=float, default=None, help="trace size factor where applicable"
+    )
+
+    workloads = subparsers.add_parser(
+        "workloads", help="workload-scenario registry: list, generate, sweep"
+    )
+    workloads_sub = workloads.add_subparsers(dest="workloads_command", required=True)
+
+    workloads_sub.add_parser("list", help="list the registered workload scenarios")
+
+    generate = workloads_sub.add_parser(
+        "generate", help="generate one scenario trace and print its summary"
+    )
+    generate.add_argument("--scenario", required=True, help="registered scenario name")
+    generate.add_argument(
+        "--seed", type=int, default=None, help="seed (default: scenario default)"
+    )
+    generate.add_argument("--scale", type=float, default=1.0, help="trace size factor")
+    generate.add_argument(
+        "--out", default=None, help="optional path to save the trace as CSV"
+    )
+
+    sweep = workloads_sub.add_parser(
+        "sweep", help="run RobustScaler and the baselines across scenarios"
+    )
+    sweep.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="restrict to this scenario (repeatable; default: whole registry)",
+    )
+    sweep.add_argument("--scale", type=float, default=0.1, help="trace size factor")
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--planning-interval", type=float, default=10.0)
+    sweep.add_argument("--mc-samples", type=int, default=120)
+    sweep.add_argument(
+        "--hp-target",
+        action="append",
+        type=float,
+        default=None,
+        help="RobustScaler-HP target (repeatable; default: 0.5 and 0.9)",
+    )
+    sweep.add_argument(
+        "--summary-only",
+        action="store_true",
+        help="print only the per-scenario frontier summary",
     )
 
     return parser
@@ -143,12 +206,17 @@ def _build_scaler(args: argparse.Namespace, workload) -> object:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    defaults = trace_defaults(args.trace)
-    trace = make_trace(args.trace, scale=args.scale, seed=args.seed)
+    try:
+        scenario = get_scenario(args.trace)
+        trace = scenario.build_trace(scale=args.scale, seed=args.seed)
+    except (WorkloadError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     workload = prepare_workload(
         trace,
-        train_fraction=defaults["train_fraction"],
-        bin_seconds=defaults["bin_seconds"],
+        train_fraction=scenario.train_fraction,
+        bin_seconds=scenario.bin_seconds,
+        pending_time=scenario.pending_time,
     )
     scaler = _build_scaler(args, workload)
     result = workload.replay(scaler)
@@ -158,10 +226,100 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_workloads_list() -> int:
+    rows = [
+        {
+            "name": scenario.name,
+            "kind": scenario.kind,
+            "horizon_hours": scenario.horizon_seconds / 3600.0,
+            "bin_seconds": scenario.bin_seconds,
+            "train_fraction": scenario.train_fraction,
+            "pending_time": scenario.pending_time,
+            "tags": ",".join(scenario.tags),
+            "description": scenario.description,
+        }
+        for scenario in list_scenarios()
+    ]
+    print(format_table(rows, title="Workload scenario registry"))
+    print(f"\n{len(rows)} scenarios registered")
+    return 0
+
+
+def _command_workloads_generate(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    trace = scenario.build_trace(scale=args.scale, seed=args.seed)
+    qps = trace.to_qps_series(scenario.bin_seconds)
+    rows = [
+        {"metric": "scenario", "value": scenario.name},
+        {"metric": "seed", "value": scenario.resolve_seed(args.seed)},
+        {"metric": "scale", "value": float(args.scale)},
+        {"metric": "n_queries", "value": trace.n_queries},
+        {"metric": "duration_hours", "value": trace.duration / 3600.0},
+        {"metric": "mean_qps", "value": trace.mean_qps},
+        {"metric": "peak_qps", "value": float(qps.qps.max())},
+        {
+            "metric": "mean_processing_seconds",
+            "value": float(trace.processing_times.mean()) if trace.n_queries else 0.0,
+        },
+    ]
+    print(format_table(rows, title=f"Generated trace: {scenario.name}"))
+    if args.out:
+        path = save_trace_csv(trace, args.out)
+        print(f"\nsaved to {path}")
+    return 0
+
+
+def _command_workloads_sweep(args: argparse.Namespace) -> int:
+    config = ScenarioSweepConfig(
+        scenario_names=args.scenario,
+        scale=args.scale,
+        seed=args.seed,
+        planning_interval=args.planning_interval,
+        monte_carlo_samples=args.mc_samples,
+        hp_targets=tuple(args.hp_target) if args.hp_target else (0.5, 0.9),
+    )
+    rows = run_scenario_sweep_experiment(config)
+    if not args.summary_only:
+        columns = [
+            "scenario",
+            "scaler",
+            "pool_size",
+            "rate_factor",
+            "target_hp",
+            "n_queries",
+            "hit_rate",
+            "rt_avg",
+            "relative_cost",
+            "on_frontier",
+            "note",
+        ]
+        print(format_table(rows, columns=columns, title="Scenario sweep"))
+        print()
+    summary = summarize_scenario_sweep(rows)
+    print(format_table(summary, title="Per-scenario Pareto summary"))
+    return 0
+
+
+def _command_workloads(args: argparse.Namespace) -> int:
+    try:
+        if args.workloads_command == "list":
+            return _command_workloads_list()
+        if args.workloads_command == "generate":
+            return _command_workloads_generate(args)
+        if args.workloads_command == "sweep":
+            return _command_workloads_sweep(args)
+    except (WorkloadError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - subparser is required
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     runner = _EXPERIMENTS[args.name]
     if args.scale is not None and args.name == "pareto":
         rows = run_pareto_experiment(ParetoExperimentConfig(scale=args.scale))
+    elif args.scale is not None and args.name == "scenario-sweep":
+        rows = run_scenario_sweep_experiment(ScenarioSweepConfig(scale=args.scale))
     else:
         rows = runner()
     print(format_table(rows, title=f"Experiment: {args.name}"))
@@ -178,6 +336,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_simulate(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "workloads":
+        return _command_workloads(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

@@ -62,3 +62,7 @@ class PlanningError(RobustScalerError):
 
 class ExperimentError(RobustScalerError):
     """Raised when an experiment driver is given inconsistent parameters."""
+
+
+class WorkloadError(RobustScalerError):
+    """Raised by the workload-scenario subsystem (unknown scenario, bad spec)."""

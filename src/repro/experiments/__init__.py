@@ -20,6 +20,11 @@ Fig. 10(d) (planning freq.)  :func:`repro.experiments.control_accuracy.run_plann
 Table III (regularization)   :func:`repro.experiments.regularization.run_regularization_experiment`
 Table IV (real environment)  :func:`repro.experiments.realenv.run_realenv_experiment`
 ===========================  =============================================
+
+Beyond the paper, :func:`repro.experiments.scenario_sweep.run_scenario_sweep_experiment`
+runs the autoscaler comparison across every scenario in the workload
+registry (:mod:`repro.workloads`) and marks each scenario's cost/QoS Pareto
+frontier.
 """
 
 from .base import PreparedWorkload, prepare_workload, sweep_targets
@@ -35,6 +40,11 @@ from .control_accuracy import (
 )
 from .regularization import run_regularization_experiment
 from .realenv import run_realenv_experiment
+from .scenario_sweep import (
+    ScenarioSweepConfig,
+    run_scenario_sweep_experiment,
+    summarize_scenario_sweep,
+)
 from .ablation import (
     run_kappa_ablation,
     run_mc_sample_ablation,
@@ -57,6 +67,9 @@ __all__ = [
     "run_planning_frequency_experiment",
     "run_regularization_experiment",
     "run_realenv_experiment",
+    "ScenarioSweepConfig",
+    "run_scenario_sweep_experiment",
+    "summarize_scenario_sweep",
     "run_kappa_ablation",
     "run_mc_sample_ablation",
     "run_regularization_sensitivity",

@@ -207,39 +207,29 @@ def trace_defaults(name: str) -> dict:
 
 
 def make_trace(name: str, *, scale: float = 0.25, seed: int = 7) -> ArrivalTrace:
-    """Generate one of the three named traces at a configurable size.
+    """Generate any registered workload scenario at a configurable size.
 
     ``scale = 1.0`` approximates the paper's trace sizes (weeks of data,
     hundreds of thousands of queries for Alibaba); the default ``scale =
     0.25`` generates traces that keep the same structure — periodicity,
     spikes, noise, the Alibaba burst — but replay in seconds rather than
     minutes, which is what the test suite and the benchmark defaults use.
+
+    Lookup goes through the scenario registry (:mod:`repro.workloads`), so
+    besides the paper's ``crs``/``google``/``alibaba`` any library scenario
+    name (``flash-crowd``, ``black-friday``, ...) works too.
     """
-    from ..traces.synthetic import (
-        generate_alibaba_like_trace,
-        generate_crs_like_trace,
-        generate_google_like_trace,
-    )
+    from ..exceptions import WorkloadError
+    from ..workloads import get_scenario
 
     scale = float(scale)
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
-    key = name.lower()
-    if key == "crs":
-        # The CRS workload needs at least two weeks so that the weekday /
-        # weekend alternation is represented in the training window; with a
-        # single week the test window would be all-weekend and the forecast
-        # systematically biased.
-        n_weeks = max(2, int(round(4 * scale)))
-        return generate_crs_like_trace(n_weeks=n_weeks, seed=seed)
-    if key == "google":
-        n_hours = max(6, int(round(24 * scale * 2)))
-        return generate_google_like_trace(n_hours=n_hours, seed=seed)
-    if key == "alibaba":
-        n_days = max(2, int(round(5 * scale)))
-        mean_qps = 1.2 * min(1.0, max(scale, 0.2))
-        return generate_alibaba_like_trace(n_days=n_days, mean_qps=mean_qps, seed=seed)
-    raise KeyError(f"unknown trace name {name!r}")
+    try:
+        scenario = get_scenario(name)
+    except WorkloadError as exc:
+        raise KeyError(f"unknown trace name {name!r}") from exc
+    return scenario.build_trace(scale=scale, seed=seed)
 
 
 def run_scaler_sweep(

@@ -1,0 +1,210 @@
+"""Scenario sweep — RobustScaler vs. baselines across the whole registry.
+
+Where the paper's Fig. 4 compares autoscalers on three traces, this driver
+runs the comparison across *every* scenario in the workload registry
+(:mod:`repro.workloads`): for each scenario it generates the trace, fits the
+NHPP workload model on the training window, replays the test window under
+the reactive baseline, Backup Pool, Adaptive Backup Pool and
+RobustScaler-HP, and reports cost/QoS rows with the per-scenario Pareto
+frontier marked (via :mod:`repro.metrics.pareto`).
+
+Everything is deterministic for a fixed ``seed``: the traces, the Monte
+Carlo decisions, and therefore every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import ExperimentError
+from ..metrics.pareto import ParetoPoint, pareto_frontier
+from ..scaling.adaptive_backup_pool import AdaptiveBackupPoolScaler
+from ..scaling.backup_pool import BackupPoolScaler, ReactiveScaler
+from ..scaling.robustscaler import RobustScalerObjective
+from ..workloads import DEFAULT_REGISTRY, ScenarioRegistry
+from .base import (
+    build_robustscaler,
+    default_planner,
+    prepare_workload,
+    run_scaler_sweep,
+)
+
+__all__ = [
+    "ScenarioSweepConfig",
+    "run_scenario_sweep_experiment",
+    "summarize_scenario_sweep",
+]
+
+
+@dataclass
+class ScenarioSweepConfig:
+    """Parameters of the scenario sweep.
+
+    Attributes
+    ----------
+    scenario_names:
+        Which scenarios to run; ``None`` sweeps the whole registry.
+    scale:
+        Trace size factor applied to every scenario (1.0 = full size).
+    seed:
+        Seed for trace generation and Monte Carlo planning.
+    planning_interval, monte_carlo_samples:
+        RobustScaler planner settings.
+    hp_targets:
+        Target hit probabilities for the RobustScaler-HP sweep.
+    pool_sizes, adaptive_factors:
+        Baseline sweep grids (Backup Pool sizes, AdapBP rate factors).
+    min_test_queries:
+        Scenarios whose test window holds fewer queries than this are
+        reported with a ``note`` instead of being replayed.
+    registry:
+        Scenario registry to sweep; defaults to the global one.
+    """
+
+    scenario_names: Sequence[str] | None = None
+    scale: float = 0.1
+    seed: int = 7
+    planning_interval: float = 10.0
+    monte_carlo_samples: int = 120
+    hp_targets: Sequence[float] = (0.5, 0.9)
+    pool_sizes: Sequence[int] = (1, 4)
+    adaptive_factors: Sequence[float] = (10.0,)
+    min_test_queries: int = 8
+    registry: ScenarioRegistry | None = None
+
+
+def run_scenario_sweep_experiment(
+    config: ScenarioSweepConfig | None = None,
+) -> list[dict]:
+    """Run the autoscaler comparison on every configured scenario.
+
+    Returns one row per (scenario, scaler, parameter) combination with the
+    usual summary metrics plus ``on_frontier`` marking the scenario's
+    cost/hit-rate Pareto frontier.
+    """
+    config = config or ScenarioSweepConfig()
+    # Explicit None check: an empty ScenarioRegistry is falsy (len == 0) and
+    # must not silently fall back to the global registry.
+    registry = DEFAULT_REGISTRY if config.registry is None else config.registry
+    if config.scenario_names is None:
+        names = registry.names()
+    else:
+        names = list(config.scenario_names)
+    if not names:
+        raise ExperimentError("scenario sweep requires at least one scenario")
+    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
+
+    rows: list[dict] = []
+    for name in names:
+        scenario = registry.get(name)
+        trace = scenario.build_trace(scale=config.scale, seed=config.seed)
+        workload = prepare_workload(
+            trace,
+            train_fraction=scenario.train_fraction,
+            bin_seconds=scenario.bin_seconds,
+            pending_time=scenario.pending_time,
+        )
+        if workload.test.n_queries < config.min_test_queries:
+            rows.append(
+                {
+                    "scenario": scenario.name,
+                    "scaler": "-",
+                    "note": (
+                        f"skipped: only {workload.test.n_queries} test queries "
+                        f"at scale {config.scale:g}"
+                    ),
+                }
+            )
+            continue
+
+        scenario_rows = [workload.evaluate(ReactiveScaler())]
+        scenario_rows += run_scaler_sweep(
+            workload,
+            lambda size: BackupPoolScaler(int(size)),
+            list(config.pool_sizes),
+            parameter_name="pool_size",
+        )
+        scenario_rows += run_scaler_sweep(
+            workload,
+            lambda factor: AdaptiveBackupPoolScaler(float(factor)),
+            list(config.adaptive_factors),
+            parameter_name="rate_factor",
+        )
+        scenario_rows += run_scaler_sweep(
+            workload,
+            lambda target: build_robustscaler(
+                workload,
+                RobustScalerObjective.HIT_PROBABILITY,
+                target,
+                planner=planner,
+                random_state=config.seed,
+            ),
+            list(config.hp_targets),
+            parameter_name="target_hp",
+        )
+        _mark_frontier(scenario_rows)
+        for row in scenario_rows:
+            row["scenario"] = scenario.name
+        rows.extend(scenario_rows)
+    return rows
+
+
+def _mark_frontier(rows: list[dict]) -> None:
+    """Annotate each row with whether it sits on the (cost, hit-rate) frontier."""
+    points = [
+        ParetoPoint(
+            cost=row.get("relative_cost", row.get("total_cost", 0.0)),
+            qos=row.get("hit_rate", 0.0),
+            label=id(row),
+        )
+        for row in rows
+    ]
+    frontier_ids = {point.label for point in pareto_frontier(points)}
+    for row in rows:
+        row["on_frontier"] = id(row) in frontier_ids
+
+
+def summarize_scenario_sweep(rows: list[dict]) -> list[dict]:
+    """One row per scenario: its Pareto-frontier scalers and best QoS/cost.
+
+    The summary makes the sweep digestible — which strategies matter on
+    which workloads — without re-reading the full per-parameter table.
+    """
+    by_scenario: dict[str, list[dict]] = {}
+    notes: dict[str, str] = {}
+    for row in rows:
+        if "hit_rate" not in row:
+            if "note" in row:
+                notes[row["scenario"]] = row["note"]
+            continue
+        by_scenario.setdefault(row["scenario"], []).append(row)
+
+    summary: list[dict] = []
+    for scenario in sorted(set(by_scenario) | set(notes)):
+        # Uniform schema so format_table (which takes columns from the first
+        # row) renders skipped and evaluated scenarios alike; skipped
+        # scenarios stay visible so a summary-only view cannot misrepresent
+        # registry coverage.
+        row = {
+            "scenario": scenario,
+            "n_points": 0,
+            "frontier_scalers": "",
+            "best_hit_rate": None,
+            "best_hit_scaler": None,
+            "best_hit_rel_cost": None,
+            "note": notes.get(scenario, ""),
+        }
+        scenario_rows = by_scenario.get(scenario)
+        if scenario_rows:
+            frontier = [r for r in scenario_rows if r.get("on_frontier")]
+            best_hit = max(scenario_rows, key=lambda r: r.get("hit_rate", 0.0))
+            row.update(
+                n_points=len(scenario_rows),
+                frontier_scalers=", ".join(sorted({r["scaler"] for r in frontier})),
+                best_hit_rate=best_hit.get("hit_rate"),
+                best_hit_scaler=best_hit.get("scaler"),
+                best_hit_rel_cost=best_hit.get("relative_cost"),
+            )
+        summary.append(row)
+    return summary

@@ -4,6 +4,10 @@ Each entry records how to generate the trace, the train/test split the paper
 uses, and the default simulator parameters (pending time, processing time)
 that go with it.  Experiment drivers and the CLI look traces up by name so
 that "crs", "google" and "alibaba" mean the same thing everywhere.
+
+The catalog is also re-exported through the scenario registry
+(:mod:`repro.workloads`): ``get_scenario("crs")`` returns a registry alias
+carrying the same defaults, alongside the synthetic scenario library.
 """
 
 from __future__ import annotations
@@ -31,28 +35,33 @@ class TraceSpec:
     name:
         Catalog key.
     generator:
-        Zero-argument callable returning the full trace.
+        Callable accepting a ``seed`` keyword and returning the full trace;
+        the same name + seed always yields the identical trace.
     train_fraction:
         Fraction of the horizon used for training (the remainder is test).
     pending_time:
         Instance startup latency (seconds) used with this trace.
     description:
         One-line description shown by the CLI.
+    default_seed:
+        Seed used by :meth:`build` when the caller does not pass one.
     """
 
     name: str
-    generator: Callable[[], ArrivalTrace]
+    generator: Callable[..., ArrivalTrace]
     train_fraction: float
     pending_time: float
     description: str
+    default_seed: int = 7
 
-    def build(self) -> ArrivalTrace:
-        """Generate the full trace."""
-        return self.generator()
+    def build(self, seed: int | None = None) -> ArrivalTrace:
+        """Generate the full trace, deterministically for a given seed."""
+        seed = self.default_seed if seed is None else int(seed)
+        return self.generator(seed=seed)
 
-    def build_split(self) -> tuple[ArrivalTrace, ArrivalTrace]:
+    def build_split(self, seed: int | None = None) -> tuple[ArrivalTrace, ArrivalTrace]:
         """Generate the trace and return its (train, test) split."""
-        return self.build().split(self.train_fraction)
+        return self.build(seed=seed).split(self.train_fraction)
 
 
 _CATALOG: dict[str, TraceSpec] = {
@@ -62,6 +71,7 @@ _CATALOG: dict[str, TraceSpec] = {
         train_fraction=0.75,  # first three of four weeks
         pending_time=13.0,
         description="CRS-like container registry trace: 4 weeks, low QPS, weekly pattern",
+        default_seed=7,
     ),
     "google": TraceSpec(
         name="google",
@@ -69,6 +79,7 @@ _CATALOG: dict[str, TraceSpec] = {
         train_fraction=0.75,  # first 18 of 24 hours
         pending_time=13.0,
         description="Google-cluster-like trace: 24 hours with recurrent spikes",
+        default_seed=11,
     ),
     "alibaba": TraceSpec(
         name="alibaba",
@@ -76,6 +87,7 @@ _CATALOG: dict[str, TraceSpec] = {
         train_fraction=0.8,  # first four of five days
         pending_time=13.0,
         description="Alibaba-cluster-like trace: 5 days, daily spikes plus one burst",
+        default_seed=13,
     ),
 }
 

@@ -1,0 +1,110 @@
+"""The scenario registry: named workloads, looked up the same way everywhere.
+
+The module-level :data:`DEFAULT_REGISTRY` is what the CLI, the sweep
+experiment driver and the benchmark consult; :mod:`repro.workloads.library`
+populates it at import time with the built-in scenarios plus registry
+aliases for the three paper traces.  Callers can register additional
+scenarios (e.g. in user code or tests) with :func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..exceptions import WorkloadError
+from .scenarios import Scenario
+
+__all__ = [
+    "ScenarioRegistry",
+    "DEFAULT_REGISTRY",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+]
+
+
+class ScenarioRegistry:
+    """A case-insensitive mapping from scenario name to :class:`Scenario`."""
+
+    def __init__(self) -> None:
+        self._scenarios: dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario, *, overwrite: bool = False) -> Scenario:
+        """Add ``scenario`` under its (lower-cased) name.
+
+        Raises
+        ------
+        WorkloadError
+            If the name is already taken and ``overwrite`` is False.
+        """
+        if not isinstance(scenario, Scenario):
+            raise WorkloadError(
+                f"can only register Scenario instances, got {type(scenario).__name__}"
+            )
+        key = scenario.name.lower()
+        if key in self._scenarios and not overwrite:
+            raise WorkloadError(
+                f"scenario {scenario.name!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        self._scenarios[key] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        """Look up a scenario by name (case-insensitive)."""
+        key = str(name).lower()
+        if key not in self._scenarios:
+            known = ", ".join(self.names())
+            raise WorkloadError(f"unknown scenario {name!r}; known scenarios: {known}")
+        return self._scenarios[key]
+
+    def names(self) -> list[str]:
+        """Registered scenario names in a stable (sorted) order."""
+        return sorted(self._scenarios)
+
+    def scenarios(self) -> list[Scenario]:
+        """Registered scenarios sorted by name."""
+        return [self._scenarios[key] for key in self.names()]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios())
+
+
+#: The registry consulted by the CLI, the sweep driver, and the benchmark.
+DEFAULT_REGISTRY = ScenarioRegistry()
+
+
+def register_scenario(
+    scenario: Scenario,
+    *,
+    registry: ScenarioRegistry | None = None,
+    overwrite: bool = False,
+) -> Scenario:
+    """Register ``scenario`` in ``registry`` (default: the global registry)."""
+    # Explicit None check: an empty ScenarioRegistry is falsy (len == 0) and
+    # must not silently fall back to the global registry.
+    if registry is None:
+        registry = DEFAULT_REGISTRY
+    return registry.register(scenario, overwrite=overwrite)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario in the default registry."""
+    return DEFAULT_REGISTRY.get(name)
+
+
+def list_scenarios() -> list[Scenario]:
+    """All scenarios in the default registry, sorted by name."""
+    return DEFAULT_REGISTRY.scenarios()
+
+
+def scenario_names() -> list[str]:
+    """All scenario names in the default registry, sorted."""
+    return DEFAULT_REGISTRY.names()

@@ -74,3 +74,30 @@ class TestCatalog:
         assert 0.0 < spec.train_fraction < 1.0
         assert spec.pending_time > 0
         assert spec.description
+
+    def test_build_seed_deterministic(self):
+        spec = get_trace("google")
+        first = spec.build(seed=3)
+        second = spec.build(seed=3)
+        np.testing.assert_array_equal(first.arrival_times, second.arrival_times)
+        np.testing.assert_array_equal(first.processing_times, second.processing_times)
+
+    def test_build_different_seeds_differ(self):
+        spec = get_trace("google")
+        a = spec.build(seed=3)
+        b = spec.build(seed=4)
+        assert a.n_queries != b.n_queries or not np.array_equal(
+            a.arrival_times, b.arrival_times
+        )
+
+    def test_build_default_seed_matches_explicit(self):
+        spec = get_trace("alibaba")
+        default = spec.build()
+        explicit = spec.build(seed=spec.default_seed)
+        np.testing.assert_array_equal(default.arrival_times, explicit.arrival_times)
+
+    def test_build_split_accepts_seed(self):
+        spec = get_trace("google")
+        train, test = spec.build_split(seed=3)
+        full = spec.build(seed=3)
+        assert train.n_queries + test.n_queries == full.n_queries

@@ -1,0 +1,168 @@
+"""Smoke tests for the ``workloads`` CLI subcommand."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.io import load_trace_csv
+from repro.workloads import scenario_names
+
+
+class TestParser:
+    def test_workloads_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workloads"])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["workloads", "list"])
+        assert args.command == "workloads"
+        assert args.workloads_command == "list"
+
+    def test_generate_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workloads", "generate"])
+
+    def test_sweep_accumulates_scenarios(self):
+        args = build_parser().parse_args(
+            ["workloads", "sweep", "--scenario", "crs", "--scenario", "google"]
+        )
+        assert args.scenario == ["crs", "google"]
+
+
+class TestList:
+    def test_lists_all_scenarios(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in output
+        assert f"{len(scenario_names())} scenarios registered" in output
+        assert len(scenario_names()) >= 10
+
+
+class TestGenerate:
+    def test_prints_summary(self, capsys):
+        code = main(
+            [
+                "workloads",
+                "generate",
+                "--scenario",
+                "flash-crowd",
+                "--scale",
+                "0.05",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "n_queries" in output
+        assert "flash-crowd" in output
+
+    def test_saves_csv_round_trip(self, capsys, tmp_path):
+        out = tmp_path / "trace.csv"
+        code = main(
+            [
+                "workloads",
+                "generate",
+                "--scenario",
+                "steady-state",
+                "--scale",
+                "0.05",
+                "--seed",
+                "3",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        loaded = load_trace_csv(out)
+        assert loaded.n_queries > 0
+        assert np.all(np.diff(loaded.arrival_times) >= 0)
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        code = main(["workloads", "generate", "--scenario", "nope"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_small_sweep_runs_and_is_deterministic(self, capsys):
+        argv = [
+            "workloads",
+            "sweep",
+            "--scenario",
+            "steady-state",
+            "--scale",
+            "0.05",
+            "--seed",
+            "7",
+            "--planning-interval",
+            "20",
+            "--mc-samples",
+            "60",
+            "--hp-target",
+            "0.7",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "RobustScaler-HP" in first
+        assert "BP(" in first
+        assert "Reactive" in first
+        assert "Per-scenario Pareto summary" in first
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_summary_only(self, capsys):
+        code = main(
+            [
+                "workloads",
+                "sweep",
+                "--scenario",
+                "steady-state",
+                "--scale",
+                "0.05",
+                "--mc-samples",
+                "60",
+                "--planning-interval",
+                "20",
+                "--hp-target",
+                "0.7",
+                "--summary-only",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Per-scenario Pareto summary" in output
+        assert "Scenario sweep" not in output
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        code = main(["workloads", "sweep", "--scenario", "nope"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestSimulateRegistryIntegration:
+    def test_simulate_accepts_registry_scenario(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--trace",
+                "steady-state",
+                "--scale",
+                "0.05",
+                "--scaler",
+                "bp",
+                "--target",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "hit_rate" in capsys.readouterr().out
+
+    def test_simulate_unknown_trace_fails_cleanly(self, capsys):
+        code = main(["simulate", "--trace", "nope", "--scaler", "bp", "--target", "1"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
