@@ -20,7 +20,13 @@ Autoscaling for Complex Workloads* (Qian et al., ICDE 2022).  It provides:
   seed-reproducible scenarios (flash crowds, diurnal/weekly seasonality,
   launches, sale events, batch bursts, multi-tenant mixes, outages, plus
   aliases for the paper traces), and a ``repro workloads list|generate|sweep``
-  CLI that evaluates the autoscalers across the whole registry.
+  CLI that evaluates the autoscalers across the whole registry;
+* a parallel evaluation runtime (:mod:`repro.runtime`): experiment sweeps
+  expressed as declarative, picklable tasks, executed serially or on a
+  process pool (``--workers`` / ``REPRO_WORKERS``) with bit-identical
+  result rows, deterministic per-task seeding via
+  ``numpy.random.SeedSequence.spawn``, and a workload-preparation cache
+  that fits each workload model once per sweep.
 
 Quickstart
 ----------
@@ -80,6 +86,15 @@ from .traces import (
     generate_crs_like_trace,
     generate_google_like_trace,
     generate_trace_from_intensity,
+)
+from .runtime import (
+    EvalTask,
+    PrepSpec,
+    ScalerSpec,
+    WorkloadCache,
+    WorkloadSpec,
+    run_task_rows,
+    run_tasks,
 )
 from .types import ArrivalTrace, QPSSeries, ScalingAction, ScalingPlan, SimulationResult
 from .workloads import (
@@ -148,6 +163,14 @@ __all__ = [
     "generate_google_like_trace",
     "generate_alibaba_like_trace",
     "generate_trace_from_intensity",
+    # evaluation runtime
+    "EvalTask",
+    "PrepSpec",
+    "ScalerSpec",
+    "WorkloadCache",
+    "WorkloadSpec",
+    "run_tasks",
+    "run_task_rows",
     # workload scenarios
     "Scenario",
     "ScenarioRegistry",

@@ -6,6 +6,7 @@ Usage examples::
     repro simulate --trace google --scaler rs-hp --target 0.9
     repro experiment pareto                  # regenerate the Fig. 4 data
     repro experiment table3                  # periodicity-regularization study
+    repro experiment scenario-sweep --workers 4   # parallel registry sweep
     repro workloads list                     # the scenario registry
     repro workloads generate --scenario flash-crowd --seed 7 --out fc.csv
     repro workloads sweep                    # autoscalers across every scenario
@@ -25,7 +26,7 @@ import sys
 from typing import Callable, Sequence
 
 from .config import PlannerConfig, SimulationConfig
-from .exceptions import ValidationError, WorkloadError
+from .exceptions import ExperimentError, ValidationError, WorkloadError
 from .experiments import (
     run_control_accuracy_experiment,
     run_mc_accuracy_experiment,
@@ -42,7 +43,9 @@ from .experiments import (
     summarize_scenario_sweep,
 )
 from .experiments.pareto import ParetoExperimentConfig
+from .experiments.perturbation import PerturbationExperimentConfig
 from .experiments.scenario_sweep import ScenarioSweepConfig
+from .experiments.variance import VarianceExperimentConfig
 from .metrics.report import format_table, summarize_result
 from .pending import DeterministicPendingTime
 from .scaling import (
@@ -73,6 +76,15 @@ _EXPERIMENTS: dict[str, Callable[[], list[dict]]] = {
     "table3": run_regularization_experiment,
     "table4": run_realenv_experiment,
     "scenario-sweep": run_scenario_sweep_experiment,
+}
+
+#: Experiments routed through the parallel evaluation runtime; their config
+#: classes accept ``scale`` and ``workers``.
+_RUNTIME_EXPERIMENTS = {
+    "pareto": (ParetoExperimentConfig, run_pareto_experiment),
+    "scenario-sweep": (ScenarioSweepConfig, run_scenario_sweep_experiment),
+    "variance": (VarianceExperimentConfig, run_variance_experiment),
+    "perturbation": (PerturbationExperimentConfig, run_perturbation_experiment),
 }
 
 
@@ -117,6 +129,16 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--scale", type=float, default=None, help="trace size factor where applicable"
     )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "evaluation processes for the runtime-backed experiments "
+            f"({', '.join(sorted(_RUNTIME_EXPERIMENTS))}); default: the "
+            "REPRO_WORKERS environment variable, else serial"
+        ),
+    )
 
     workloads = subparsers.add_parser(
         "workloads", help="workload-scenario registry: list, generate, sweep"
@@ -155,12 +177,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         type=float,
         default=None,
-        help="RobustScaler-HP target (repeatable; default: 0.5 and 0.9)",
+        help="RobustScaler-HP target (repeatable; default: per-scenario grids)",
     )
     sweep.add_argument(
         "--summary-only",
         action="store_true",
         help="print only the per-scenario frontier summary",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "evaluation processes; default: the REPRO_WORKERS environment "
+            "variable, else serial"
+        ),
+    )
+    sweep.add_argument(
+        "--hp-only",
+        action="store_true",
+        help="sweep only the HP variant of RobustScaler (skip RT and cost)",
     )
 
     return parser
@@ -276,7 +312,10 @@ def _command_workloads_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         planning_interval=args.planning_interval,
         monte_carlo_samples=args.mc_samples,
-        hp_targets=tuple(args.hp_target) if args.hp_target else (0.5, 0.9),
+        hp_targets=tuple(args.hp_target) if args.hp_target else None,
+        include_rt_variant=not args.hp_only,
+        include_cost_variant=not args.hp_only,
+        workers=args.workers,
     )
     rows = run_scenario_sweep_experiment(config)
     if not args.summary_only:
@@ -315,13 +354,23 @@ def _command_workloads(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    runner = _EXPERIMENTS[args.name]
-    if args.scale is not None and args.name == "pareto":
-        rows = run_pareto_experiment(ParetoExperimentConfig(scale=args.scale))
-    elif args.scale is not None and args.name == "scenario-sweep":
-        rows = run_scenario_sweep_experiment(ScenarioSweepConfig(scale=args.scale))
-    else:
-        rows = runner()
+    try:
+        if args.name in _RUNTIME_EXPERIMENTS:
+            config_cls, runner = _RUNTIME_EXPERIMENTS[args.name]
+            kwargs: dict = {"workers": args.workers}
+            if args.scale is not None:
+                kwargs["scale"] = args.scale
+            rows = runner(config_cls(**kwargs))
+        else:
+            if args.workers is not None:
+                print(
+                    f"note: --workers is ignored by experiment {args.name!r}",
+                    file=sys.stderr,
+                )
+            rows = _EXPERIMENTS[args.name]()
+    except (ExperimentError, ValidationError, WorkloadError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(format_table(rows, title=f"Experiment: {args.name}"))
     return 0
 

@@ -2,28 +2,27 @@
 
 The drivers all follow the same recipe — generate (or accept) a trace, split
 it into training and test windows, fit the NHPP workload model on the
-training part, and replay the test part under a set of autoscalers — so the
-common steps live here.
+training part, and replay the test part under a set of autoscalers.  The
+heavy lifting lives in :mod:`repro.runtime` (workload preparation, the
+evaluation code path, batched serial/parallel execution); this module keeps
+the driver-facing helpers and re-exports
+:class:`~repro.runtime.workload.PreparedWorkload` /
+:func:`~repro.runtime.workload.prepare_workload` from their historical
+location.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-import numpy as np
-
-from ..config import NHPPConfig, PlannerConfig, SimulationConfig
-from ..metrics.report import summarize_result
-from ..nhpp.intensity import PiecewiseConstantIntensity
-from ..nhpp.model import NHPPModel
-from ..pending import DeterministicPendingTime, PendingTimeModel
+from ..config import PlannerConfig
+from ..runtime.spec import ScalerSpec
+from ..runtime.workload import PreparedWorkload, evaluate_prepared, prepare_workload
 from ..scaling.adaptive_backup_pool import AdaptiveBackupPoolScaler
-from ..scaling.backup_pool import BackupPoolScaler, ReactiveScaler
+from ..scaling.backup_pool import BackupPoolScaler
 from ..scaling.base import Autoscaler
 from ..scaling.robustscaler import RobustScaler, RobustScalerObjective
-from ..simulation.engine import ScalingPerQuerySimulator
-from ..types import ArrivalTrace, SimulationResult
+from ..types import ArrivalTrace
 
 __all__ = [
     "PreparedWorkload",
@@ -34,110 +33,9 @@ __all__ = [
     "build_robustscaler",
     "make_trace",
     "trace_defaults",
+    "baseline_sweeps",
+    "robustscaler_spec",
 ]
-
-
-@dataclass
-class PreparedWorkload:
-    """A trace split into train/test together with the fitted workload model.
-
-    Attributes
-    ----------
-    name:
-        Trace name (used in report rows).
-    train, test:
-        The training and test sub-traces; the test trace is rebased to start
-        at time 0 and the forecast's origin coincides with it.
-    model:
-        The NHPP model fitted on the training window.
-    forecast:
-        The extrapolated intensity used by the RobustScaler variants.
-    pending_model:
-        The pending-time model shared by the planner and the simulator.
-    simulation:
-        Simulator configuration used for the replays.
-    reference_cost:
-        Total cost of the purely reactive baseline on the test trace, the
-        denominator of the ``relative cost`` metric.
-    """
-
-    name: str
-    train: ArrivalTrace
-    test: ArrivalTrace
-    model: NHPPModel
-    forecast: PiecewiseConstantIntensity
-    pending_model: PendingTimeModel
-    simulation: SimulationConfig
-    reference_cost: float
-
-    @property
-    def mean_processing_time(self) -> float:
-        """Average processing time of the test queries (``mu_s``)."""
-        processing = np.asarray(self.test.processing_times, dtype=float)
-        return float(processing.mean()) if processing.size else 0.0
-
-    def replay(self, scaler: Autoscaler) -> SimulationResult:
-        """Replay the test trace under ``scaler``."""
-        simulator = ScalingPerQuerySimulator(self.simulation)
-        return simulator.replay(self.test, scaler)
-
-    def evaluate(self, scaler: Autoscaler, **extra: float | str) -> dict:
-        """Replay ``scaler`` and return a summary row for report tables."""
-        result = self.replay(scaler)
-        row: dict = {"trace": self.name, "scaler": scaler.name}
-        row.update(extra)
-        row.update(summarize_result(result, reference_cost=self.reference_cost))
-        return row
-
-
-def prepare_workload(
-    trace: ArrivalTrace,
-    *,
-    train_fraction: float = 0.75,
-    bin_seconds: float = 60.0,
-    pending_time: float = 13.0,
-    nhpp_config: NHPPConfig | None = None,
-    simulation: SimulationConfig | None = None,
-    period_bins: int | None = None,
-) -> PreparedWorkload:
-    """Split, fit, and package a trace for the experiment drivers.
-
-    Parameters
-    ----------
-    trace:
-        The full trace (training + test).
-    train_fraction:
-        Fraction of the horizon used for training.
-    bin_seconds:
-        Bin width for the QPS series the NHPP is fitted on.
-    pending_time:
-        Instance startup latency (seconds) used in both planning and replay.
-    nhpp_config:
-        NHPP hyper-parameters; defaults to the library defaults.
-    simulation:
-        Simulator configuration; defaults to a deterministic pending time of
-        ``pending_time`` seconds.
-    period_bins:
-        Explicit period (in bins) to use instead of running detection.
-    """
-    train, test = trace.split(train_fraction)
-    model = NHPPModel(nhpp_config, bin_seconds=bin_seconds)
-    model.fit(train, period_bins=period_bins)
-    forecast = model.forecast()
-    pending_model = DeterministicPendingTime(pending_time)
-    sim_config = simulation or SimulationConfig(pending_time=pending_time)
-    simulator = ScalingPerQuerySimulator(sim_config)
-    reference = simulator.replay(test, ReactiveScaler())
-    return PreparedWorkload(
-        name=trace.name,
-        train=train,
-        test=test,
-        model=model,
-        forecast=forecast,
-        pending_model=pending_model,
-        simulation=sim_config,
-        reference_cost=reference.total_cost,
-    )
 
 
 def default_planner(
@@ -167,6 +65,28 @@ def build_robustscaler(
         target=target,
         planner=planner or default_planner(),
         random_state=random_state,
+    )
+
+
+def robustscaler_spec(
+    config,
+    kind: str,
+    target: float,
+    *,
+    parameter_name: str | None = None,
+) -> ScalerSpec:
+    """A RobustScaler :class:`~repro.runtime.ScalerSpec` bound to a driver config.
+
+    ``config`` is any experiment configuration carrying ``planning_interval``
+    and ``monte_carlo_samples`` — the one place the drivers' planner settings
+    turn into declarative specs.
+    """
+    return ScalerSpec(
+        kind,
+        float(target),
+        parameter_name=parameter_name,
+        planning_interval=config.planning_interval,
+        monte_carlo_samples=config.monte_carlo_samples,
     )
 
 
@@ -242,12 +162,16 @@ def run_scaler_sweep(
     """Evaluate ``scaler_factory(value)`` for every value in the sweep.
 
     Returns one summary row per parameter value, each carrying the parameter
-    under ``parameter_name``.
+    under ``parameter_name``.  This is the in-process variant for callers
+    holding live workloads and arbitrary factories; sweeps that should scale
+    across processes go through :func:`repro.runtime.run_tasks` instead.
     """
     rows = []
     for value in parameter_values:
         scaler = scaler_factory(value)
-        rows.append(workload.evaluate(scaler, **{parameter_name: float(value)}))
+        rows.append(
+            evaluate_prepared(workload, scaler, extra={parameter_name: float(value)})
+        )
     return rows
 
 

@@ -5,6 +5,13 @@ For every trace the driver sweeps the trade-off parameter of each autoscaler
 three RobustScaler variants) and records ``hit_rate``, ``rt_avg`` and
 ``relative_cost`` for each point — exactly the data behind the six Pareto
 plots of Fig. 4.
+
+:func:`run_pareto_experiment` expresses the full sweep as one
+:mod:`repro.runtime` task batch, so each trace is prepared once (workload
+cache) and the points evaluate serially or on a process pool (``workers`` /
+``REPRO_WORKERS``) with identical rows.  :func:`run_single_trace_pareto`
+remains the in-process variant for callers that already hold a prepared
+workload (the robustness drivers, the examples).
 """
 
 from __future__ import annotations
@@ -12,9 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-import numpy as np
-
 from ..config import SimulationConfig
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
 from ..scaling.robustscaler import RobustScalerObjective
 from ..types import ArrivalTrace
 from .base import (
@@ -24,11 +30,16 @@ from .base import (
     default_planner,
     make_trace,
     prepare_workload,
+    robustscaler_spec,
     run_scaler_sweep,
     trace_defaults,
 )
 
 __all__ = ["ParetoExperimentConfig", "run_pareto_experiment", "run_single_trace_pareto"]
+
+#: Pending time (seconds) of the paper's deployment, the ``mu_tau`` the
+#: waiting-time budget grid is expressed against.
+_PENDING_TIME = 13.0
 
 
 @dataclass
@@ -53,6 +64,9 @@ class ParetoExperimentConfig:
         seconds of waiting time / idle time respectively).
     include_rt_variant, include_cost_variant:
         Allow dropping the extra variants for faster runs.
+    workers:
+        Process count for the runtime executor; ``None`` consults
+        ``REPRO_WORKERS`` and defaults to serial.
     """
 
     trace_names: tuple[str, ...] = ("crs", "google", "alibaba")
@@ -68,16 +82,78 @@ class ParetoExperimentConfig:
     pool_sizes: Sequence[int] | None = None
     adaptive_factors: Sequence[float] | None = None
     extra_simulation: SimulationConfig | None = field(default=None)
+    workers: int | None = None
+
+
+def _resolve_grids(
+    trace_key: str,
+    config: ParetoExperimentConfig,
+    *,
+    mu_tau: float,
+    mean_test_qps: float,
+) -> dict:
+    """Concrete sweep grids for one trace (config overrides, else defaults)."""
+    defaults = trace_defaults(trace_key)
+    rt_budgets = config.rt_budgets
+    if rt_budgets is None:
+        # Waiting-time budgets spanning "almost always wait the full pending
+        # time" down to "almost never wait".
+        rt_budgets = [mu_tau * f for f in (0.75, 0.5, 0.25, 0.1, 0.02)]
+    cost_budgets = config.cost_budgets
+    if cost_budgets is None:
+        mean_gap = 1.0 / max(mean_test_qps, 1e-9)
+        cost_budgets = [mean_gap * f for f in (0.05, 0.25)]
+    return {
+        "pool_sizes": list(config.pool_sizes or defaults["pool_sizes"]),
+        "adaptive_factors": list(config.adaptive_factors or defaults["adaptive_factors"]),
+        "hp_targets": list(config.hp_targets or defaults["hp_targets"]),
+        "rt_budgets": sorted(rt_budgets, reverse=True),
+        "cost_budgets": sorted(cost_budgets),
+    }
+
+
+def _scaler_specs(grids: dict, config: ParetoExperimentConfig) -> list[ScalerSpec]:
+    """The per-trace sweep as declarative scaler specs (baselines first)."""
+    specs = [ScalerSpec("bp", int(size)) for size in grids["pool_sizes"]]
+    specs += [ScalerSpec("adapbp", float(f)) for f in grids["adaptive_factors"]]
+    specs += [robustscaler_spec(config, "rs-hp", t) for t in grids["hp_targets"]]
+    if config.include_rt_variant:
+        specs += [robustscaler_spec(config, "rs-rt", b) for b in grids["rt_budgets"]]
+    if config.include_cost_variant:
+        specs += [robustscaler_spec(config, "rs-cost", b) for b in grids["cost_budgets"]]
+    return specs
 
 
 def run_pareto_experiment(config: ParetoExperimentConfig | None = None) -> list[dict]:
     """Run the Fig. 4 sweeps on every configured trace and return all rows."""
     config = config or ParetoExperimentConfig()
-    rows: list[dict] = []
+    tasks: list[EvalTask] = []
     for name in config.trace_names:
+        defaults = trace_defaults(name)
+        # The budget grids need the test window's mean QPS; generating the
+        # trace here is cheap (no model fit) and bit-identical to what the
+        # executor regenerates from the same (scenario, scale, seed).
         trace = make_trace(name, scale=config.scale, seed=config.seed)
-        rows.extend(run_single_trace_pareto(trace, trace_key=name, config=config))
-    return rows
+        _, test = trace.split(defaults["train_fraction"])
+        grids = _resolve_grids(
+            name, config, mu_tau=_PENDING_TIME, mean_test_qps=test.mean_qps
+        )
+        workload = WorkloadSpec(
+            scenario=name,
+            scale=config.scale,
+            seed=config.seed,
+            prep=PrepSpec(
+                train_fraction=defaults["train_fraction"],
+                bin_seconds=defaults["bin_seconds"],
+                pending_time=_PENDING_TIME,
+                simulation=config.extra_simulation,
+            ),
+        )
+        tasks += [
+            EvalTask(workload, spec, extra=(("trace", name),))
+            for spec in _scaler_specs(grids, config)
+        ]
+    return run_task_rows(tasks, base_seed=config.seed, workers=config.workers)
 
 
 def run_single_trace_pareto(
@@ -87,7 +163,12 @@ def run_single_trace_pareto(
     config: ParetoExperimentConfig | None = None,
     workload: PreparedWorkload | None = None,
 ) -> list[dict]:
-    """Run the Fig. 4 sweeps for one trace (reused by the robustness drivers)."""
+    """Run the Fig. 4 sweeps for one trace (reused by the robustness drivers).
+
+    Unlike :func:`run_pareto_experiment` this evaluates in-process against a
+    concrete (possibly caller-prepared) workload, which is what the
+    robustness/perturbation-style drivers need for their modified traces.
+    """
     config = config or ParetoExperimentConfig()
     defaults = trace_defaults(trace_key)
     if workload is None:
@@ -98,31 +179,24 @@ def run_single_trace_pareto(
             simulation=config.extra_simulation,
         )
     planner = default_planner(config.planning_interval, config.monte_carlo_samples)
-
-    pool_sizes = config.pool_sizes or defaults["pool_sizes"]
-    adaptive_factors = config.adaptive_factors or defaults["adaptive_factors"]
-    hp_targets = list(config.hp_targets or defaults["hp_targets"])
-
-    mu_tau = workload.pending_model.mean
-    rt_budgets = config.rt_budgets
-    if rt_budgets is None:
-        # Waiting-time budgets spanning "almost always wait the full pending
-        # time" down to "almost never wait".
-        rt_budgets = [mu_tau * f for f in (0.75, 0.5, 0.25, 0.1, 0.02)]
-    cost_budgets = config.cost_budgets
-    if cost_budgets is None:
-        mean_gap = 1.0 / max(workload.test.mean_qps, 1e-9)
-        cost_budgets = [mean_gap * f for f in (0.05, 0.25)]
+    grids = _resolve_grids(
+        trace_key,
+        config,
+        mu_tau=workload.pending_model.mean,
+        mean_test_qps=workload.test.mean_qps,
+    )
 
     rows = baseline_sweeps(
-        workload, pool_sizes=pool_sizes, adaptive_factors=adaptive_factors
+        workload,
+        pool_sizes=grids["pool_sizes"],
+        adaptive_factors=grids["adaptive_factors"],
     )
     rows += run_scaler_sweep(
         workload,
         lambda p: build_robustscaler(
             workload, RobustScalerObjective.HIT_PROBABILITY, p, planner=planner
         ),
-        hp_targets,
+        grids["hp_targets"],
         parameter_name="target_hp",
     )
     if config.include_rt_variant:
@@ -131,7 +205,7 @@ def run_single_trace_pareto(
             lambda d: build_robustscaler(
                 workload, RobustScalerObjective.RESPONSE_TIME, d, planner=planner
             ),
-            sorted(rt_budgets, reverse=True),
+            grids["rt_budgets"],
             parameter_name="waiting_budget",
         )
     if config.include_cost_variant:
@@ -140,7 +214,7 @@ def run_single_trace_pareto(
             lambda b: build_robustscaler(
                 workload, RobustScalerObjective.COST, b, planner=planner
             ),
-            sorted(cost_budgets),
+            grids["cost_budgets"],
             parameter_name="idle_budget",
         )
     for row in rows:

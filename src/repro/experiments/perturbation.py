@@ -6,6 +6,11 @@ window), the workload model is re-fitted on the perturbed training data, and
 both AdapBP and RobustScaler-HP are swept over their trade-off parameter on
 the perturbed test data.  The paper's observation is that AdapBP degrades as
 ``c`` grows while RobustScaler's frontier barely moves.
+
+Each perturbed trace is shipped to the :mod:`repro.runtime` executor as a
+direct-trace workload spec, so the model re-fit happens once per
+perturbation size (workload cache) and the sweep points parallelize with
+``workers`` / ``REPRO_WORKERS``.
 """
 
 from __future__ import annotations
@@ -13,17 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..scaling.adaptive_backup_pool import AdaptiveBackupPoolScaler
-from ..scaling.robustscaler import RobustScalerObjective
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
 from ..traces.perturbation import perturb_trace
-from .base import (
-    build_robustscaler,
-    default_planner,
-    make_trace,
-    prepare_workload,
-    run_scaler_sweep,
-    trace_defaults,
-)
+from .base import make_trace, trace_defaults
 
 __all__ = ["PerturbationExperimentConfig", "run_perturbation_experiment"]
 
@@ -40,6 +37,7 @@ class PerturbationExperimentConfig:
     adaptive_factors: Sequence[float] = (25.0, 50.0, 100.0)
     planning_interval: float = 2.0
     monte_carlo_samples: int = 400
+    workers: int | None = None
 
 
 def run_perturbation_experiment(
@@ -49,32 +47,28 @@ def run_perturbation_experiment(
     config = config or PerturbationExperimentConfig()
     defaults = trace_defaults(config.trace_name)
     base_trace = make_trace(config.trace_name, scale=config.scale, seed=config.seed)
-    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
+    prep = PrepSpec(
+        train_fraction=defaults["train_fraction"],
+        bin_seconds=defaults["bin_seconds"],
+    )
 
-    rows: list[dict] = []
+    tasks: list[EvalTask] = []
     for c in config.perturbation_sizes:
         perturbed = perturb_trace(base_trace, float(c), random_state=config.seed)
-        workload = prepare_workload(
-            perturbed,
-            train_fraction=defaults["train_fraction"],
-            bin_seconds=defaults["bin_seconds"],
+        workload = WorkloadSpec(trace=perturbed, prep=prep)
+        extra = (
+            ("trace", config.trace_name),
+            ("perturbation_size", float(c)),
         )
-        batch = run_scaler_sweep(
-            workload,
-            lambda factor: AdaptiveBackupPoolScaler(float(factor)),
-            list(config.adaptive_factors),
-            parameter_name="rate_factor",
-        )
-        batch += run_scaler_sweep(
-            workload,
-            lambda target: build_robustscaler(
-                workload, RobustScalerObjective.HIT_PROBABILITY, target, planner=planner
-            ),
-            list(config.hp_targets),
-            parameter_name="target_hp",
-        )
-        for row in batch:
-            row["perturbation_size"] = float(c)
-            row["trace"] = config.trace_name
-        rows.extend(batch)
-    return rows
+        specs = [ScalerSpec("adapbp", float(f)) for f in config.adaptive_factors]
+        specs += [
+            ScalerSpec(
+                "rs-hp",
+                float(target),
+                planning_interval=config.planning_interval,
+                monte_carlo_samples=config.monte_carlo_samples,
+            )
+            for target in config.hp_targets
+        ]
+        tasks += [EvalTask(workload, spec, extra=extra) for spec in specs]
+    return run_task_rows(tasks, base_seed=config.seed, workers=config.workers)

@@ -4,12 +4,16 @@ Where the paper's Fig. 4 compares autoscalers on three traces, this driver
 runs the comparison across *every* scenario in the workload registry
 (:mod:`repro.workloads`): for each scenario it generates the trace, fits the
 NHPP workload model on the training window, replays the test window under
-the reactive baseline, Backup Pool, Adaptive Backup Pool and
-RobustScaler-HP, and reports cost/QoS rows with the per-scenario Pareto
-frontier marked (via :mod:`repro.metrics.pareto`).
+the reactive baseline, Backup Pool, Adaptive Backup Pool and all three
+RobustScaler variants (HP-, RT- and cost-constrained, each over a
+per-scenario default target grid), and reports cost/QoS rows with the
+per-scenario Pareto frontier marked (via :mod:`repro.metrics.pareto`).
 
-Everything is deterministic for a fixed ``seed``: the traces, the Monte
-Carlo decisions, and therefore every row.
+Execution routes through :mod:`repro.runtime`: the sweep is expressed as a
+batch of :class:`~repro.runtime.EvalTask` and evaluated either serially or
+on a process pool (``workers`` / ``REPRO_WORKERS``) with bit-identical
+rows.  Everything is deterministic for a fixed ``seed``: the traces, the
+per-task Monte Carlo streams, and therefore every row.
 """
 
 from __future__ import annotations
@@ -19,22 +23,59 @@ from typing import Sequence
 
 from ..exceptions import ExperimentError
 from ..metrics.pareto import ParetoPoint, pareto_frontier
-from ..scaling.adaptive_backup_pool import AdaptiveBackupPoolScaler
-from ..scaling.backup_pool import BackupPoolScaler, ReactiveScaler
-from ..scaling.robustscaler import RobustScalerObjective
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
 from ..workloads import DEFAULT_REGISTRY, ScenarioRegistry
-from .base import (
-    build_robustscaler,
-    default_planner,
-    prepare_workload,
-    run_scaler_sweep,
-)
+from ..workloads.scenarios import Scenario
+from .base import robustscaler_spec
 
 __all__ = [
     "ScenarioSweepConfig",
+    "scenario_sweep_defaults",
+    "build_scenario_sweep_tasks",
     "run_scenario_sweep_experiment",
     "summarize_scenario_sweep",
 ]
+
+
+#: Baseline sweep grids, refined per scenario by tag/name overrides below —
+#: the registry-wide analogue of :func:`repro.experiments.base.trace_defaults`.
+_SWEEP_DEFAULTS = {
+    "hp_targets": (0.5, 0.9),
+    "rt_budget_fractions": (0.5, 0.1),
+    "cost_budget_fractions": (0.05, 0.25),
+}
+
+#: Tag-keyed refinements (applied in scenario tag order, later tags win).
+_TAG_SWEEP_OVERRIDES = {
+    # Spiky, hard-to-forecast traffic: chasing very high hit probabilities
+    # is hopeless, so sweep moderate targets and looser waiting budgets.
+    "adversarial": {"hp_targets": (0.3, 0.7), "rt_budget_fractions": (0.75, 0.25)},
+    "heavy-tail": {"hp_targets": (0.3, 0.7), "rt_budget_fractions": (0.75, 0.25)},
+}
+
+#: Name-keyed refinements (highest precedence), mirroring ``trace_defaults``.
+_NAME_SWEEP_OVERRIDES = {
+    "crs": {"hp_targets": (0.5, 0.9, 0.99)},
+    "google": {"hp_targets": (0.5, 0.9, 0.99)},
+    "alibaba": {"hp_targets": (0.5, 0.9, 0.99)},
+}
+
+
+def scenario_sweep_defaults(scenario: Scenario) -> dict:
+    """Default sweep grids for ``scenario``.
+
+    Returns ``hp_targets`` (absolute hit probabilities),
+    ``rt_budget_fractions`` (waiting budgets as fractions of the scenario's
+    pending time) and ``cost_budget_fractions`` (idle budgets as fractions
+    of the test window's mean inter-arrival gap).  Base grids are refined by
+    tag- and then name-keyed overrides, the registry-wide mirror of the
+    per-trace ``trace_defaults`` grids.
+    """
+    grids = dict(_SWEEP_DEFAULTS)
+    for tag in scenario.tags:
+        grids.update(_TAG_SWEEP_OVERRIDES.get(tag, {}))
+    grids.update(_NAME_SWEEP_OVERRIDES.get(scenario.name.lower(), {}))
+    return grids
 
 
 @dataclass
@@ -48,11 +89,18 @@ class ScenarioSweepConfig:
     scale:
         Trace size factor applied to every scenario (1.0 = full size).
     seed:
-        Seed for trace generation and Monte Carlo planning.
+        Seed for trace generation and per-task Monte Carlo streams.
     planning_interval, monte_carlo_samples:
         RobustScaler planner settings.
     hp_targets:
-        Target hit probabilities for the RobustScaler-HP sweep.
+        Target hit probabilities for the RobustScaler-HP sweep; ``None``
+        uses the per-scenario defaults of :func:`scenario_sweep_defaults`.
+    rt_budgets, cost_budgets:
+        Explicit RT/cost constraint grids (seconds); ``None`` derives them
+        from the per-scenario default fractions.
+    include_rt_variant, include_cost_variant:
+        Allow dropping the RT-/cost-constrained RobustScaler sweeps for
+        faster runs.
     pool_sizes, adaptive_factors:
         Baseline sweep grids (Backup Pool sizes, AdapBP rate factors).
     min_test_queries:
@@ -60,6 +108,9 @@ class ScenarioSweepConfig:
         reported with a ``note`` instead of being replayed.
     registry:
         Scenario registry to sweep; defaults to the global one.
+    workers:
+        Process count for the evaluation; ``None`` consults the
+        ``REPRO_WORKERS`` environment variable and defaults to serial.
     """
 
     scenario_names: Sequence[str] | None = None
@@ -67,11 +118,115 @@ class ScenarioSweepConfig:
     seed: int = 7
     planning_interval: float = 10.0
     monte_carlo_samples: int = 120
-    hp_targets: Sequence[float] = (0.5, 0.9)
+    hp_targets: Sequence[float] | None = None
+    rt_budgets: Sequence[float] | None = None
+    cost_budgets: Sequence[float] | None = None
+    include_rt_variant: bool = True
+    include_cost_variant: bool = True
     pool_sizes: Sequence[int] = (1, 4)
     adaptive_factors: Sequence[float] = (10.0,)
     min_test_queries: int = 8
     registry: ScenarioRegistry | None = None
+    workers: int | None = None
+
+
+def _sweep_registry(config: ScenarioSweepConfig) -> ScenarioRegistry:
+    # Explicit None check: an empty ScenarioRegistry is falsy (len == 0) and
+    # must not silently fall back to the global registry.
+    return DEFAULT_REGISTRY if config.registry is None else config.registry
+
+
+def _sweep_names(config: ScenarioSweepConfig, registry: ScenarioRegistry) -> list[str]:
+    """The scenarios to sweep, in sweep order."""
+    if config.scenario_names is None:
+        names = registry.names()
+    else:
+        names = list(config.scenario_names)
+    if not names:
+        raise ExperimentError("scenario sweep requires at least one scenario")
+    return names
+
+
+def build_scenario_sweep_tasks(
+    config: ScenarioSweepConfig | None = None,
+) -> tuple[list[EvalTask], list[dict]]:
+    """Expand the sweep configuration into runtime tasks.
+
+    Returns ``(tasks, skipped)`` where ``tasks`` is the evaluation batch
+    (grouped by scenario, so executors get good workload-cache locality) and
+    ``skipped`` holds one note row per scenario whose test window is too
+    small to replay at the configured scale.
+    """
+    config = config or ScenarioSweepConfig()
+    registry = _sweep_registry(config)
+    names = _sweep_names(config, registry)
+
+    tasks: list[EvalTask] = []
+    skipped: list[dict] = []
+    for name in names:
+        scenario = registry.get(name)
+        trace = scenario.build_trace(scale=config.scale, seed=config.seed)
+        _, test = trace.split(scenario.train_fraction)
+        if test.n_queries < config.min_test_queries:
+            skipped.append(
+                {
+                    "scenario": scenario.name,
+                    "scaler": "-",
+                    "note": (
+                        f"skipped: only {test.n_queries} test queries "
+                        f"at scale {config.scale:g}"
+                    ),
+                }
+            )
+            continue
+
+        prep = PrepSpec(
+            train_fraction=scenario.train_fraction,
+            bin_seconds=scenario.bin_seconds,
+            pending_time=scenario.pending_time,
+        )
+        if config.registry is None:
+            workload = WorkloadSpec(
+                scenario=scenario.name,
+                scale=config.scale,
+                seed=config.seed,
+                prep=prep,
+            )
+        else:
+            # Custom registries are not importable inside pool workers, so
+            # ship the concrete trace instead of the scenario name.
+            workload = WorkloadSpec(trace=trace, prep=prep)
+
+        grids = scenario_sweep_defaults(scenario)
+        hp_targets = (
+            grids["hp_targets"] if config.hp_targets is None else config.hp_targets
+        )
+        rt_budgets = config.rt_budgets
+        if rt_budgets is None:
+            rt_budgets = [
+                scenario.pending_time * f for f in grids["rt_budget_fractions"]
+            ]
+        cost_budgets = config.cost_budgets
+        if cost_budgets is None:
+            mean_gap = 1.0 / max(test.mean_qps, 1e-9)
+            cost_budgets = [mean_gap * f for f in grids["cost_budget_fractions"]]
+
+        extra = (("scenario", scenario.name),)
+        specs: list[ScalerSpec] = [ScalerSpec("reactive")]
+        specs += [ScalerSpec("bp", int(size)) for size in config.pool_sizes]
+        specs += [ScalerSpec("adapbp", float(f)) for f in config.adaptive_factors]
+        specs += [robustscaler_spec(config, "rs-hp", t) for t in hp_targets]
+        if config.include_rt_variant:
+            specs += [
+                robustscaler_spec(config, "rs-rt", b)
+                for b in sorted(rt_budgets, reverse=True)
+            ]
+        if config.include_cost_variant:
+            specs += [
+                robustscaler_spec(config, "rs-cost", b) for b in sorted(cost_budgets)
+            ]
+        tasks += [EvalTask(workload, spec, extra=extra) for spec in specs]
+    return tasks, skipped
 
 
 def run_scenario_sweep_experiment(
@@ -84,69 +239,25 @@ def run_scenario_sweep_experiment(
     cost/hit-rate Pareto frontier.
     """
     config = config or ScenarioSweepConfig()
-    # Explicit None check: an empty ScenarioRegistry is falsy (len == 0) and
-    # must not silently fall back to the global registry.
-    registry = DEFAULT_REGISTRY if config.registry is None else config.registry
-    if config.scenario_names is None:
-        names = registry.names()
-    else:
-        names = list(config.scenario_names)
-    if not names:
-        raise ExperimentError("scenario sweep requires at least one scenario")
-    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
+    tasks, skipped = build_scenario_sweep_tasks(config)
+    evaluated = run_task_rows(tasks, base_seed=config.seed, workers=config.workers)
 
-    rows: list[dict] = []
-    for name in names:
-        scenario = registry.get(name)
-        trace = scenario.build_trace(scale=config.scale, seed=config.seed)
-        workload = prepare_workload(
-            trace,
-            train_fraction=scenario.train_fraction,
-            bin_seconds=scenario.bin_seconds,
-            pending_time=scenario.pending_time,
-        )
-        if workload.test.n_queries < config.min_test_queries:
-            rows.append(
-                {
-                    "scenario": scenario.name,
-                    "scaler": "-",
-                    "note": (
-                        f"skipped: only {workload.test.n_queries} test queries "
-                        f"at scale {config.scale:g}"
-                    ),
-                }
-            )
-            continue
-
-        scenario_rows = [workload.evaluate(ReactiveScaler())]
-        scenario_rows += run_scaler_sweep(
-            workload,
-            lambda size: BackupPoolScaler(int(size)),
-            list(config.pool_sizes),
-            parameter_name="pool_size",
-        )
-        scenario_rows += run_scaler_sweep(
-            workload,
-            lambda factor: AdaptiveBackupPoolScaler(float(factor)),
-            list(config.adaptive_factors),
-            parameter_name="rate_factor",
-        )
-        scenario_rows += run_scaler_sweep(
-            workload,
-            lambda target: build_robustscaler(
-                workload,
-                RobustScalerObjective.HIT_PROBABILITY,
-                target,
-                planner=planner,
-                random_state=config.seed,
-            ),
-            list(config.hp_targets),
-            parameter_name="target_hp",
-        )
+    by_scenario: dict[str, list[dict]] = {}
+    for row in evaluated:
+        by_scenario.setdefault(row["scenario"], []).append(row)
+    for scenario_rows in by_scenario.values():
         _mark_frontier(scenario_rows)
-        for row in scenario_rows:
-            row["scenario"] = scenario.name
-        rows.extend(scenario_rows)
+
+    # Interleave evaluated and skipped scenarios back into sweep order.
+    registry = _sweep_registry(config)
+    notes = {row["scenario"]: row for row in skipped}
+    rows: list[dict] = []
+    for name in _sweep_names(config, registry):
+        canonical = registry.get(name).name
+        if canonical in by_scenario:
+            rows.extend(by_scenario.pop(canonical))
+        elif canonical in notes:
+            rows.append(notes.pop(canonical))
     return rows
 
 

@@ -5,6 +5,11 @@ are ordered by arrival time, their per-query QoS is averaged over blocks of
 50 consecutive queries, and the variance of those block means is reported
 against the overall mean — the construction of Fig. 5(a) (hit rate) and
 Fig. 5(b) (response time).
+
+The sweep is a :mod:`repro.runtime` task batch whose tasks request the
+windowed statistics (``variance_window``), so the single prepared workload
+is shared across every candidate and the replays parallelize with
+``workers`` / ``REPRO_WORKERS``.
 """
 
 from __future__ import annotations
@@ -12,17 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..metrics.variance import windowed_mean_variance
-from ..scaling.adaptive_backup_pool import AdaptiveBackupPoolScaler
-from ..scaling.backup_pool import BackupPoolScaler
-from ..scaling.robustscaler import RobustScalerObjective
-from .base import (
-    build_robustscaler,
-    default_planner,
-    make_trace,
-    prepare_workload,
-    trace_defaults,
-)
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
+from .base import make_trace, robustscaler_spec, trace_defaults
 
 __all__ = ["VarianceExperimentConfig", "run_variance_experiment"]
 
@@ -41,6 +37,7 @@ class VarianceExperimentConfig:
     cost_budget_fractions: Sequence[float] = (0.02, 0.1, 0.3)
     pool_sizes: Sequence[int] = (1, 2, 4)
     adaptive_factors: Sequence[float] = (25.0, 50.0, 100.0)
+    workers: int | None = None
 
 
 def run_variance_experiment(config: VarianceExperimentConfig | None = None) -> list[dict]:
@@ -48,59 +45,41 @@ def run_variance_experiment(config: VarianceExperimentConfig | None = None) -> l
     config = config or VarianceExperimentConfig()
     defaults = trace_defaults(config.trace_name)
     trace = make_trace(config.trace_name, scale=config.scale, seed=config.seed)
-    workload = prepare_workload(
-        trace,
-        train_fraction=defaults["train_fraction"],
-        bin_seconds=defaults["bin_seconds"],
+    _, test = trace.split(defaults["train_fraction"])
+    mean_gap = 1.0 / max(test.mean_qps, 1e-9)
+
+    workload = WorkloadSpec(
+        scenario=config.trace_name,
+        scale=config.scale,
+        seed=config.seed,
+        prep=PrepSpec(
+            train_fraction=defaults["train_fraction"],
+            bin_seconds=defaults["bin_seconds"],
+        ),
     )
-    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
 
-    candidates: list = []
+    def rs_spec(kind: str, target: float) -> ScalerSpec:
+        return robustscaler_spec(config, kind, target, parameter_name="parameter")
+
+    candidates: list[tuple[str, ScalerSpec]] = []
     for size in config.pool_sizes:
-        candidates.append(("BP", size, BackupPoolScaler(int(size))))
+        candidates.append(("BP", ScalerSpec("bp", int(size), parameter_name="parameter")))
     for factor in config.adaptive_factors:
-        candidates.append(("AdapBP", factor, AdaptiveBackupPoolScaler(float(factor))))
+        candidates.append(
+            ("AdapBP", ScalerSpec("adapbp", float(factor), parameter_name="parameter"))
+        )
     for target in config.hp_targets:
-        candidates.append(
-            (
-                "RobustScaler-HP",
-                target,
-                build_robustscaler(
-                    workload, RobustScalerObjective.HIT_PROBABILITY, target, planner=planner
-                ),
-            )
-        )
-    mean_gap = 1.0 / max(workload.test.mean_qps, 1e-9)
+        candidates.append(("RobustScaler-HP", rs_spec("rs-hp", target)))
     for fraction in config.cost_budget_fractions:
-        budget = mean_gap * fraction
-        candidates.append(
-            (
-                "RobustScaler-cost",
-                budget,
-                build_robustscaler(
-                    workload, RobustScalerObjective.COST, budget, planner=planner
-                ),
-            )
-        )
+        candidates.append(("RobustScaler-cost", rs_spec("rs-cost", mean_gap * fraction)))
 
-    rows: list[dict] = []
-    for family, parameter, scaler in candidates:
-        result = workload.replay(scaler)
-        hit_mean, hit_var = windowed_mean_variance(
-            result.hits.astype(float), config.window
+    tasks = [
+        EvalTask(
+            workload,
+            spec,
+            extra=(("family", family),),
+            variance_window=config.window,
         )
-        rt_mean, rt_var = windowed_mean_variance(result.response_times, config.window)
-        rows.append(
-            {
-                "trace": config.trace_name,
-                "family": family,
-                "parameter": float(parameter),
-                "scaler": scaler.name,
-                "hit_rate_mean": hit_mean,
-                "hit_rate_variance": hit_var,
-                "rt_mean": rt_mean,
-                "rt_variance": rt_var,
-                "relative_cost": result.total_cost / workload.reference_cost,
-            }
-        )
-    return rows
+        for family, spec in candidates
+    ]
+    return run_task_rows(tasks, base_seed=config.seed, workers=config.workers)

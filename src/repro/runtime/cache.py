@@ -1,0 +1,66 @@
+"""The workload-preparation cache.
+
+Preparing a workload — generating the trace, fitting the NHPP model with
+ADMM, replaying the reactive reference — dwarfs the cost of adding one more
+sweep point on top of it.  The cache keys prepared workloads by
+``WorkloadSpec.cache_key()`` (scenario/trace identity, scale, seed and the
+resolved prep configuration) so every sweep point over the same workload
+shares one preparation, per process: the serial executor threads a single
+cache through the whole batch, while each pool worker keeps its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import WorkloadSpec
+from .workload import PreparedWorkload
+
+__all__ = ["CacheStats", "WorkloadCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one cache: ``misses`` equals the number of model fits."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+
+class WorkloadCache:
+    """Maps ``WorkloadSpec.cache_key()`` to its :class:`PreparedWorkload`."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, PreparedWorkload] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_prepare(self, spec: WorkloadSpec) -> tuple[PreparedWorkload, bool]:
+        """Return ``(workload, was_cache_hit)`` for ``spec``, preparing on miss."""
+        key = spec.cache_key()
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached, True
+        workload = spec.prepare()
+        self.misses += 1
+        self._entries[key] = workload
+        return workload, False
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the hit/miss counters."""
+        return CacheStats(hits=self.hits, misses=self.misses, size=len(self._entries))
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)

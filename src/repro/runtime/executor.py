@@ -1,0 +1,226 @@
+"""Task executors: serial and multi-process, with identical results.
+
+:func:`run_tasks` evaluates a batch of :class:`~repro.runtime.spec.EvalTask`
+either in-process (``workers=1``) or on a
+:class:`concurrent.futures.ProcessPoolExecutor` (``workers=N``; when the
+caller passes ``workers=None`` the ``REPRO_WORKERS`` environment variable is
+consulted, defaulting to serial).  Both paths call the same
+:func:`execute_task` with the same per-task seed, so the result rows are
+bit-identical — only the wall-clock planning-latency columns, which measure
+real time, differ between runs.  Use :func:`strip_timing` before comparing
+rows.
+
+Scheduling is workload-aware: tasks are grouped by their workload cache key
+and each group is shipped to the pool as one unit (largest first), so every
+worker process prepares a given workload at most once in its own
+:class:`~repro.runtime.cache.WorkloadCache` and the expensive preparations
+are never duplicated across sweep points.  When there are fewer groups than
+workers, large groups are split so the pool stays busy — the only case
+where a preparation is repeated, and only once per extra worker.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .cache import WorkloadCache
+from .spec import EvalResult, EvalTask, derive_task_seeds
+from .workload import evaluate_prepared
+
+__all__ = [
+    "WORKERS_ENV_VAR",
+    "execute_task",
+    "resolve_workers",
+    "run_task_rows",
+    "run_tasks",
+    "strip_timing",
+]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Row columns measuring wall-clock time (excluded from determinism checks).
+_TIMING_SUFFIXES = ("_planning_seconds",)
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """The effective worker count: explicit argument, else env var, else 1."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValidationError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+    workers = int(workers)
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def strip_timing(rows: Iterable[dict]) -> list[dict]:
+    """Copies of ``rows`` without the wall-clock timing columns.
+
+    Planning latencies are real time measurements and therefore the only row
+    entries that may differ between two executions of the same task list;
+    compare stripped rows when asserting determinism.
+    """
+    return [
+        {
+            key: value
+            for key, value in row.items()
+            if not any(key.endswith(suffix) for suffix in _TIMING_SUFFIXES)
+        }
+        for row in rows
+    ]
+
+
+def execute_task(
+    task: EvalTask,
+    *,
+    seed: np.random.SeedSequence | int | None = None,
+    cache: WorkloadCache | None = None,
+    index: int = 0,
+) -> EvalResult:
+    """Evaluate one task: prepare (or fetch) the workload, build, replay.
+
+    This is the single execution path shared by the serial and process-pool
+    backends; determinism across backends reduces to calling it with the
+    same ``(task, seed)`` pairs.
+    """
+    start = time.perf_counter()
+    if cache is None:
+        workload, hit = task.workload.prepare(), False
+    else:
+        workload, hit = cache.get_or_prepare(task.workload)
+    random_state = None if seed is None else np.random.default_rng(seed)
+    scaler = task.scaler.build(workload, random_state=random_state)
+    row = evaluate_prepared(
+        workload,
+        scaler,
+        extra=task.row_annotations(),
+        variance_window=task.variance_window,
+    )
+    return EvalResult(
+        index=index,
+        row=row,
+        cache_hit=hit,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+# ----------------------------------------------------------------- backends
+
+#: Per-worker-process workload cache (populated lazily inside pool workers).
+_WORKER_CACHE: WorkloadCache | None = None
+
+
+def _pool_execute_chunk(
+    payloads: Sequence[tuple[int, EvalTask, np.random.SeedSequence]],
+) -> list[EvalResult]:
+    """Top-level (picklable) pool entry point using the worker-local cache."""
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = WorkloadCache()
+    return [
+        execute_task(task, seed=seed, cache=_WORKER_CACHE, index=index)
+        for index, task, seed in payloads
+    ]
+
+
+def _schedule_chunks(
+    tasks: Sequence[EvalTask],
+    seeds: Sequence[np.random.SeedSequence],
+    n_workers: int,
+) -> list[list[tuple[int, EvalTask, np.random.SeedSequence]]]:
+    """Group payloads by workload key, splitting only to keep the pool busy.
+
+    One chunk = one unit of work for a worker.  Keeping a workload's tasks
+    in a single chunk means its preparation runs once; chunks are ordered
+    largest-first so long groups start before the stragglers
+    (longest-processing-time-first scheduling).
+    """
+    groups: dict[tuple, list] = {}
+    for index, (task, seed) in enumerate(zip(tasks, seeds)):
+        groups.setdefault(task.workload.cache_key(), []).append((index, task, seed))
+    chunks = sorted(groups.values(), key=len, reverse=True)
+    # Fewer chunks than workers would leave processes idle; halve the
+    # largest splittable chunk until the pool can be saturated.  Each split
+    # costs at most one duplicated preparation.
+    while len(chunks) < n_workers:
+        chunks.sort(key=len, reverse=True)
+        largest = chunks[0]
+        if len(largest) < 2:
+            break
+        half = len(largest) // 2
+        chunks[0:1] = [largest[:half], largest[half:]]
+    return sorted(chunks, key=len, reverse=True)
+
+
+def run_tasks(
+    tasks: Sequence[EvalTask],
+    *,
+    base_seed: int = 0,
+    workers: int | None = None,
+    cache: WorkloadCache | None = None,
+) -> list[EvalResult]:
+    """Evaluate ``tasks`` and return their results in task order.
+
+    Parameters
+    ----------
+    tasks:
+        The batch to evaluate.  Order is preserved in the returned list.
+    base_seed:
+        Root of the per-task seed derivation
+        (:func:`~repro.runtime.spec.derive_task_seeds`); two runs with the
+        same task list and base seed produce identical rows regardless of
+        ``workers``.
+    workers:
+        Process count; ``None`` consults ``REPRO_WORKERS`` and defaults to
+        serial execution.
+    cache:
+        Workload cache for the serial path (a fresh one is created when
+        omitted; pass one explicitly to share preparations across batches or
+        to read the hit/miss counters).  Pool workers always use their own
+        process-local caches; per-task ``cache_hit`` flags report their
+        effectiveness either way.
+    """
+    tasks = list(tasks)
+    seeds = derive_task_seeds(base_seed, len(tasks))
+    n_workers = min(resolve_workers(workers), max(len(tasks), 1))
+    if n_workers <= 1:
+        cache = WorkloadCache() if cache is None else cache
+        return [
+            execute_task(task, seed=seed, cache=cache, index=index)
+            for index, (task, seed) in enumerate(zip(tasks, seeds))
+        ]
+    chunks = _schedule_chunks(tasks, seeds, n_workers)
+    results: list[EvalResult] = []
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(chunks))) as pool:
+        for chunk_results in pool.map(_pool_execute_chunk, chunks):
+            results.extend(chunk_results)
+    results.sort(key=lambda result: result.index)
+    return results
+
+
+def run_task_rows(
+    tasks: Sequence[EvalTask],
+    *,
+    base_seed: int = 0,
+    workers: int | None = None,
+    cache: WorkloadCache | None = None,
+) -> list[dict]:
+    """Like :func:`run_tasks` but return just the report rows, in task order."""
+    return [
+        result.row
+        for result in run_tasks(tasks, base_seed=base_seed, workers=workers, cache=cache)
+    ]

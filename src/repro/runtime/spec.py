@@ -1,0 +1,294 @@
+"""Declarative evaluation specs: what to run, independent of how it runs.
+
+An :class:`EvalTask` names one point of an experiment sweep — which workload
+(:class:`WorkloadSpec`), which autoscaler (:class:`ScalerSpec`), and any row
+annotations — as plain picklable data.  Because tasks carry no live objects
+(no fitted models, no lambdas), the same task list can execute in-process or
+on a process pool and produce identical rows.
+
+Seeding: :func:`derive_task_seeds` spawns one child
+:class:`numpy.random.SeedSequence` per task from the batch's base seed, so
+every task owns an independent, reproducible Monte Carlo stream that does
+not depend on execution order, worker count, or how many draws other tasks
+consume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..config import NHPPConfig, PlannerConfig, SimulationConfig
+from ..exceptions import ValidationError
+from ..rng import RandomState
+from ..scaling.adaptive_backup_pool import AdaptiveBackupPoolScaler
+from ..scaling.backup_pool import BackupPoolScaler, ReactiveScaler
+from ..scaling.base import Autoscaler
+from ..scaling.robustscaler import RobustScaler, RobustScalerObjective
+from ..types import ArrivalTrace
+from .workload import PreparedWorkload, prepare_workload
+
+__all__ = [
+    "PrepSpec",
+    "WorkloadSpec",
+    "ScalerSpec",
+    "EvalTask",
+    "EvalResult",
+    "derive_task_seeds",
+]
+
+#: Default report-row column per scaler kind (override via ``parameter_name``).
+_PARAMETER_NAMES = {
+    "reactive": None,
+    "bp": "pool_size",
+    "adapbp": "rate_factor",
+    "rs-hp": "target_hp",
+    "rs-rt": "waiting_budget",
+    "rs-cost": "idle_budget",
+}
+
+_RS_OBJECTIVES = {
+    "rs-hp": RobustScalerObjective.HIT_PROBABILITY,
+    "rs-rt": RobustScalerObjective.RESPONSE_TIME,
+    "rs-cost": RobustScalerObjective.COST,
+}
+
+
+@dataclass(frozen=True)
+class PrepSpec:
+    """Workload-preparation parameters; ``None`` fields fall back to defaults.
+
+    For scenario-backed workloads the fallback is the scenario's own
+    evaluation defaults (its train/test split, fitting bin width and pending
+    time); for direct traces the fallback is the library defaults of
+    :func:`repro.runtime.workload.prepare_workload`.
+    """
+
+    train_fraction: float | None = None
+    bin_seconds: float | None = None
+    pending_time: float | None = None
+    period_bins: int | None = None
+    nhpp: NHPPConfig | None = None
+    simulation: SimulationConfig | None = None
+
+    def resolve(self, scenario=None) -> dict:
+        """Concrete ``prepare_workload`` keyword arguments."""
+
+        def pick(value, scenario_attr, default):
+            if value is not None:
+                return value
+            if scenario is not None:
+                return getattr(scenario, scenario_attr)
+            return default
+
+        return {
+            "train_fraction": float(pick(self.train_fraction, "train_fraction", 0.75)),
+            "bin_seconds": float(pick(self.bin_seconds, "bin_seconds", 60.0)),
+            "pending_time": float(pick(self.pending_time, "pending_time", 13.0)),
+            "period_bins": self.period_bins,
+            "nhpp_config": self.nhpp,
+            "simulation": self.simulation,
+        }
+
+    def _key(self, scenario=None) -> tuple:
+        resolved = self.resolve(scenario)
+        return (
+            resolved["train_fraction"],
+            resolved["bin_seconds"],
+            resolved["pending_time"],
+            resolved["period_bins"],
+            resolved["nhpp_config"],
+            resolved["simulation"],
+        )
+
+
+def _trace_digest(trace: ArrivalTrace) -> str:
+    """Content fingerprint so direct traces get stable cache keys."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(trace.arrival_times).tobytes())
+    digest.update(np.ascontiguousarray(trace.processing_times).tobytes())
+    digest.update(repr((trace.name, trace.horizon)).encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How to obtain and prepare one workload.
+
+    Exactly one of ``scenario`` (a name in the default scenario registry,
+    regenerated deterministically wherever the task runs) and ``trace`` (a
+    concrete :class:`~repro.types.ArrivalTrace`, e.g. a perturbed copy that
+    exists nowhere in the registry) must be set.
+    """
+
+    scenario: str | None = None
+    trace: ArrivalTrace | None = None
+    scale: float = 1.0
+    seed: int | None = None
+    prep: PrepSpec = field(default_factory=PrepSpec)
+
+    def __post_init__(self) -> None:
+        if (self.scenario is None) == (self.trace is None):
+            raise ValidationError(
+                "WorkloadSpec requires exactly one of 'scenario' and 'trace'"
+            )
+        if not float(self.scale) > 0:
+            raise ValidationError(f"scale must be positive, got {self.scale}")
+
+    def cache_key(self) -> tuple:
+        """The (workload identity, prep-config) key used by the cache."""
+        if self.scenario is not None:
+            identity: tuple = (
+                "scenario",
+                self.scenario.lower(),
+                float(self.scale),
+                self.seed,
+            )
+            scenario = self._get_scenario()
+        else:
+            identity = (
+                "trace",
+                self.trace.name,
+                self.trace.n_queries,
+                _trace_digest(self.trace),
+            )
+            scenario = None
+        return identity + self.prep._key(scenario)
+
+    def _get_scenario(self):
+        from ..workloads import get_scenario
+
+        return get_scenario(self.scenario)
+
+    def build_trace(self) -> ArrivalTrace:
+        """The raw trace this spec denotes (generated for scenario specs)."""
+        if self.trace is not None:
+            return self.trace
+        scenario = self._get_scenario()
+        return scenario.build_trace(scale=self.scale, seed=self.seed)
+
+    def prepare(self) -> PreparedWorkload:
+        """Generate the trace (if needed), fit the model, package everything."""
+        scenario = self._get_scenario() if self.scenario is not None else None
+        trace = self.build_trace()
+        return prepare_workload(trace, **self.prep.resolve(scenario))
+
+
+@dataclass(frozen=True)
+class ScalerSpec:
+    """A picklable recipe for one autoscaler.
+
+    ``kind`` selects the family: ``reactive``, ``bp`` (Backup Pool, the
+    parameter is the pool size), ``adapbp`` (Adaptive Backup Pool, rate
+    factor), or the three RobustScaler variants ``rs-hp`` / ``rs-rt`` /
+    ``rs-cost`` whose parameter is the constraint level.  RobustScaler specs
+    also carry the planner settings; their Monte Carlo stream comes from the
+    per-task seed at build time, never from the spec itself.
+    """
+
+    kind: str
+    parameter: float | None = None
+    parameter_name: str | None = None
+    planning_interval: float = 2.0
+    monte_carlo_samples: int = 400
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PARAMETER_NAMES:
+            raise ValidationError(
+                f"unknown scaler kind {self.kind!r}; expected one of "
+                f"{sorted(_PARAMETER_NAMES)}"
+            )
+        if self.kind != "reactive" and self.parameter is None:
+            raise ValidationError(f"scaler kind {self.kind!r} requires a parameter")
+        if not float(self.planning_interval) > 0:
+            raise ValidationError(
+                f"planning_interval must be positive, got {self.planning_interval}"
+            )
+        if int(self.monte_carlo_samples) < 1:
+            raise ValidationError(
+                f"monte_carlo_samples must be >= 1, got {self.monte_carlo_samples}"
+            )
+
+    @property
+    def resolved_parameter_name(self) -> str | None:
+        """Report-row column the sweep parameter lands in (None for reactive)."""
+        if self.parameter_name is not None:
+            return self.parameter_name
+        return _PARAMETER_NAMES[self.kind]
+
+    def build(
+        self, workload: PreparedWorkload, random_state: RandomState = None
+    ) -> Autoscaler:
+        """Construct the autoscaler against a prepared workload."""
+        if self.kind == "reactive":
+            return ReactiveScaler()
+        if self.kind == "bp":
+            return BackupPoolScaler(int(self.parameter))
+        if self.kind == "adapbp":
+            return AdaptiveBackupPoolScaler(float(self.parameter))
+        planner = PlannerConfig(
+            planning_interval=self.planning_interval,
+            monte_carlo_samples=self.monte_carlo_samples,
+        )
+        return RobustScaler(
+            workload.forecast,
+            workload.pending_model,
+            objective=_RS_OBJECTIVES[self.kind],
+            target=float(self.parameter),
+            planner=planner,
+            random_state=random_state,
+        )
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One sweep point: a workload, a scaler, and row annotations.
+
+    ``extra`` is an ordered tuple of ``(column, value)`` pairs merged into
+    the result row (scenario labels, perturbation sizes, sweep families).
+    ``variance_window`` additionally requests the windowed QoS statistics of
+    Fig. 5 in the row.
+    """
+
+    workload: WorkloadSpec
+    scaler: ScalerSpec
+    extra: tuple[tuple[str, Any], ...] = ()
+    variance_window: int | None = None
+
+    def row_annotations(self) -> dict:
+        """The ``extra`` pairs plus the scaler's sweep parameter column."""
+        annotations = dict(self.extra)
+        name = self.scaler.resolved_parameter_name
+        if name is not None and self.scaler.parameter is not None:
+            annotations.setdefault(name, float(self.scaler.parameter))
+        return annotations
+
+
+@dataclass
+class EvalResult:
+    """The outcome of one executed task.
+
+    ``row`` holds the deterministic report row; ``cache_hit`` and
+    ``wall_seconds`` are execution metadata (never part of the row, so rows
+    stay bit-identical across executors).
+    """
+
+    index: int
+    row: dict
+    cache_hit: bool = False
+    wall_seconds: float = 0.0
+
+
+def derive_task_seeds(base_seed: int, n_tasks: int) -> list[np.random.SeedSequence]:
+    """Spawn one independent child seed sequence per task.
+
+    ``numpy.random.SeedSequence.spawn`` guarantees the children are
+    statistically independent and a pure function of ``(base_seed, index)``,
+    which is what makes serial and process-pool execution bit-identical.
+    """
+    if n_tasks < 0:
+        raise ValidationError(f"n_tasks must be non-negative, got {n_tasks}")
+    return np.random.SeedSequence(int(base_seed)).spawn(int(n_tasks))

@@ -1,0 +1,167 @@
+"""Workload preparation: split a trace, fit the model, package the result.
+
+This module hosts :class:`PreparedWorkload` and :func:`prepare_workload`,
+the single place where a raw :class:`~repro.types.ArrivalTrace` becomes the
+bundle every evaluation consumes — train/test split, fitted NHPP model,
+forecast intensity, pending-time model, simulator configuration and the
+reactive reference cost.  (They are re-exported from
+:mod:`repro.experiments.base` for backwards compatibility.)
+
+:func:`evaluate_prepared` is the one evaluation code path: both the
+declarative task executor (:mod:`repro.runtime.executor`) and the legacy
+in-process sweep helpers (:func:`repro.experiments.base.run_scaler_sweep`)
+produce their report rows through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..config import NHPPConfig, SimulationConfig
+from ..metrics.report import summarize_result
+from ..metrics.variance import windowed_mean_variance
+from ..nhpp.intensity import PiecewiseConstantIntensity
+from ..nhpp.model import NHPPModel
+from ..pending import DeterministicPendingTime, PendingTimeModel
+from ..scaling.backup_pool import ReactiveScaler
+from ..scaling.base import Autoscaler
+from ..simulation.runner import replay
+from ..types import ArrivalTrace, SimulationResult
+
+__all__ = ["PreparedWorkload", "prepare_workload", "evaluate_prepared"]
+
+
+@dataclass
+class PreparedWorkload:
+    """A trace split into train/test together with the fitted workload model.
+
+    Attributes
+    ----------
+    name:
+        Trace name (used in report rows).
+    train, test:
+        The training and test sub-traces; the test trace is rebased to start
+        at time 0 and the forecast's origin coincides with it.
+    model:
+        The NHPP model fitted on the training window.
+    forecast:
+        The extrapolated intensity used by the RobustScaler variants.
+    pending_model:
+        The pending-time model shared by the planner and the simulator.
+    simulation:
+        Simulator configuration used for the replays.
+    reference_cost:
+        Total cost of the purely reactive baseline on the test trace, the
+        denominator of the ``relative cost`` metric.
+    """
+
+    name: str
+    train: ArrivalTrace
+    test: ArrivalTrace
+    model: NHPPModel
+    forecast: PiecewiseConstantIntensity
+    pending_model: PendingTimeModel
+    simulation: SimulationConfig
+    reference_cost: float
+
+    @property
+    def mean_processing_time(self) -> float:
+        """Average processing time of the test queries (``mu_s``)."""
+        processing = np.asarray(self.test.processing_times, dtype=float)
+        return float(processing.mean()) if processing.size else 0.0
+
+    def replay(self, scaler: Autoscaler) -> SimulationResult:
+        """Replay the test trace under ``scaler``."""
+        return replay(self.test, scaler, self.simulation)
+
+    def evaluate(self, scaler: Autoscaler, **extra: float | str) -> dict:
+        """Replay ``scaler`` and return a summary row for report tables."""
+        return evaluate_prepared(self, scaler, extra=extra)
+
+
+def prepare_workload(
+    trace: ArrivalTrace,
+    *,
+    train_fraction: float = 0.75,
+    bin_seconds: float = 60.0,
+    pending_time: float = 13.0,
+    nhpp_config: NHPPConfig | None = None,
+    simulation: SimulationConfig | None = None,
+    period_bins: int | None = None,
+) -> PreparedWorkload:
+    """Split, fit, and package a trace for evaluation.
+
+    Parameters
+    ----------
+    trace:
+        The full trace (training + test).
+    train_fraction:
+        Fraction of the horizon used for training.
+    bin_seconds:
+        Bin width for the QPS series the NHPP is fitted on.
+    pending_time:
+        Instance startup latency (seconds) used in both planning and replay.
+    nhpp_config:
+        NHPP hyper-parameters; defaults to the library defaults.
+    simulation:
+        Simulator configuration; defaults to a deterministic pending time of
+        ``pending_time`` seconds.
+    period_bins:
+        Explicit period (in bins) to use instead of running detection.
+    """
+    train, test = trace.split(train_fraction)
+    model = NHPPModel(nhpp_config, bin_seconds=bin_seconds)
+    model.fit(train, period_bins=period_bins)
+    forecast = model.forecast()
+    pending_model = DeterministicPendingTime(pending_time)
+    sim_config = simulation or SimulationConfig(pending_time=pending_time)
+    reference = replay(test, ReactiveScaler(), sim_config)
+    return PreparedWorkload(
+        name=trace.name,
+        train=train,
+        test=test,
+        model=model,
+        forecast=forecast,
+        pending_model=pending_model,
+        simulation=sim_config,
+        reference_cost=reference.total_cost,
+    )
+
+
+def evaluate_prepared(
+    workload: PreparedWorkload,
+    scaler: Autoscaler,
+    *,
+    extra: Mapping[str, Any] | None = None,
+    variance_window: int | None = None,
+) -> dict:
+    """Replay ``scaler`` on ``workload`` and build one report row.
+
+    The row carries the trace and scaler names, any ``extra`` annotations
+    (sweep parameters, scenario labels, ...), and the summary metrics of
+    :func:`repro.metrics.report.summarize_result`.  When ``variance_window``
+    is set the windowed QoS statistics of Fig. 5 (block means of
+    ``variance_window`` consecutive queries) are appended as
+    ``hit_rate_mean`` / ``hit_rate_variance`` / ``rt_mean`` /
+    ``rt_variance``.
+    """
+    result = workload.replay(scaler)
+    row: dict = {"trace": workload.name, "scaler": scaler.name}
+    if extra:
+        row.update(extra)
+    row.update(summarize_result(result, reference_cost=workload.reference_cost))
+    if variance_window is not None:
+        hit_mean, hit_var = windowed_mean_variance(
+            result.hits.astype(float), variance_window
+        )
+        rt_mean, rt_var = windowed_mean_variance(result.response_times, variance_window)
+        row.update(
+            hit_rate_mean=hit_mean,
+            hit_rate_variance=hit_var,
+            rt_mean=rt_mean,
+            rt_variance=rt_var,
+        )
+    return row

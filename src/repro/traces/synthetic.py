@@ -127,6 +127,7 @@ def generate_trace_from_intensity(
     processing_time_distribution: str = "exponential",
     name: str | None = None,
     random_state: RandomState = None,
+    vectorized: bool = False,
 ) -> ArrivalTrace:
     """Sample an :class:`~repro.types.ArrivalTrace` from an intensity profile.
 
@@ -144,6 +145,11 @@ def generate_trace_from_intensity(
         Trace name; defaults to the profile name.
     random_state:
         Seed or generator.
+    vectorized:
+        Use the bulk arrival sampler (see
+        :func:`repro.nhpp.sampling.sample_arrival_times`); much faster on
+        long horizons but consumes the random stream in a different order,
+        so seeded traces differ from the default construction.
     """
     check_positive(horizon_seconds, "horizon_seconds")
     check_non_negative(processing_time_mean, "processing_time_mean")
@@ -154,7 +160,7 @@ def generate_trace_from_intensity(
     else:
         intensity = profile
         trace_name = name or "synthetic"
-    arrivals = sample_arrival_times(intensity, horizon_seconds, rng)
+    arrivals = sample_arrival_times(intensity, horizon_seconds, rng, vectorized=vectorized)
     processing = _sample_processing_times(
         arrivals.size, processing_time_mean, processing_time_distribution, rng
     )

@@ -33,6 +33,7 @@ from .primitives import (
     GammaNoise,
     IntensityPrimitive,
     Modulate,
+    ParetoBursts,
     Pulse,
     Ramp,
     RegimeSwitching,
@@ -64,6 +65,7 @@ __all__ = [
     "WeeklyProfile",
     "Ramp",
     "FlashCrowd",
+    "ParetoBursts",
     "Pulse",
     "RegimeSwitching",
     "GammaNoise",

@@ -3,7 +3,8 @@
 Importing this module populates :data:`repro.workloads.registry.DEFAULT_REGISTRY`
 with named scenarios covering the situations an autoscaler meets in
 production — steady load, strong seasonality, weekend dips, launches,
-flash crowds, sale events, batch bursts, multi-tenant mixes, outages and
+flash crowds, heavy-tailed Pareto bursts, sale events, batch bursts,
+multi-tenant mixes, outages and
 recoveries — plus registry aliases for the three paper traces (``crs``,
 ``google``, ``alibaba``) so every workload in the repository can be looked
 up through one interface.
@@ -30,6 +31,7 @@ from .primitives import (
     FlashCrowd,
     GammaNoise,
     IntensityPrimitive,
+    ParetoBursts,
     Pulse,
     Ramp,
     RegimeSwitching,
@@ -123,6 +125,35 @@ def _outage_recovery(horizon: float) -> IntensityPrimitive:
         0.8 * horizon, 2.5, rise_seconds=0.004 * horizon, decay_seconds=0.02 * horizon
     )
     return base * outage * GammaNoise(0.2, correlation_bins=10) + recovery
+
+
+def _pareto_bursts(horizon: float) -> IntensityPrimitive:
+    # Heavy-tailed flash crowds on top of a modest steady base: several
+    # bursts a day whose peaks follow a Pareto law with finite mean but
+    # infinite variance (alpha = 1.6).
+    base = Constant(0.2) * GammaNoise(0.2, correlation_bins=10)
+    bursts = ParetoBursts(
+        8.0,
+        1.6,
+        0.6,
+        rise_seconds=0.003 * horizon,
+        decay_seconds=0.015 * horizon,
+    )
+    return base + bursts
+
+
+def _pareto_bursts_extreme(horizon: float) -> IntensityPrimitive:
+    # The ruinous tail: rare bursts with alpha = 1.1, barely integrable —
+    # a single event can dwarf a day of regular traffic.
+    base = Constant(0.15) * GammaNoise(0.25, correlation_bins=8)
+    bursts = ParetoBursts(
+        3.0,
+        1.1,
+        0.8,
+        rise_seconds=0.002 * horizon,
+        decay_seconds=0.025 * horizon,
+    )
+    return base + bursts
 
 
 def _spiky_cron(horizon: float) -> IntensityPrimitive:
@@ -238,6 +269,22 @@ def register_builtin_scenarios(registry=DEFAULT_REGISTRY, *, overwrite: bool = F
             horizon_seconds=2 * _DAY,
             train_fraction=0.7,
             tags=("adversarial",),
+        ),
+        Scenario(
+            name="pareto-bursts",
+            description="Heavy-tailed flash crowds: Pareto(1.6) burst peaks over a steady base",
+            intensity=_pareto_bursts,
+            horizon_seconds=2 * _DAY,
+            train_fraction=0.7,
+            tags=("bursty", "heavy-tail", "adversarial"),
+        ),
+        Scenario(
+            name="pareto-bursts-extreme",
+            description="Barely integrable Pareto(1.1) burst peaks: one event can dwarf a day",
+            intensity=_pareto_bursts_extreme,
+            horizon_seconds=2 * _DAY,
+            train_fraction=0.7,
+            tags=("bursty", "heavy-tail", "adversarial"),
         ),
         Scenario(
             name="spiky-cron",

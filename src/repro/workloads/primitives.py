@@ -41,6 +41,7 @@ __all__ = [
     "WeeklyProfile",
     "Ramp",
     "FlashCrowd",
+    "ParetoBursts",
     "Pulse",
     "RegimeSwitching",
     "GammaNoise",
@@ -333,6 +334,65 @@ class FlashCrowd(IntensityPrimitive):
 
     def __repr__(self) -> str:
         return f"FlashCrowd(onset={self.onset_seconds:g}, peak={self.peak:g})"
+
+
+class ParetoBursts(IntensityPrimitive):
+    """A compound-Poisson field of flash crowds with Pareto-heavy peaks.
+
+    Burst onsets form a homogeneous Poisson process with
+    ``bursts_per_day`` events per day; each burst rises linearly over
+    ``rise_seconds`` to a random peak and decays exponentially with time
+    constant ``decay_seconds``.  Peaks are i.i.d. Pareto(``alpha``) scaled
+    by ``peak_scale`` (minimum value ``peak_scale``), so for ``alpha <= 2``
+    the peak distribution is heavy-tailed with infinite variance and the
+    realized traffic exhibits the occasional monster burst of real flash
+    crowds — traffic no periodic forecast can anticipate.
+
+    The realization is random but fully determined by the generator passed
+    to :meth:`sample`: draws depend only on the evaluation horizon, in the
+    fixed order (count, onsets, peaks).
+    """
+
+    def __init__(
+        self,
+        bursts_per_day: float,
+        alpha: float,
+        peak_scale: float,
+        *,
+        rise_seconds: float = 120.0,
+        decay_seconds: float = 1200.0,
+    ) -> None:
+        self.bursts_per_day = check_non_negative(bursts_per_day, "bursts_per_day")
+        self.alpha = check_positive(alpha, "alpha")
+        self.peak_scale = check_non_negative(peak_scale, "peak_scale")
+        self.rise_seconds = check_positive(rise_seconds, "rise_seconds")
+        self.decay_seconds = check_positive(decay_seconds, "decay_seconds")
+
+    def sample(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        total = np.zeros_like(times, dtype=float)
+        if times.size == 0 or self.bursts_per_day == 0 or self.peak_scale == 0:
+            return total
+        t_max = float(np.max(times))
+        n_bursts = int(rng.poisson(self.bursts_per_day * t_max / DAY_SECONDS))
+        if n_bursts == 0:
+            return total
+        onsets = np.sort(rng.uniform(0.0, t_max, size=n_bursts))
+        # Pareto with minimum value peak_scale: scale * (1 + Pareto(alpha)).
+        peaks = self.peak_scale * (1.0 + rng.pareto(self.alpha, size=n_bursts))
+        for onset, peak in zip(onsets, peaks):
+            rel = times - onset
+            rising = peak * np.clip(rel / self.rise_seconds, 0.0, 1.0)
+            decaying = peak * np.exp(
+                -np.clip(rel - self.rise_seconds, 0.0, None) / self.decay_seconds
+            )
+            total += np.where(rel <= self.rise_seconds, rising, decaying) * (rel >= 0)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"ParetoBursts(rate={self.bursts_per_day:g}/day, alpha={self.alpha:g}, "
+            f"peak_scale={self.peak_scale:g})"
+        )
 
 
 class Pulse(IntensityPrimitive):

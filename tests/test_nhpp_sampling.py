@@ -66,6 +66,75 @@ class TestSampleArrivalTimes:
         assert late > 5 * early
 
 
+class TestVectorizedArrivalTimes:
+    """The opt-in bulk construction of sample_arrival_times."""
+
+    def test_default_path_draw_order_unchanged(self):
+        """The default (loop) path must keep its historical draw order."""
+        intensity = PiecewiseConstantIntensity(np.array([0.8, 2.5, 0.3]), 50.0)
+        rng = np.random.default_rng(17)
+        expected = []
+        for b in range(4):
+            start = b * 50.0
+            width = min((b + 1) * 50.0, 170.0) - start
+            rate = float(intensity.value(start + 0.5 * width)) * width
+            count = int(rng.poisson(max(rate, 0.0)))
+            if count:
+                expected.append(start + rng.uniform(0.0, width, size=count))
+        expected = np.sort(np.concatenate(expected)) if expected else np.empty(0)
+        actual = sample_arrival_times(intensity, 170.0, 17)
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_sorted_and_within_truncated_horizon(self):
+        intensity = PiecewiseConstantIntensity(np.array([5.0]), 60.0, extrapolation="hold")
+        arrivals = sample_arrival_times(intensity, 90.0, 1, vectorized=True)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals.min() >= 0.0
+        assert arrivals.max() < 90.0
+
+    def test_zero_intensity_no_arrivals(self):
+        intensity = PiecewiseConstantIntensity(np.array([0.0]), 60.0, extrapolation="hold")
+        assert sample_arrival_times(intensity, 600.0, 2, vectorized=True).size == 0
+
+    def test_count_mean_matches_mass(self):
+        intensity = PiecewiseConstantIntensity(np.array([1.0, 3.0]), 50.0)
+        counts = [
+            sample_arrival_times(intensity, 100.0, seed, vectorized=True).size
+            for seed in range(200)
+        ]
+        assert np.mean(counts) == pytest.approx(200.0, rel=0.05)
+
+    def test_uniform_placement_for_constant_rate(self):
+        """Conditionally on the counts, arrivals are uniform — so for a
+        constant intensity the pooled sample is uniform on the horizon."""
+        intensity = PiecewiseConstantIntensity(np.array([4.0]), 60.0, extrapolation="hold")
+        arrivals = sample_arrival_times(intensity, 600.0, 5, vectorized=True)
+        result = stats.kstest(arrivals, "uniform", args=(0.0, 600.0))
+        assert result.pvalue > 0.01
+
+    def test_nonhomogeneous_distribution(self):
+        intensity = PiecewiseConstantIntensity(np.array([0.2, 5.0]), 100.0)
+        arrivals = sample_arrival_times(intensity, 200.0, 3, vectorized=True)
+        early = np.count_nonzero(arrivals < 100.0)
+        late = arrivals.size - early
+        assert late > 5 * early
+
+    def test_same_distribution_as_loop_path(self):
+        """Loop and bulk construction agree in distribution (not draws)."""
+        intensity = PiecewiseConstantIntensity(np.array([1.5, 0.5, 3.0]), 40.0)
+        loop = np.concatenate(
+            [sample_arrival_times(intensity, 120.0, seed) for seed in range(150)]
+        )
+        bulk = np.concatenate(
+            [
+                sample_arrival_times(intensity, 120.0, 1000 + seed, vectorized=True)
+                for seed in range(150)
+            ]
+        )
+        result = stats.ks_2samp(loop, bulk)
+        assert result.pvalue > 0.01
+
+
 class TestSampleNextArrivals:
     def test_shape(self):
         intensity = PiecewiseConstantIntensity(np.array([1.0]), 60.0, extrapolation="hold")

@@ -18,6 +18,7 @@ from repro.workloads import (
     Constant,
     FlashCrowd,
     GammaNoise,
+    ParetoBursts,
     Pulse,
     Ramp,
     RegimeSwitching,
@@ -175,6 +176,39 @@ class TestPrimitiveShapes:
         values = noise.sample((np.arange(20_000) + 0.5) * 60.0, np.random.default_rng(7))
         assert values.std() / values.mean() == pytest.approx(0.2, rel=0.05)
 
+    def test_pareto_bursts_zero_rate_is_silent(self, times, rng):
+        bursts = ParetoBursts(0.0, 1.5, 1.0)
+        np.testing.assert_allclose(bursts.sample(times, rng), 0.0)
+
+    def test_pareto_bursts_deterministic_and_nonnegative(self, times):
+        bursts = ParetoBursts(24.0, 1.5, 1.0, rise_seconds=60.0, decay_seconds=300.0)
+        first = bursts.sample(times, np.random.default_rng(9))
+        second = bursts.sample(times, np.random.default_rng(9))
+        np.testing.assert_array_equal(first, second)
+        assert np.all(first >= 0.0)
+        assert first.max() > 0.0  # 24 bursts/day over ~3.3h: some burst lands
+
+    def test_pareto_bursts_peaks_are_heavy_tailed(self):
+        # With alpha = 1.2 the peak law has infinite variance: across many
+        # independent realizations the maximum dwarfs the median maximum.
+        times = (np.arange(500) + 0.5) * 60.0
+        maxima = [
+            ParetoBursts(48.0, 1.2, 1.0, rise_seconds=60.0, decay_seconds=600.0)
+            .sample(times, np.random.default_rng(seed))
+            .max()
+            for seed in range(300)
+        ]
+        maxima = np.asarray(maxima)
+        assert maxima.max() > 10.0 * np.median(maxima)
+
+    def test_pareto_bursts_validation(self):
+        with pytest.raises(ValidationError):
+            ParetoBursts(-1.0, 1.5, 1.0)
+        with pytest.raises(ValidationError):
+            ParetoBursts(4.0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            ParetoBursts(4.0, 1.5, 1.0, rise_seconds=0.0)
+
     def test_gamma_noise_unit_mean_at_boundaries(self):
         # Regression: zero-padded smoothing used to bias the first/last bins
         # toward ~0.5; the kernel-mass normalization must keep them at 1.
@@ -239,6 +273,8 @@ class TestRegistry:
             "multi-tenant-mix",
             "black-friday",
             "outage-recovery",
+            "pareto-bursts",
+            "pareto-bursts-extreme",
             "crs",
             "google",
             "alibaba",
