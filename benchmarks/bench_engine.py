@@ -1,0 +1,203 @@
+"""Benchmark: reference vs batched replay engine on large traces.
+
+For each trace size (10^4 / 10^5 / 10^6 queries) and each policy family the
+same trace is replayed under the reference per-query engine and the batched
+event-kernel engine, recording
+
+* wall-clock seconds per engine and the resulting speedup, and
+* the number of **divergent rows** between the two results — every per-query
+  outcome column is compared bit-for-bit, so the reported speedup is only
+  meaningful when the divergence column reads 0.
+
+Runs standalone for CI smoke jobs (10^4 queries only)::
+
+    python benchmarks/bench_engine.py --smoke
+
+or in full (the 10^6-query rows substantiate the >=10x claim)::
+
+    python benchmarks/bench_engine.py
+
+or under pytest-benchmark (``pytest benchmarks/bench_engine.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.nhpp.sampling import sample_homogeneous_arrivals
+from repro.scaling.backup_pool import BackupPoolScaler, ReactiveScaler
+from repro.scaling.base import Autoscaler, ScalingResponse
+from repro.simulation import BatchedEventSimulator, ScalingPerQuerySimulator
+from repro.types import ArrivalTrace, ScalingAction
+
+from conftest import print_artifact
+
+#: Per-query outcome columns compared between the engines.
+_COLUMNS = (
+    "hits",
+    "waiting_times",
+    "creation_times",
+    "ready_times",
+    "start_times",
+    "pending_times",
+    "proactive_flags",
+)
+
+#: Constant arrival rate (queries/second); the horizon scales with the size.
+_RATE = 100.0
+
+
+class TickFleetScaler(Autoscaler):
+    """Tick-driven planner scheduling future creations; passive on arrivals.
+
+    Exercises the batched engine's scheduled-creation interleaving (chunk
+    splits, materializations, reactive cancellations) rather than the pure
+    vectorized fast path.
+    """
+
+    name = "TickFleet"
+    reacts_to_arrivals = False
+
+    def __init__(self, interval: float = 5.0, burst: int = 3) -> None:
+        self._interval = interval
+        self._burst = burst
+
+    @property
+    def planning_interval(self) -> float:
+        return self._interval
+
+    def on_planning_tick(self, context) -> ScalingResponse:
+        actions = [
+            ScalingAction(
+                creation_time=context.time + self._interval * (k + 1) / self._burst,
+                planned_at=context.time,
+            )
+            for k in range(self._burst)
+        ]
+        return ScalingResponse(actions=actions)
+
+
+def _scaler_families() -> list[tuple[str, type | None]]:
+    return [
+        ("Reactive", lambda: ReactiveScaler()),
+        ("BP(B=4)", lambda: BackupPoolScaler(4)),
+        ("TickFleet", lambda: TickFleetScaler()),
+    ]
+
+
+def make_trace(n_queries: int, seed: int = 7) -> ArrivalTrace:
+    """A constant-rate Poisson trace holding ~``n_queries`` arrivals."""
+    horizon = n_queries / _RATE
+    arrivals = sample_homogeneous_arrivals(_RATE, horizon, seed)
+    return ArrivalTrace(
+        arrivals, 0.5, name=f"bench-{n_queries:g}", horizon=horizon
+    )
+
+
+def count_divergent_rows(reference, batched) -> int:
+    """Rows where any outcome column differs bit-for-bit (0 = full parity)."""
+    if reference.n_queries != batched.n_queries:
+        return max(reference.n_queries, batched.n_queries)
+    divergent = np.zeros(reference.n_queries, dtype=bool)
+    for column in _COLUMNS:
+        divergent |= getattr(reference, column) != getattr(batched, column)
+    mismatch = int(divergent.sum())
+    if reference.unused_instance_cost != batched.unused_instance_cost:
+        mismatch += 1
+    if len(reference.planning_times) != len(batched.planning_times):
+        mismatch += 1
+    return mismatch
+
+
+def run_engine_comparison(sizes: tuple[int, ...], seed: int = 7) -> list[dict]:
+    """Time both engines on each (size, scaler) cell and check divergence."""
+    rows: list[dict] = []
+    config = SimulationConfig(pending_time=0.2, seed=seed)
+    for n_queries in sizes:
+        trace = make_trace(n_queries, seed=seed)
+        for label, factory in _scaler_families():
+            started = time.perf_counter()
+            reference = ScalingPerQuerySimulator(config).replay(trace, factory())
+            reference_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            batched = BatchedEventSimulator(config).replay(trace, factory())
+            batched_seconds = time.perf_counter() - started
+
+            rows.append(
+                {
+                    "n_queries": trace.n_queries,
+                    "scaler": label,
+                    "reference_seconds": reference_seconds,
+                    "batched_seconds": batched_seconds,
+                    "speedup": reference_seconds / max(batched_seconds, 1e-12),
+                    "divergent_rows": count_divergent_rows(reference, batched),
+                    "hit_rate": batched.hit_rate,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------- pytest mode
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_comparison_smoke(run_once):
+    rows = run_once(run_engine_comparison, (10_000,))
+    print_artifact("Engine comparison (smoke)", rows)
+    assert all(row["divergent_rows"] == 0 for row in rows)
+
+
+# ----------------------------------------------------------- standalone mode
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the 10^4-query sizes only (CI tier-2)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    sizes = (10_000,) if args.smoke else (10_000, 100_000, 1_000_000)
+    rows = run_engine_comparison(sizes, seed=args.seed)
+    print_artifact(
+        "Reference vs batched engine",
+        rows,
+        columns=[
+            "n_queries",
+            "scaler",
+            "reference_seconds",
+            "batched_seconds",
+            "speedup",
+            "divergent_rows",
+            "hit_rate",
+        ],
+    )
+
+    divergent = [row for row in rows if row["divergent_rows"]]
+    if divergent:
+        print(f"\nFAIL: {len(divergent)} cells produced divergent rows")
+        return 1
+    print("\nAll cells bit-identical between engines.")
+    if not args.smoke:
+        headline = max(
+            row["speedup"] for row in rows if row["n_queries"] >= 500_000
+        )
+        print(f"Headline speedup at 10^6 queries: {headline:.1f}x")
+        if headline < 10.0:
+            print("FAIL: expected >=10x speedup on the 10^6-query trace")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--planning-interval", type=float, default=2.0)
     simulate.add_argument("--mc-samples", type=int, default=400)
     simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument(
+        "--engine",
+        choices=["reference", "batched"],
+        default="reference",
+        help="replay engine (identical results; 'batched' is faster on large traces)",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper-reproduction experiments"
@@ -137,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
             "evaluation processes for the runtime-backed experiments "
             f"({', '.join(sorted(_RUNTIME_EXPERIMENTS))}); default: the "
             "REPRO_WORKERS environment variable, else serial"
+        ),
+    )
+    experiment.add_argument(
+        "--engine",
+        choices=["reference", "batched"],
+        default=None,
+        help=(
+            "replay engine for the runtime-backed experiments "
+            f"({', '.join(sorted(_RUNTIME_EXPERIMENTS))}); both engines "
+            "produce identical rows, 'batched' is faster on large traces"
         ),
     )
 
@@ -198,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="sweep only the HP variant of RobustScaler (skip RT and cost)",
     )
+    sweep.add_argument(
+        "--engine",
+        choices=["reference", "batched"],
+        default=None,
+        help="replay engine (identical results; 'batched' is faster on large traces)",
+    )
 
     return parser
 
@@ -253,6 +275,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
         train_fraction=scenario.train_fraction,
         bin_seconds=scenario.bin_seconds,
         pending_time=scenario.pending_time,
+        engine=args.engine,
     )
     scaler = _build_scaler(args, workload)
     result = workload.replay(scaler)
@@ -316,6 +339,7 @@ def _command_workloads_sweep(args: argparse.Namespace) -> int:
         include_rt_variant=not args.hp_only,
         include_cost_variant=not args.hp_only,
         workers=args.workers,
+        engine=args.engine,
     )
     rows = run_scenario_sweep_experiment(config)
     if not args.summary_only:
@@ -357,7 +381,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
     try:
         if args.name in _RUNTIME_EXPERIMENTS:
             config_cls, runner = _RUNTIME_EXPERIMENTS[args.name]
-            kwargs: dict = {"workers": args.workers}
+            kwargs: dict = {"workers": args.workers, "engine": args.engine}
             if args.scale is not None:
                 kwargs["scale"] = args.scale
             rows = runner(config_cls(**kwargs))
@@ -365,6 +389,11 @@ def _command_experiment(args: argparse.Namespace) -> int:
             if args.workers is not None:
                 print(
                     f"note: --workers is ignored by experiment {args.name!r}",
+                    file=sys.stderr,
+                )
+            if args.engine is not None:
+                print(
+                    f"note: --engine is ignored by experiment {args.name!r}",
                     file=sys.stderr,
                 )
             rows = _EXPERIMENTS[args.name]()

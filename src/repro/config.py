@@ -197,6 +197,12 @@ class SimulationConfig:
         Kubernetes control-plane round trip.
     seed:
         Seed of the simulator's own random stream (pending-time jitter).
+    engine:
+        Which replay engine executes Algorithm 1: ``"reference"`` is the
+        per-query event loop whose semantics define the model,
+        ``"batched"`` is the vectorized engine of
+        :mod:`repro.simulation.fastengine` that produces identical results
+        (same RNG draw order, same tiebreaks) at a fraction of the cost.
     """
 
     pending_time: float = 13.0
@@ -205,8 +211,16 @@ class SimulationConfig:
     charge_decision_latency: bool = False
     scheduling_latency: float = 0.0
     seed: int = 0
+    engine: str = "reference"
+
+    #: Recognized values of :attr:`engine`.
+    ENGINES = ("reference", "batched")
 
     def __post_init__(self) -> None:
+        if self.engine not in self.ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {self.ENGINES}, got {self.engine!r}"
+            )
         check_non_negative(self.pending_time, "pending_time")
         check_non_negative(self.pending_time_jitter, "pending_time_jitter")
         if self.pending_time_jitter > self.pending_time:

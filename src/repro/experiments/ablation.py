@@ -31,7 +31,7 @@ from ..optimization.formulations import solve_hp_constrained
 from ..optimization.montecarlo import generate_scenarios
 from ..pending import DeterministicPendingTime
 from ..scaling.sequential import SequentialHPScaler
-from ..simulation.engine import ScalingPerQuerySimulator
+from ..simulation.runner import create_simulator
 from ..traces.synthetic import beta_bump_intensity
 from ..types import ArrivalTrace
 
@@ -66,7 +66,7 @@ def run_kappa_ablation(config: KappaAblationConfig | None = None) -> list[dict]:
         np.array([config.arrival_rate]), 60.0, extrapolation="hold"
     )
     pending = DeterministicPendingTime(config.pending_time)
-    simulator = ScalingPerQuerySimulator(SimulationConfig(pending_time=config.pending_time))
+    simulator = create_simulator(SimulationConfig(pending_time=config.pending_time))
     planner = PlannerConfig(monte_carlo_samples=config.monte_carlo_samples)
 
     rows: list[dict] = []

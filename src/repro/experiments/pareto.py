@@ -83,6 +83,8 @@ class ParetoExperimentConfig:
     adaptive_factors: Sequence[float] | None = None
     extra_simulation: SimulationConfig | None = field(default=None)
     workers: int | None = None
+    #: Replay engine ("reference" / "batched"); both give identical rows.
+    engine: str | None = None
 
 
 def _resolve_grids(
@@ -147,6 +149,7 @@ def run_pareto_experiment(config: ParetoExperimentConfig | None = None) -> list[
                 bin_seconds=defaults["bin_seconds"],
                 pending_time=_PENDING_TIME,
                 simulation=config.extra_simulation,
+                engine=config.engine,
             ),
         )
         tasks += [
@@ -177,6 +180,7 @@ def run_single_trace_pareto(
             train_fraction=defaults["train_fraction"],
             bin_seconds=defaults["bin_seconds"],
             simulation=config.extra_simulation,
+            engine=config.engine,
         )
     planner = default_planner(config.planning_interval, config.monte_carlo_samples)
     grids = _resolve_grids(

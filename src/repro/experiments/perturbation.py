@@ -38,6 +38,8 @@ class PerturbationExperimentConfig:
     planning_interval: float = 2.0
     monte_carlo_samples: int = 400
     workers: int | None = None
+    #: Replay engine ("reference" / "batched"); both give identical rows.
+    engine: str | None = None
 
 
 def run_perturbation_experiment(
@@ -50,6 +52,7 @@ def run_perturbation_experiment(
     prep = PrepSpec(
         train_fraction=defaults["train_fraction"],
         bin_seconds=defaults["bin_seconds"],
+        engine=config.engine,
     )
 
     tasks: list[EvalTask] = []

@@ -27,7 +27,7 @@ from ..optimization.formulations import DecisionObjective, solve_batch
 from ..optimization.montecarlo import generate_scenarios
 from ..pending import DeterministicPendingTime
 from ..scaling.robustscaler import RobustScaler, RobustScalerObjective
-from ..simulation.engine import ScalingPerQuerySimulator
+from ..simulation.runner import create_simulator
 from ..traces.synthetic import beta_bump_intensity, generate_trace_from_intensity
 from ..types import ArrivalTrace
 
@@ -123,6 +123,8 @@ class MCAccuracyExperimentConfig:
     planning_interval: float = 5.0
     monte_carlo_samples: int = 1000
     seed: int = 0
+    #: Replay engine ("reference" / "batched"); both give identical rows.
+    engine: str = "reference"
 
 
 def _bump_intensity(config: MCAccuracyExperimentConfig) -> PiecewiseConstantIntensity:
@@ -166,8 +168,8 @@ def run_mc_accuracy_experiment(
         planning_interval=config.planning_interval,
         monte_carlo_samples=config.monte_carlo_samples,
     )
-    sim_config = SimulationConfig(pending_time=config.pending_time)
-    simulator = ScalingPerQuerySimulator(sim_config)
+    sim_config = SimulationConfig(pending_time=config.pending_time, engine=config.engine)
+    simulator = create_simulator(sim_config)
 
     rows: list[dict] = []
     variants = (

@@ -128,6 +128,8 @@ class ScenarioSweepConfig:
     min_test_queries: int = 8
     registry: ScenarioRegistry | None = None
     workers: int | None = None
+    #: Replay engine ("reference" / "batched"); both give identical rows.
+    engine: str | None = None
 
 
 def _sweep_registry(config: ScenarioSweepConfig) -> ScenarioRegistry:
@@ -184,6 +186,7 @@ def build_scenario_sweep_tasks(
             train_fraction=scenario.train_fraction,
             bin_seconds=scenario.bin_seconds,
             pending_time=scenario.pending_time,
+            engine=config.engine,
         )
         if config.registry is None:
             workload = WorkloadSpec(

@@ -38,6 +38,8 @@ class VarianceExperimentConfig:
     pool_sizes: Sequence[int] = (1, 2, 4)
     adaptive_factors: Sequence[float] = (25.0, 50.0, 100.0)
     workers: int | None = None
+    #: Replay engine ("reference" / "batched"); both give identical rows.
+    engine: str | None = None
 
 
 def run_variance_experiment(config: VarianceExperimentConfig | None = None) -> list[dict]:
@@ -55,6 +57,7 @@ def run_variance_experiment(config: VarianceExperimentConfig | None = None) -> l
         prep=PrepSpec(
             train_fraction=defaults["train_fraction"],
             bin_seconds=defaults["bin_seconds"],
+            engine=config.engine,
         ),
     )
 

@@ -26,7 +26,22 @@ __all__ = [
     "DeterministicPendingTime",
     "UniformPendingTime",
     "ExponentialPendingTime",
+    "default_pending_model",
 ]
+
+
+def default_pending_model(pending_time: float, jitter: float = 0.0) -> "PendingTimeModel":
+    """The pending-time model a simulator configuration denotes.
+
+    A positive ``jitter`` gives a uniform model on
+    ``[pending_time - jitter, pending_time + jitter]``, otherwise the
+    deterministic model used in most of the paper's runs.  Both replay
+    engines resolve their model through this single helper, so they can
+    never drift apart on the mapping.
+    """
+    if jitter > 0:
+        return UniformPendingTime(pending_time - jitter, pending_time + jitter)
+    return DeterministicPendingTime(pending_time)
 
 
 class PendingTimeModel(abc.ABC):

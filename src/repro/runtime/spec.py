@@ -73,6 +73,10 @@ class PrepSpec:
     period_bins: int | None = None
     nhpp: NHPPConfig | None = None
     simulation: SimulationConfig | None = None
+    #: Replay engine override (``"reference"`` / ``"batched"``); tasks carry
+    #: it as plain data so pool workers build the right simulator.  ``None``
+    #: defers to the ``simulation`` config (default: reference).
+    engine: str | None = None
 
     def resolve(self, scenario=None) -> dict:
         """Concrete ``prepare_workload`` keyword arguments."""
@@ -91,6 +95,7 @@ class PrepSpec:
             "period_bins": self.period_bins,
             "nhpp_config": self.nhpp,
             "simulation": self.simulation,
+            "engine": self.engine,
         }
 
     def _key(self, scenario=None) -> tuple:
@@ -102,6 +107,7 @@ class PrepSpec:
             resolved["period_bins"],
             resolved["nhpp_config"],
             resolved["simulation"],
+            resolved["engine"],
         )
 
 

@@ -15,7 +15,7 @@ produce their report rows through it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 import numpy as np
@@ -91,6 +91,7 @@ def prepare_workload(
     nhpp_config: NHPPConfig | None = None,
     simulation: SimulationConfig | None = None,
     period_bins: int | None = None,
+    engine: str | None = None,
 ) -> PreparedWorkload:
     """Split, fit, and package a trace for evaluation.
 
@@ -111,6 +112,10 @@ def prepare_workload(
         ``pending_time`` seconds.
     period_bins:
         Explicit period (in bins) to use instead of running detection.
+    engine:
+        Replay engine override (``"reference"`` / ``"batched"``); ``None``
+        keeps whatever ``simulation`` selects.  Both engines produce
+        identical results, so this only changes replay speed.
     """
     train, test = trace.split(train_fraction)
     model = NHPPModel(nhpp_config, bin_seconds=bin_seconds)
@@ -118,6 +123,8 @@ def prepare_workload(
     forecast = model.forecast()
     pending_model = DeterministicPendingTime(pending_time)
     sim_config = simulation or SimulationConfig(pending_time=pending_time)
+    if engine is not None and engine != sim_config.engine:
+        sim_config = replace(sim_config, engine=engine)
     reference = replay(test, ReactiveScaler(), sim_config)
     return PreparedWorkload(
         name=trace.name,

@@ -48,6 +48,10 @@ class ReactiveScaler(BackupPoolScaler):
     doubles as the cost reference for the ``relative cost`` metric.
     """
 
+    #: With a zero-size pool the arrival hook's deficit is never positive,
+    #: so batched engines may skip it and vectorize whole arrival chunks.
+    reacts_to_arrivals = False
+
     def __init__(self) -> None:
         super().__init__(0)
         self.name = "Reactive"

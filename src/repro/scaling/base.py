@@ -116,6 +116,24 @@ class Autoscaler(abc.ABC):
     #: Human-readable policy name used in reports; subclasses override.
     name: str = "autoscaler"
 
+    #: Set to ``False`` by policies whose :meth:`on_query_arrival` is
+    #: guaranteed to return an empty response, allowing batched engines to
+    #: vectorize over arrival chunks instead of calling the hook per query.
+    #: The reference engine ignores the flag (it still invokes the no-op
+    #: hook), so declaring it never changes simulation outcomes.
+    reacts_to_arrivals: bool = True
+
+    @property
+    def arrival_hook_is_passive(self) -> bool:
+        """True when per-arrival hook calls provably cannot change state.
+
+        Either the policy declares :attr:`reacts_to_arrivals` as ``False``
+        or it never overrode the base-class no-op hook.
+        """
+        if not self.reacts_to_arrivals:
+            return True
+        return type(self).on_query_arrival is Autoscaler.on_query_arrival
+
     @property
     def planning_interval(self) -> float | None:
         """Seconds between planning ticks, or ``None`` for no periodic ticks."""

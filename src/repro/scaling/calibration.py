@@ -85,7 +85,7 @@ def calibrate_hit_probability(
     """
     # Imported lazily to avoid a circular import: the simulator package
     # depends on the autoscaler interface defined in this package.
-    from ..simulation.engine import ScalingPerQuerySimulator
+    from ..simulation.runner import create_simulator
 
     levels = as_1d_float_array(nominal_levels, "nominal_levels")
     if levels.size == 0:
@@ -93,7 +93,7 @@ def calibrate_hit_probability(
     if np.any((levels <= 0) | (levels >= 1)):
         raise ValidationError("nominal_levels must lie strictly in (0, 1)")
     levels = np.sort(levels)
-    simulator = ScalingPerQuerySimulator(simulation_config)
+    simulator = create_simulator(simulation_config)
     achieved = np.empty_like(levels)
     for i, level in enumerate(levels):
         scaler = scaler_factory(float(level))

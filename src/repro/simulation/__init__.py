@@ -1,11 +1,14 @@
 """Discrete-event simulation of the scaling-per-query dynamics (Algorithm 1)."""
 
 from .engine import ScalingPerQuerySimulator
-from .runner import evaluate_scaler, replay
+from .fastengine import BatchedEventSimulator
+from .runner import create_simulator, evaluate_scaler, replay
 from .realenv import real_environment_config
 
 __all__ = [
     "ScalingPerQuerySimulator",
+    "BatchedEventSimulator",
+    "create_simulator",
     "replay",
     "evaluate_scaler",
     "real_environment_config",

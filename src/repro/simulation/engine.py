@@ -23,13 +23,14 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
+from bisect import bisect_right, insort
 from typing import Callable
 
 import numpy as np
 
 from ..config import SimulationConfig
 from ..exceptions import SimulationError
-from ..pending import DeterministicPendingTime, PendingTimeModel, UniformPendingTime
+from ..pending import PendingTimeModel, default_pending_model
 from ..rng import ensure_rng
 from ..scaling.base import Autoscaler, PlanningContext, ScalingResponse
 from ..types import (
@@ -42,6 +43,11 @@ from ..types import (
 )
 
 __all__ = ["ScalingPerQuerySimulator"]
+
+#: When True, every planning context additionally recomputes the ready count
+#: with a brute-force scan of the pool and asserts it matches the
+#: incrementally tracked value.  Enabled by the regression tests only.
+_AUDIT_READY_COUNT = False
 
 
 class _PendingInstance:
@@ -79,13 +85,10 @@ class ScalingPerQuerySimulator:
         self.config = config or SimulationConfig()
         if pending_model is not None:
             self.pending_model = pending_model
-        elif self.config.pending_time_jitter > 0:
-            self.pending_model = UniformPendingTime(
-                self.config.pending_time - self.config.pending_time_jitter,
-                self.config.pending_time + self.config.pending_time_jitter,
-            )
         else:
-            self.pending_model = DeterministicPendingTime(self.config.pending_time)
+            self.pending_model = default_pending_model(
+                self.config.pending_time, self.config.pending_time_jitter
+            )
 
     # ------------------------------------------------------------------ API
 
@@ -98,6 +101,10 @@ class ScalingPerQuerySimulator:
 
         available: list[tuple[float, int, _PendingInstance]] = []  # heap by ready_time
         scheduled: list[tuple[float, int, ScalingAction]] = []  # heap by creation_time
+        # Sorted mirror of the pool members' ready times, so planning contexts
+        # can count ready instances with one binary search instead of a full
+        # scan (the pool mutations below all map to O(log n) / tail edits).
+        ready_sorted: list[float] = []
         tiebreak = itertools.count()
         outcomes: list[QueryOutcome] = []
         planning_times: list[float] = []
@@ -107,7 +114,14 @@ class ScalingPerQuerySimulator:
             return float(self.pending_model.sample(1, rng)[0])
 
         def make_context(now: float, n_arrivals: int) -> PlanningContext:
-            ready = sum(1 for ready_time, _, _ in available if ready_time <= now)
+            ready = bisect_right(ready_sorted, now)
+            if _AUDIT_READY_COUNT:
+                brute = sum(1 for ready_time, _, _ in available if ready_time <= now)
+                if ready != brute:
+                    raise SimulationError(
+                        f"incremental ready count {ready} diverged from "
+                        f"brute-force recount {brute} at t={now}"
+                    )
             return PlanningContext(
                 time=now,
                 n_arrivals=n_arrivals,
@@ -131,6 +145,7 @@ class ScalingPerQuerySimulator:
                         _PendingInstance(creation_time, ready, pending, proactive=True),
                     ),
                 )
+                insort(ready_sorted, ready)
 
         def call_policy(
             hook: Callable[[PlanningContext], ScalingResponse], context: PlanningContext
@@ -158,6 +173,7 @@ class ScalingPerQuerySimulator:
                 del survivors[len(survivors) - len(to_remove):]
                 available[:] = survivors
                 heapq.heapify(available)
+                del ready_sorted[len(ready_sorted) - len(to_remove):]
                 for _, _, instance in to_remove:
                     unused_cost += max(0.0, now - instance.creation_time)
             for action in response.actions:
@@ -173,6 +189,7 @@ class ScalingPerQuerySimulator:
                             _PendingInstance(creation_time, ready, pending, proactive=True),
                         ),
                     )
+                    insort(ready_sorted, ready)
                 else:
                     heapq.heappush(scheduled, (creation_time, next(tiebreak), action))
 
@@ -203,7 +220,9 @@ class ScalingPerQuerySimulator:
                 arrival_time=arrival_time,
                 processing_time=float(processing_times[index]),
             )
-            outcomes.append(self._serve_query(query, available, scheduled, draw_pending))
+            outcomes.append(
+                self._serve_query(query, available, scheduled, draw_pending, ready_sorted)
+            )
 
             response, latency = call_policy(
                 scaler.on_query_arrival, make_context(arrival_time, index + 1)
@@ -211,8 +230,11 @@ class ScalingPerQuerySimulator:
             apply_response(response, arrival_time, latency)
 
         # Instances created but never consumed cost until the end of the trace.
+        # The sweep iterates the pool in (ready_time, tiebreak) order so the
+        # floating-point accumulation order is well-defined and matches the
+        # batched engine's flat sorted pool exactly.
         horizon = max(trace.horizon, arrivals[-1] if arrivals.size else 0.0)
-        for _, _, instance in available:
+        for _, _, instance in sorted(available):
             unused_cost += max(0.0, horizon - instance.creation_time)
 
         return SimulationResult(
@@ -221,6 +243,7 @@ class ScalingPerQuerySimulator:
             outcomes=outcomes,
             unused_instance_cost=unused_cost,
             planning_times=planning_times,
+            n_unused_instances=len(available),
         )
 
     # ------------------------------------------------------------- internal
@@ -231,11 +254,15 @@ class ScalingPerQuerySimulator:
         available: list[tuple[float, int, _PendingInstance]],
         scheduled: list[tuple[float, int, ScalingAction]],
         draw_pending: Callable[[], float],
+        ready_sorted: list[float],
     ) -> QueryOutcome:
         """Match a freshly arrived query to an instance per Algorithm 1."""
         arrival = query.arrival_time
         if available:
             ready_time, _, instance = heapq.heappop(available)
+            # The popped instance minimizes (ready_time, tiebreak), so its
+            # ready time is the smallest in the sorted mirror.
+            ready_sorted.pop(0)
             hit = ready_time <= arrival
             start = max(ready_time, arrival)
             record = InstanceRecord(

@@ -3,12 +3,46 @@
 from __future__ import annotations
 
 from ..config import SimulationConfig
+from ..exceptions import ConfigurationError
 from ..metrics.report import summarize_result
+from ..pending import PendingTimeModel
 from ..scaling.base import Autoscaler
 from ..types import ArrivalTrace, SimulationResult
 from .engine import ScalingPerQuerySimulator
+from .fastengine import BatchedEventSimulator
 
-__all__ = ["replay", "evaluate_scaler"]
+__all__ = ["create_simulator", "replay", "evaluate_scaler"]
+
+#: Engine name -> simulator class; both expose ``replay(trace, scaler)``.
+_ENGINES = {
+    "reference": ScalingPerQuerySimulator,
+    "batched": BatchedEventSimulator,
+}
+
+
+def create_simulator(
+    config: SimulationConfig | None = None,
+    *,
+    pending_model: PendingTimeModel | None = None,
+):
+    """Instantiate the replay engine selected by ``config.engine``.
+
+    ``"reference"`` (the default) is the per-query event loop of
+    :class:`~repro.simulation.engine.ScalingPerQuerySimulator`, whose
+    semantics define Algorithm 1; ``"batched"`` is the vectorized
+    :class:`~repro.simulation.fastengine.BatchedEventSimulator`, which
+    produces bit-identical results at a fraction of the cost on large
+    traces.
+    """
+    config = config or SimulationConfig()
+    try:
+        engine_cls = _ENGINES[config.engine]
+    except KeyError:  # pragma: no cover - SimulationConfig validates first
+        raise ConfigurationError(
+            f"unknown simulation engine {config.engine!r}; "
+            f"expected one of {sorted(_ENGINES)}"
+        ) from None
+    return engine_cls(config, pending_model=pending_model)
 
 
 def replay(
@@ -17,7 +51,7 @@ def replay(
     config: SimulationConfig | None = None,
 ) -> SimulationResult:
     """Replay ``trace`` under ``scaler`` with the given simulator configuration."""
-    simulator = ScalingPerQuerySimulator(config)
+    simulator = create_simulator(config)
     return simulator.replay(trace, scaler)
 
 

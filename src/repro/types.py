@@ -462,40 +462,217 @@ class QueryOutcome:
     instance: InstanceRecord
 
 
-@dataclass
 class SimulationResult:
-    """Aggregate output of replaying a trace with an autoscaler."""
+    """Aggregate output of replaying a trace with an autoscaler.
 
-    scaler_name: str
-    trace_name: str
-    outcomes: list[QueryOutcome]
-    unused_instance_cost: float = 0.0
-    planning_times: list[float] = field(default_factory=list)
+    Two interchangeable representations back the per-query data:
+
+    * **row-wise** — an eager list of :class:`QueryOutcome` records, as
+      produced by the reference engine (pass ``outcomes=``);
+    * **columnar** — flat numpy arrays, one per outcome field, as produced
+      by the batched engine (:meth:`from_columns`).  The ``outcomes`` list
+      is then materialized lazily on first access, so metric pipelines that
+      only touch the array properties never pay for building a Python
+      object per query.
+
+    Both representations expose identical values through every accessor;
+    the differential-testing harness in ``tests/test_engine_parity.py``
+    holds the engines to that.
+    """
+
+    def __init__(
+        self,
+        scaler_name: str,
+        trace_name: str,
+        outcomes: Optional[list[QueryOutcome]] = None,
+        unused_instance_cost: float = 0.0,
+        planning_times: Optional[list[float]] = None,
+        *,
+        n_unused_instances: int = 0,
+    ) -> None:
+        self.scaler_name = scaler_name
+        self.trace_name = trace_name
+        self._outcomes: Optional[list[QueryOutcome]] = (
+            list(outcomes) if outcomes is not None else None
+        )
+        self._columns: Optional[dict[str, np.ndarray]] = None
+        self.unused_instance_cost = unused_instance_cost
+        self.planning_times: list[float] = (
+            list(planning_times) if planning_times is not None else []
+        )
+        self.n_unused_instances = int(n_unused_instances)
+        if self._outcomes is None:
+            self._outcomes = []
+
+    @classmethod
+    def from_columns(
+        cls,
+        scaler_name: str,
+        trace_name: str,
+        *,
+        arrival_times: np.ndarray,
+        processing_times: np.ndarray,
+        hits: np.ndarray,
+        waiting_times: np.ndarray,
+        creation_times: np.ndarray,
+        ready_times: np.ndarray,
+        start_times: np.ndarray,
+        pending_times: np.ndarray,
+        proactive: np.ndarray,
+        unused_instance_cost: float = 0.0,
+        planning_times: Optional[list[float]] = None,
+        n_unused_instances: int = 0,
+    ) -> "SimulationResult":
+        """Build a result from flat per-query arrays (the batched engine's path)."""
+        columns = {
+            "arrival": np.asarray(arrival_times, dtype=float),
+            "processing": np.asarray(processing_times, dtype=float),
+            "hit": np.asarray(hits, dtype=bool),
+            "waiting": np.asarray(waiting_times, dtype=float),
+            "creation": np.asarray(creation_times, dtype=float),
+            "ready": np.asarray(ready_times, dtype=float),
+            "start": np.asarray(start_times, dtype=float),
+            "pending": np.asarray(pending_times, dtype=float),
+            "proactive": np.asarray(proactive, dtype=bool),
+        }
+        sizes = {key: value.shape[0] for key, value in columns.items()}
+        if len(set(sizes.values())) > 1:
+            raise ValidationError(f"column lengths disagree: {sizes}")
+        result = cls(
+            scaler_name,
+            trace_name,
+            unused_instance_cost=unused_instance_cost,
+            planning_times=planning_times,
+            n_unused_instances=n_unused_instances,
+        )
+        result._outcomes = None
+        result._columns = columns
+        return result
+
+    # ------------------------------------------------------ representations
+
+    @property
+    def outcomes(self) -> list[QueryOutcome]:
+        """Per-query outcome records (materialized lazily for columnar results)."""
+        if self._outcomes is None:
+            self._outcomes = self._materialize_outcomes()
+        return self._outcomes
+
+    def _materialize_outcomes(self) -> list[QueryOutcome]:
+        cols = self._columns
+        assert cols is not None
+        outcomes: list[QueryOutcome] = []
+        for i in range(cols["arrival"].shape[0]):
+            query = Query(
+                index=i,
+                arrival_time=float(cols["arrival"][i]),
+                processing_time=float(cols["processing"][i]),
+            )
+            start = float(cols["start"][i])
+            waiting = float(cols["waiting"][i])
+            record = InstanceRecord(
+                query_index=i,
+                creation_time=float(cols["creation"][i]),
+                ready_time=float(cols["ready"][i]),
+                start_processing_time=start,
+                deletion_time=start + query.processing_time,
+                pending_time=float(cols["pending"][i]),
+                proactive=bool(cols["proactive"][i]),
+            )
+            outcomes.append(
+                QueryOutcome(
+                    query=query,
+                    hit=bool(cols["hit"][i]),
+                    waiting_time=waiting,
+                    response_time=waiting + query.processing_time,
+                    instance=record,
+                )
+            )
+        return outcomes
+
+    def _column(self, key: str, getter, dtype) -> np.ndarray:
+        if self._columns is not None:
+            return self._columns[key]
+        return np.array([getter(o) for o in self._outcomes], dtype=dtype)
+
+    # ----------------------------------------------------------- accessors
 
     @property
     def n_queries(self) -> int:
         """Number of queries that were replayed."""
-        return len(self.outcomes)
+        if self._columns is not None:
+            return int(self._columns["arrival"].shape[0])
+        return len(self._outcomes)
 
     @property
     def hits(self) -> np.ndarray:
         """Boolean array of per-query hit indicators."""
-        return np.array([o.hit for o in self.outcomes], dtype=bool)
+        return self._column("hit", lambda o: o.hit, bool)
 
     @property
     def response_times(self) -> np.ndarray:
         """Array of per-query response times (seconds)."""
-        return np.array([o.response_time for o in self.outcomes], dtype=float)
+        if self._columns is not None:
+            return self._columns["waiting"] + self._columns["processing"]
+        return np.array([o.response_time for o in self._outcomes], dtype=float)
 
     @property
     def waiting_times(self) -> np.ndarray:
         """Array of per-query waiting times (seconds)."""
-        return np.array([o.waiting_time for o in self.outcomes], dtype=float)
+        return self._column("waiting", lambda o: o.waiting_time, float)
+
+    @property
+    def arrival_times(self) -> np.ndarray:
+        """Array of per-query arrival times (seconds)."""
+        return self._column("arrival", lambda o: o.query.arrival_time, float)
+
+    @property
+    def processing_times(self) -> np.ndarray:
+        """Array of per-query processing times (seconds)."""
+        return self._column("processing", lambda o: o.query.processing_time, float)
+
+    @property
+    def creation_times(self) -> np.ndarray:
+        """Creation time of the instance that served each query."""
+        return self._column("creation", lambda o: o.instance.creation_time, float)
+
+    @property
+    def ready_times(self) -> np.ndarray:
+        """Ready time of the instance that served each query."""
+        return self._column("ready", lambda o: o.instance.ready_time, float)
+
+    @property
+    def start_times(self) -> np.ndarray:
+        """Start-of-processing time of the instance that served each query."""
+        return self._column(
+            "start", lambda o: o.instance.start_processing_time, float
+        )
+
+    @property
+    def deletion_times(self) -> np.ndarray:
+        """Deletion time of the instance that served each query."""
+        if self._columns is not None:
+            return self._columns["start"] + self._columns["processing"]
+        return np.array([o.instance.deletion_time for o in self._outcomes], dtype=float)
+
+    @property
+    def pending_times(self) -> np.ndarray:
+        """Pending (startup) time drawn for the instance serving each query."""
+        return self._column("pending", lambda o: o.instance.pending_time, float)
+
+    @property
+    def proactive_flags(self) -> np.ndarray:
+        """Whether each query was served by a proactively created instance."""
+        return self._column("proactive", lambda o: o.instance.proactive, bool)
 
     @property
     def lifecycle_costs(self) -> np.ndarray:
         """Array of per-instance lifecycle lengths for instances that served queries."""
-        return np.array([o.instance.lifecycle_length for o in self.outcomes], dtype=float)
+        if self._columns is not None:
+            return self.deletion_times - self._columns["creation"]
+        return np.array(
+            [o.instance.lifecycle_length for o in self._outcomes], dtype=float
+        )
 
     @property
     def total_cost(self) -> float:
@@ -505,13 +682,55 @@ class SimulationResult:
     @property
     def hit_rate(self) -> float:
         """Fraction of queries that were hits."""
-        if not self.outcomes:
+        if not self.n_queries:
             return float("nan")
         return float(self.hits.mean())
 
     @property
     def mean_response_time(self) -> float:
         """Average response time across all queries."""
-        if not self.outcomes:
+        if not self.n_queries:
             return float("nan")
         return float(self.response_times.mean())
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality over the recorded values.
+
+        Representation-agnostic: a row-wise result equals a columnar one
+        when every per-query value, the unused-instance cost and the
+        planning times agree (the former dataclass compared outcome lists;
+        this preserves value semantics across both representations).
+        """
+        if not isinstance(other, SimulationResult):
+            return NotImplemented
+        if (
+            self.scaler_name != other.scaler_name
+            or self.trace_name != other.trace_name
+            or self.unused_instance_cost != other.unused_instance_cost
+            or self.n_unused_instances != other.n_unused_instances
+            or self.planning_times != other.planning_times
+            or self.n_queries != other.n_queries
+        ):
+            return False
+        return all(
+            np.array_equal(getattr(self, column), getattr(other, column))
+            for column in (
+                "arrival_times",
+                "processing_times",
+                "hits",
+                "waiting_times",
+                "creation_times",
+                "ready_times",
+                "start_times",
+                "pending_times",
+                "proactive_flags",
+            )
+        )
+
+    __hash__ = None  # mutable container semantics, like the former dataclass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SimulationResult(scaler={self.scaler_name!r}, "
+            f"trace={self.trace_name!r}, n_queries={self.n_queries})"
+        )

@@ -1,0 +1,327 @@
+"""Differential tests: the batched engine must be bit-compatible with the reference.
+
+Every assertion here compares full :class:`~repro.types.SimulationResult`
+rows — hit flags, waiting times, instance lifecycles, pending draws, unused
+cost and planning-call counts — between
+:class:`~repro.simulation.engine.ScalingPerQuerySimulator` (the semantics)
+and :class:`~repro.simulation.fastengine.BatchedEventSimulator` (the speed).
+Any future engine (compiled kernel, async backend) is expected to pass this
+suite unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import PlannerConfig, SimulationConfig
+from repro.nhpp.sampling import sample_homogeneous_arrivals
+from repro.pending import ExponentialPendingTime
+from repro.runtime import (
+    EvalTask,
+    PrepSpec,
+    ScalerSpec,
+    WorkloadSpec,
+    prepare_workload,
+    run_task_rows,
+    strip_timing,
+)
+from repro.scaling.adaptive_backup_pool import AdaptiveBackupPoolScaler
+from repro.scaling.backup_pool import BackupPoolScaler, ReactiveScaler
+from repro.scaling.base import Autoscaler, ScalingResponse
+from repro.scaling.robustscaler import RobustScaler, RobustScalerObjective
+from repro.simulation import (
+    BatchedEventSimulator,
+    ScalingPerQuerySimulator,
+    create_simulator,
+)
+from repro.types import ArrivalTrace, ScalingAction
+from repro.workloads import get_scenario, list_scenarios
+
+#: Result columns compared bit-for-bit between the engines.
+_COLUMNS = (
+    "hits",
+    "waiting_times",
+    "response_times",
+    "creation_times",
+    "ready_times",
+    "start_times",
+    "deletion_times",
+    "pending_times",
+    "proactive_flags",
+    "lifecycle_costs",
+)
+
+
+def assert_engine_parity(trace, scaler_factory, config, *, pending_model=None):
+    """Replay under both engines and assert bit-identical results."""
+    reference = ScalingPerQuerySimulator(config, pending_model=pending_model).replay(
+        trace, scaler_factory()
+    )
+    batched = BatchedEventSimulator(config, pending_model=pending_model).replay(
+        trace, scaler_factory()
+    )
+    for column in _COLUMNS:
+        np.testing.assert_array_equal(
+            getattr(reference, column),
+            getattr(batched, column),
+            err_msg=f"column {column!r} diverged",
+        )
+    assert reference.unused_instance_cost == batched.unused_instance_cost
+    assert reference.n_unused_instances == batched.n_unused_instances
+    assert len(reference.planning_times) == len(batched.planning_times)
+    assert reference.n_queries == batched.n_queries
+    assert reference.total_cost == batched.total_cost
+    return reference, batched
+
+
+class SchedulingScaler(Autoscaler):
+    """Tick policy exercising scheduled creations, cancels and scale-ins."""
+
+    name = "SchedulingScaler"
+    reacts_to_arrivals = False
+
+    def __init__(self, interval: float, lookahead: float, burst: int = 2) -> None:
+        self._interval = interval
+        self._lookahead = lookahead
+        self._burst = burst
+
+    @property
+    def planning_interval(self) -> float:
+        return self._interval
+
+    def on_planning_tick(self, context) -> ScalingResponse:
+        actions = [
+            ScalingAction(
+                creation_time=context.time + self._lookahead * (k + 1) / self._burst,
+                planned_at=context.time,
+            )
+            for k in range(self._burst)
+        ]
+        return ScalingResponse(
+            actions=actions,
+            cancel_scheduled=1 if context.scheduled_creations > 3 else 0,
+            scale_in=1 if context.created_unassigned > 2 else 0,
+        )
+
+
+class FixedPlanScaler(Autoscaler):
+    """Creates instances at a fixed list of absolute times."""
+
+    name = "FixedPlan"
+
+    def __init__(self, creation_times) -> None:
+        self._creation_times = list(creation_times)
+
+    def initialize(self, context) -> ScalingResponse:
+        actions = [
+            ScalingAction(creation_time=t, planned_at=0.0) for t in self._creation_times
+        ]
+        return ScalingResponse(actions=actions)
+
+
+def _poisson_trace(rate=0.6, horizon=1800.0, seed=5, processing=9.0):
+    arrivals = sample_homogeneous_arrivals(rate, horizon, seed)
+    return ArrivalTrace(arrivals, processing, name="parity", horizon=horizon)
+
+
+class TestScenarioRegistryParity:
+    """Replay every registered scenario under both engines."""
+
+    @pytest.mark.parametrize(
+        "scenario_name", [scenario.name for scenario in list_scenarios()]
+    )
+    def test_registry_scenario_parity(self, scenario_name):
+        scenario = get_scenario(scenario_name)
+        trace = scenario.build_trace(scale=0.02, seed=3)
+        config = SimulationConfig(pending_time=scenario.pending_time, seed=3)
+        for factory in (ReactiveScaler, lambda: BackupPoolScaler(2)):
+            assert_engine_parity(trace, factory, config)
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_pareto_bursts_parity_across_seeds(self, seed):
+        scenario = get_scenario("pareto-bursts")
+        trace = scenario.build_trace(scale=0.03, seed=seed)
+        config = SimulationConfig(
+            pending_time=scenario.pending_time, pending_time_jitter=2.0, seed=seed
+        )
+        for factory in (
+            ReactiveScaler,
+            lambda: AdaptiveBackupPoolScaler(15.0, update_interval=120.0),
+            lambda: SchedulingScaler(45.0, 60.0),
+        ):
+            assert_engine_parity(trace, factory, config)
+
+
+class TestConfigurationGridParity:
+    """Jitter, scheduling latency, planning intervals, latency charging."""
+
+    @pytest.mark.parametrize(
+        "jitter,latency",
+        [(0.0, 0.0), (4.0, 0.0), (0.0, 1.5), (4.0, 1.5)],
+    )
+    def test_jitter_and_scheduling_latency(self, jitter, latency):
+        trace = _poisson_trace()
+        config = SimulationConfig(
+            pending_time=8.0,
+            pending_time_jitter=jitter,
+            scheduling_latency=latency,
+            seed=7,
+        )
+        for factory in (
+            ReactiveScaler,
+            lambda: BackupPoolScaler(3),
+            lambda: SchedulingScaler(20.0, 30.0),
+        ):
+            assert_engine_parity(trace, factory, config)
+
+    @pytest.mark.parametrize("interval", [5.0, 17.0, 300.0])
+    def test_planning_interval_grid(self, interval):
+        trace = _poisson_trace(rate=0.4, horizon=2400.0, seed=2)
+        config = SimulationConfig(pending_time=10.0, seed=2)
+        assert_engine_parity(
+            trace, lambda: SchedulingScaler(interval, interval * 1.5, burst=3), config
+        )
+
+    def test_exponential_pending_model(self):
+        """Bulk draws must be stream-prefix-stable for the ziggurat sampler too."""
+        trace = _poisson_trace(seed=9)
+        config = SimulationConfig(pending_time=8.0, seed=4)
+        model = ExponentialPendingTime(6.0)
+        for factory in (ReactiveScaler, lambda: SchedulingScaler(30.0, 40.0)):
+            assert_engine_parity(trace, factory, config, pending_model=model)
+
+    def test_charge_decision_latency_with_deterministic_clock(self, monkeypatch):
+        """With a deterministic clock, charged latency is engine-independent."""
+        ticks = itertools.count()
+        # A power-of-two step makes consecutive differences exactly equal, so
+        # the charged latency is the same constant no matter how many clock
+        # reads an engine performs before a given hook.
+        step = 2.0**-10
+
+        def fake_perf_counter() -> float:
+            return next(ticks) * step
+
+        monkeypatch.setattr(time, "perf_counter", fake_perf_counter)
+        trace = _poisson_trace(rate=0.3, horizon=1200.0, seed=6)
+        config = SimulationConfig(
+            pending_time=5.0, charge_decision_latency=True, seed=6
+        )
+        for factory in (
+            ReactiveScaler,
+            lambda: BackupPoolScaler(2),
+            lambda: SchedulingScaler(30.0, 20.0),
+        ):
+            assert_engine_parity(trace, factory, config)
+
+
+class TestEdgeCaseParity:
+    def test_empty_trace(self):
+        trace = ArrivalTrace([], [], horizon=500.0)
+        config = SimulationConfig(pending_time=5.0)
+        reference, batched = assert_engine_parity(
+            trace, lambda: FixedPlanScaler([0.0, 10.0]), config
+        )
+        # The immediate creation at t=0 idles until the horizon; the one
+        # scheduled for t=10 never materializes because no event reaches it.
+        assert reference.unused_instance_cost == pytest.approx(500.0)
+        assert batched.n_unused_instances == 1
+
+    def test_arrival_at_time_zero(self):
+        trace = ArrivalTrace([0.0, 0.0, 5.0], [2.0, 2.0, 2.0], horizon=60.0)
+        config = SimulationConfig(pending_time=3.0)
+        assert_engine_parity(trace, lambda: FixedPlanScaler([0.0]), config)
+
+    def test_simultaneous_ready_tiebreaks(self):
+        """Deterministic pending times create ready-time ties; the creation
+        order (tiebreak counter) must decide identically in both engines."""
+        trace = ArrivalTrace([20.0, 20.0, 20.0, 21.0], 1.0, horizon=60.0)
+        config = SimulationConfig(pending_time=10.0)
+        assert_engine_parity(
+            trace, lambda: FixedPlanScaler([0.0, 0.0, 0.0, 5.0]), config
+        )
+
+    def test_reactive_cold_start_cancels_scheduled(self):
+        # Arrivals before any scheduled creation exists force cold starts
+        # that cancel the earliest outstanding scheduled creations.
+        trace = ArrivalTrace([1.0, 2.0, 3.0, 50.0], 2.0, horizon=200.0)
+        config = SimulationConfig(pending_time=4.0)
+        assert_engine_parity(
+            trace, lambda: FixedPlanScaler([40.0, 45.0, 110.0]), config
+        )
+
+
+class TestRobustScalerParity:
+    def test_robustscaler_hp_parity(self):
+        arrivals = sample_homogeneous_arrivals(0.4, 5400.0, 4)
+        trace = ArrivalTrace(arrivals, 10.0, name="rs-parity", horizon=5400.0)
+        workload = prepare_workload(
+            trace, train_fraction=0.7, bin_seconds=60.0, pending_time=9.0
+        )
+        config = SimulationConfig(pending_time=9.0, seed=2)
+
+        def factory():
+            return RobustScaler(
+                workload.forecast,
+                workload.pending_model,
+                objective=RobustScalerObjective.HIT_PROBABILITY,
+                target=0.9,
+                planner=PlannerConfig(planning_interval=5.0, monte_carlo_samples=60),
+                random_state=11,
+            )
+
+        assert_engine_parity(workload.test, factory, config)
+
+
+class TestEngineSelection:
+    """Engine plumbing: config, factory, runtime specs, executors."""
+
+    def test_config_rejects_unknown_engine(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(engine="warp-drive")
+
+    def test_factory_maps_names_to_engines(self):
+        assert isinstance(
+            create_simulator(SimulationConfig(engine="reference")),
+            ScalingPerQuerySimulator,
+        )
+        assert isinstance(
+            create_simulator(SimulationConfig(engine="batched")), BatchedEventSimulator
+        )
+        assert isinstance(create_simulator(), ScalingPerQuerySimulator)
+
+    def test_prepare_workload_engine_override(self):
+        trace = _poisson_trace(rate=0.2, horizon=1200.0)
+        workload = prepare_workload(trace, engine="batched")
+        assert workload.simulation.engine == "batched"
+
+    def test_prepspec_key_carries_engine(self):
+        reference = WorkloadSpec(scenario="steady-state", prep=PrepSpec())
+        batched = WorkloadSpec(
+            scenario="steady-state", prep=PrepSpec(engine="batched")
+        )
+        assert reference.cache_key() != batched.cache_key()
+        assert batched.prep.resolve(None)["engine"] == "batched"
+
+    def test_runtime_rows_identical_across_engines(self):
+        """EvalTask batches produce the same rows whichever engine replays."""
+
+        def rows_for(engine):
+            workload = WorkloadSpec(
+                scenario="steady-state",
+                scale=0.02,
+                seed=3,
+                prep=PrepSpec(engine=engine),
+            )
+            tasks = [
+                EvalTask(workload, ScalerSpec("reactive")),
+                EvalTask(workload, ScalerSpec("bp", 2)),
+            ]
+            return strip_timing(run_task_rows(tasks, base_seed=3))
+
+        assert rows_for("reference") == rows_for("batched")

@@ -1,0 +1,82 @@
+"""Golden regression tests for seeded scenario-trace generation.
+
+The fixtures in ``tests/golden/scenario_traces.json`` pin the exact
+realizations produced by the vectorized NHPP sampler for every
+intensity-backed registry scenario.  If these tests fail, a code change
+altered the RNG draw order of scenario generation; if the change is
+intentional, re-baseline with::
+
+    PYTHONPATH=src python tests/golden/regen_golden.py
+
+and commit the updated JSON together with the change (see the README
+section on re-baselining golden fixtures).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import get_scenario, list_scenarios
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "scenario_traces.json"
+
+
+def _load_regen_module():
+    spec = importlib.util.spec_from_file_location(
+        "regen_golden", GOLDEN_DIR / "regen_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("regen_golden", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+_regen = _load_regen_module()
+
+
+@pytest.fixture(scope="module")
+def fixtures() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        "golden fixtures missing; run "
+        "`PYTHONPATH=src python tests/golden/regen_golden.py`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _cases():
+    for scenario in list_scenarios():
+        if scenario.kind != "intensity":
+            continue
+        for scale, seed in _regen.CASES:
+            yield scenario.name, scale, seed
+
+
+@pytest.mark.parametrize("name,scale,seed", list(_cases()))
+def test_seeded_trace_matches_golden(fixtures, name, scale, seed):
+    key = f"{name}|scale={scale:g}|seed={seed}"
+    assert key in fixtures, f"no golden fixture for {key}; re-run regen_golden.py"
+    trace = get_scenario(name).build_trace(scale=scale, seed=seed)
+    assert _regen.trace_fingerprint(trace) == fixtures[key]
+
+
+def test_fixture_file_covers_exactly_the_current_registry(fixtures):
+    expected = {
+        f"{name}|scale={scale:g}|seed={seed}" for name, scale, seed in _cases()
+    }
+    assert set(fixtures) == expected, (
+        "golden fixtures out of sync with the scenario registry; "
+        "re-run tests/golden/regen_golden.py"
+    )
+
+
+def test_generation_is_deterministic():
+    scenario = get_scenario("pareto-bursts")
+    a = scenario.build_trace(scale=0.05, seed=7)
+    b = scenario.build_trace(scale=0.05, seed=7)
+    assert _regen.trace_fingerprint(a) == _regen.trace_fingerprint(b)
