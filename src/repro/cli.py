@@ -10,6 +10,8 @@ Usage examples::
     repro workloads list                     # the scenario registry
     repro workloads generate --scenario flash-crowd --seed 7 --out fc.csv
     repro workloads sweep                    # autoscalers across every scenario
+    repro store info                         # artifact-store footprint
+    repro store gc --max-bytes 500000000     # evict oldest artifacts
 
 The CLI is a thin wrapper over :mod:`repro.experiments`; the paper-facing
 subcommands print plain-text tables mirroring the paper's artifacts, while
@@ -17,12 +19,22 @@ subcommands print plain-text tables mirroring the paper's artifacts, while
 listing scenarios, generating seed-reproducible traces (optionally saved to
 CSV), and sweeping RobustScaler plus the baselines across the registry.
 (The installed entry points ``repro`` and ``robustscaler`` are synonyms.)
+
+Persistence: ``simulate``, ``experiment`` and ``workloads sweep`` use the
+disk artifact store of :mod:`repro.store` by default, so repeated
+invocations reuse model fits and generated traces instead of recomputing
+them.  ``--store-dir`` (or the ``REPRO_STORE_DIR`` environment variable)
+relocates it, ``--no-store`` disables it, ``--run-id`` journals per-task
+completions so an interrupted sweep resumes where it left off, and the
+``store`` command group (``info`` / ``ls`` / ``gc`` / ``clear``) manages
+the store's footprint.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Sequence
 
 from .config import PlannerConfig, SimulationConfig
@@ -42,12 +54,18 @@ from .experiments import (
     run_variance_experiment,
     summarize_scenario_sweep,
 )
+from .experiments.control_accuracy import (
+    ControlAccuracyExperimentConfig,
+    PlanningFrequencyExperimentConfig,
+)
 from .experiments.pareto import ParetoExperimentConfig
 from .experiments.perturbation import PerturbationExperimentConfig
+from .experiments.robustness import RobustnessExperimentConfig
 from .experiments.scenario_sweep import ScenarioSweepConfig
 from .experiments.variance import VarianceExperimentConfig
 from .metrics.report import format_table, summarize_result
 from .pending import DeterministicPendingTime
+from .runtime import PrepSpec, WorkloadCache, WorkloadSpec
 from .scaling import (
     AdaptiveBackupPoolScaler,
     BackupPoolScaler,
@@ -56,10 +74,10 @@ from .scaling import (
     RobustScalerObjective,
 )
 from .simulation import replay
+from .store import STORE_DIR_ENV_VAR, resolve_store
 from .traces import get_trace, list_traces
 from .traces.io import save_trace_csv
 from .workloads import get_scenario, list_scenarios, scenario_names
-from .experiments.base import prepare_workload
 
 __all__ = ["main", "build_parser"]
 
@@ -79,13 +97,50 @@ _EXPERIMENTS: dict[str, Callable[[], list[dict]]] = {
 }
 
 #: Experiments routed through the parallel evaluation runtime; their config
-#: classes accept ``scale`` and ``workers``.
+#: classes accept ``scale``, ``workers``, ``engine``, ``store`` and
+#: ``run_id``.
 _RUNTIME_EXPERIMENTS = {
     "pareto": (ParetoExperimentConfig, run_pareto_experiment),
     "scenario-sweep": (ScenarioSweepConfig, run_scenario_sweep_experiment),
     "variance": (VarianceExperimentConfig, run_variance_experiment),
     "perturbation": (PerturbationExperimentConfig, run_perturbation_experiment),
+    "robustness": (RobustnessExperimentConfig, run_robustness_experiment),
+    "control": (ControlAccuracyExperimentConfig, run_control_accuracy_experiment),
+    "planning-frequency": (
+        PlanningFrequencyExperimentConfig,
+        run_planning_frequency_experiment,
+    ),
 }
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """The persistence flags shared by simulate / experiment / sweep."""
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help=(
+            "artifact-store directory (default: the "
+            f"{STORE_DIR_ENV_VAR} environment variable, else ~/.cache/repro/store)"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the disk artifact store for this invocation",
+    )
+
+
+def _store_summary(store) -> str:
+    """One-line report of what the store did for this invocation.
+
+    Counters are per-handle: with ``--workers N`` the pool workers' own
+    reads/writes happen in their processes and are not included here.
+    """
+    stats = store.stats()
+    return (
+        f"[store] {stats.hits} artifact reads, {stats.writes} writes "
+        f"in this process ({store.root})"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="reference",
         help="replay engine (identical results; 'batched' is faster on large traces)",
     )
+    _add_store_flags(simulate)
 
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper-reproduction experiments"
@@ -155,6 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
             "produce identical rows, 'batched' is faster on large traces"
         ),
     )
+    experiment.add_argument(
+        "--run-id",
+        default=None,
+        help=(
+            "journal per-task completions under this id so an interrupted "
+            "run resumes where it left off (runtime-backed experiments, "
+            "requires the store)"
+        ),
+    )
+    _add_store_flags(experiment)
 
     workloads = subparsers.add_parser(
         "workloads", help="workload-scenario registry: list, generate, sweep"
@@ -220,6 +286,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="replay engine (identical results; 'batched' is faster on large traces)",
     )
+    sweep.add_argument(
+        "--run-id",
+        default=None,
+        help=(
+            "journal per-task completions under this id so an interrupted "
+            "sweep resumes where it left off (requires the store)"
+        ),
+    )
+    _add_store_flags(sweep)
+
+    store = subparsers.add_parser(
+        "store", help="manage the persistent artifact store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_info = store_sub.add_parser(
+        "info", help="store location and per-namespace footprint"
+    )
+    store_ls = store_sub.add_parser("ls", help="list artifacts, oldest first")
+    store_ls.add_argument(
+        "--namespace",
+        default=None,
+        help="restrict to one namespace (workloads, traces, results)",
+    )
+    store_ls.add_argument(
+        "--limit", type=int, default=50, help="maximum entries to list (default: 50)"
+    )
+    store_gc = store_sub.add_parser(
+        "gc", help="evict artifacts beyond age/size bounds (oldest first)"
+    )
+    store_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict oldest artifacts until the store fits in this many bytes",
+    )
+    store_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="evict artifacts older than this many days",
+    )
+    store_clear = store_sub.add_parser("clear", help="remove every artifact")
+    for sub in (store_info, store_ls, store_gc, store_clear):
+        sub.add_argument(
+            "--store-dir",
+            default=None,
+            help=(
+                "artifact-store directory (default: the "
+                f"{STORE_DIR_ENV_VAR} environment variable, else "
+                "~/.cache/repro/store)"
+            ),
+        )
 
     return parser
 
@@ -264,24 +382,39 @@ def _build_scaler(args: argparse.Namespace, workload) -> object:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
+    store = resolve_store(args.store_dir, enabled=not args.no_store)
+    cache = WorkloadCache(store=store)
     try:
         scenario = get_scenario(args.trace)
-        trace = scenario.build_trace(scale=args.scale, seed=args.seed)
+        spec = WorkloadSpec(
+            scenario=scenario.name,
+            scale=args.scale,
+            seed=args.seed,
+            prep=PrepSpec(
+                train_fraction=scenario.train_fraction,
+                bin_seconds=scenario.bin_seconds,
+                pending_time=scenario.pending_time,
+                engine=args.engine,
+            ),
+        )
+        # Preparation validates the seed/scale and may raise too, so it
+        # belongs inside the clean-error envelope.
+        workload, _ = cache.get_or_prepare(spec)
     except (WorkloadError, ValidationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    workload = prepare_workload(
-        trace,
-        train_fraction=scenario.train_fraction,
-        bin_seconds=scenario.bin_seconds,
-        pending_time=scenario.pending_time,
-        engine=args.engine,
-    )
     scaler = _build_scaler(args, workload)
     result = workload.replay(scaler)
     summary = summarize_result(result, reference_cost=workload.reference_cost)
     rows = [{"metric": key, "value": value} for key, value in summary.items()]
-    print(format_table(rows, title=f"{scaler.name} on {trace.name}"))
+    print(format_table(rows, title=f"{scaler.name} on {workload.name}"))
+    if store is not None:
+        stats = cache.stats()
+        print(
+            f"[store] {stats.disk_hits} disk hits, {stats.misses} fits "
+            f"({store.root})",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -329,6 +462,7 @@ def _command_workloads_generate(args: argparse.Namespace) -> int:
 
 
 def _command_workloads_sweep(args: argparse.Namespace) -> int:
+    store = resolve_store(args.store_dir, enabled=not args.no_store)
     config = ScenarioSweepConfig(
         scenario_names=args.scenario,
         scale=args.scale,
@@ -340,8 +474,12 @@ def _command_workloads_sweep(args: argparse.Namespace) -> int:
         include_cost_variant=not args.hp_only,
         workers=args.workers,
         engine=args.engine,
+        store=store,
+        run_id=args.run_id,
     )
     rows = run_scenario_sweep_experiment(config)
+    if store is not None:
+        print(_store_summary(store), file=sys.stderr)
     if not args.summary_only:
         columns = [
             "scenario",
@@ -378,30 +516,98 @@ def _command_workloads(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
+    store = None
     try:
         if args.name in _RUNTIME_EXPERIMENTS:
+            store = resolve_store(args.store_dir, enabled=not args.no_store)
             config_cls, runner = _RUNTIME_EXPERIMENTS[args.name]
-            kwargs: dict = {"workers": args.workers, "engine": args.engine}
+            kwargs: dict = {
+                "workers": args.workers,
+                "engine": args.engine,
+                "store": store,
+                "run_id": args.run_id,
+            }
             if args.scale is not None:
                 kwargs["scale"] = args.scale
             rows = runner(config_cls(**kwargs))
         else:
-            if args.workers is not None:
-                print(
-                    f"note: --workers is ignored by experiment {args.name!r}",
-                    file=sys.stderr,
-                )
-            if args.engine is not None:
-                print(
-                    f"note: --engine is ignored by experiment {args.name!r}",
-                    file=sys.stderr,
-                )
+            for flag, value in (
+                ("--workers", args.workers),
+                ("--engine", args.engine),
+                ("--run-id", args.run_id),
+                ("--store-dir", args.store_dir),
+                ("--no-store", args.no_store or None),
+            ):
+                if value is not None:
+                    print(
+                        f"note: {flag} is ignored by experiment {args.name!r}",
+                        file=sys.stderr,
+                    )
             rows = _EXPERIMENTS[args.name]()
     except (ExperimentError, ValidationError, WorkloadError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_table(rows, title=f"Experiment: {args.name}"))
+    if store is not None:
+        print(_store_summary(store), file=sys.stderr)
     return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    store = resolve_store(args.store_dir)
+    if args.store_command == "info":
+        info = store.info()
+        rows = [
+            {"metric": "root", "value": info["root"]},
+            {"metric": "schema_version", "value": info["schema_version"]},
+            {"metric": "total_entries", "value": info["total_entries"]},
+            {"metric": "total_bytes", "value": info["total_bytes"]},
+        ]
+        for namespace, footprint in sorted(info["namespaces"].items()):
+            rows.append(
+                {
+                    "metric": f"{namespace}",
+                    "value": f"{footprint['count']} entries, {footprint['bytes']} bytes",
+                }
+            )
+        print(format_table(rows, title="Artifact store"))
+        return 0
+    if args.store_command == "ls":
+        try:
+            entries = store.entries(args.namespace)
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rows = [
+            {
+                "namespace": entry.namespace,
+                "digest": entry.digest,
+                "size_bytes": entry.size_bytes,
+                "age_hours": max(0.0, (time.time() - entry.mtime) / 3600.0),
+            }
+            for entry in entries[: max(args.limit, 0)]
+        ]
+        print(format_table(rows, title=f"Artifacts ({len(entries)} total)"))
+        return 0
+    if args.store_command == "gc":
+        max_age = (
+            None if args.max_age_days is None else args.max_age_days * 86_400.0
+        )
+        try:
+            report = store.gc(max_bytes=args.max_bytes, max_age_seconds=max_age)
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"removed {report.removed} artifacts ({report.freed_bytes} bytes); "
+            f"kept {report.kept} ({report.kept_bytes} bytes)"
+        )
+        return 0
+    if args.store_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    return 2  # pragma: no cover - subparser is required
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -416,6 +622,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_experiment(args)
     if args.command == "workloads":
         return _command_workloads(args)
+    if args.command == "store":
+        return _command_store(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

@@ -11,13 +11,19 @@ Three ablations complement the paper's own experiments:
   sample count ``R`` grows.
 * **regularization sensitivity** — intensity-estimation error over a grid of
   the smoothness and periodicity weights ``beta_1`` and ``beta_2``.
+
+None of these grids is a (workload, scaler) replay, so each grid point runs
+as a :class:`~repro.runtime.FunctionTask` naming one of the module-level
+``*_point`` functions below: the drivers gain ``workers`` parallelism and
+``run_id`` resumability from :func:`repro.runtime.run_tasks` while the
+point functions stay plain, deterministic-in-their-arguments Python.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -30,16 +36,37 @@ from ..nhpp.sampling import sample_counts, sample_homogeneous_arrivals
 from ..optimization.formulations import solve_hp_constrained
 from ..optimization.montecarlo import generate_scenarios
 from ..pending import DeterministicPendingTime
+from ..runtime import FunctionTask, run_task_rows
 from ..scaling.sequential import SequentialHPScaler
 from ..simulation.runner import create_simulator
 from ..traces.synthetic import beta_bump_intensity
 from ..types import ArrivalTrace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import ArtifactStore
+
 __all__ = [
     "run_kappa_ablation",
     "run_mc_sample_ablation",
     "run_regularization_sensitivity",
+    "kappa_ablation_point",
+    "mc_sample_point",
+    "regularization_point",
 ]
+
+
+def _run_points(tasks: list[FunctionTask], config) -> list[dict]:
+    """Execute an ablation grid through the shared runtime executor."""
+    return run_task_rows(
+        tasks,
+        base_seed=config.seed,
+        workers=config.workers,
+        store=getattr(config, "store", None),
+        run_id=getattr(config, "run_id", None),
+    )
+
+
+# ------------------------------------------------------------ kappa ablation
 
 
 @dataclass
@@ -53,48 +80,77 @@ class KappaAblationConfig:
     planning_every: int = 1
     monte_carlo_samples: int = 1000
     seed: int = 3
+    workers: int | None = None
+    store: "ArtifactStore | None" = None
+    run_id: str | None = None
+
+
+def kappa_ablation_point(
+    *,
+    variant: str,
+    intensity_upper_bound: float | None,
+    arrival_rate: float,
+    horizon_seconds: float,
+    pending_time: float,
+    target_hp: float,
+    planning_every: int,
+    monte_carlo_samples: int,
+    seed: int,
+) -> dict:
+    """One kappa-ablation variant on a known-rate homogeneous workload."""
+    arrivals = sample_homogeneous_arrivals(arrival_rate, horizon_seconds, seed)
+    trace = ArrivalTrace(arrivals, 20.0, name="kappa-ablation", horizon=horizon_seconds)
+    forecast = PiecewiseConstantIntensity(
+        np.array([arrival_rate]), 60.0, extrapolation="hold"
+    )
+    scaler = SequentialHPScaler(
+        forecast,
+        DeterministicPendingTime(pending_time),
+        target_hit_probability=target_hp,
+        planning_every=planning_every,
+        intensity_upper_bound=intensity_upper_bound,
+        planner=PlannerConfig(monte_carlo_samples=monte_carlo_samples),
+        random_state=seed,
+    )
+    simulator = create_simulator(SimulationConfig(pending_time=pending_time))
+    result = simulator.replay(trace, scaler)
+    return {
+        "variant": variant,
+        "kappa": scaler.kappa,
+        "target_hp": float(target_hp),
+        "hit_rate": result.hit_rate,
+        "rt_avg": result.mean_response_time,
+        "total_cost": result.total_cost,
+    }
 
 
 def run_kappa_ablation(config: KappaAblationConfig | None = None) -> list[dict]:
     """Algorithm 4 with and without the kappa look-ahead on a known-rate workload."""
     config = config or KappaAblationConfig()
-    arrivals = sample_homogeneous_arrivals(
-        config.arrival_rate, config.horizon_seconds, config.seed
-    )
-    trace = ArrivalTrace(arrivals, 20.0, name="kappa-ablation", horizon=config.horizon_seconds)
-    forecast = PiecewiseConstantIntensity(
-        np.array([config.arrival_rate]), 60.0, extrapolation="hold"
-    )
-    pending = DeterministicPendingTime(config.pending_time)
-    simulator = create_simulator(SimulationConfig(pending_time=config.pending_time))
-    planner = PlannerConfig(monte_carlo_samples=config.monte_carlo_samples)
+    tasks = [
+        FunctionTask(
+            fn=f"{__name__}.kappa_ablation_point",
+            kwargs=(
+                ("variant", variant),
+                ("intensity_upper_bound", upper_bound),
+                ("arrival_rate", float(config.arrival_rate)),
+                ("horizon_seconds", float(config.horizon_seconds)),
+                ("pending_time", float(config.pending_time)),
+                ("target_hp", float(config.target_hp)),
+                ("planning_every", int(config.planning_every)),
+                ("monte_carlo_samples", int(config.monte_carlo_samples)),
+                ("seed", int(config.seed)),
+            ),
+        )
+        for variant, upper_bound in (
+            ("with kappa (eq. 8)", None),
+            ("no look-ahead (kappa = 0)", 0.0),
+        )
+    ]
+    return _run_points(tasks, config)
 
-    rows: list[dict] = []
-    for label, upper_bound in (
-        ("with kappa (eq. 8)", None),
-        ("no look-ahead (kappa = 0)", 0.0),
-    ):
-        scaler = SequentialHPScaler(
-            forecast,
-            pending,
-            target_hit_probability=config.target_hp,
-            planning_every=config.planning_every,
-            intensity_upper_bound=upper_bound,
-            planner=planner,
-            random_state=config.seed,
-        )
-        result = simulator.replay(trace, scaler)
-        rows.append(
-            {
-                "variant": label,
-                "kappa": scaler.kappa,
-                "target_hp": float(config.target_hp),
-                "hit_rate": result.hit_rate,
-                "rt_avg": result.mean_response_time,
-                "total_cost": result.total_cost,
-            }
-        )
-    return rows
+
+# ------------------------------------------------------ Monte Carlo ablation
 
 
 @dataclass
@@ -107,48 +163,76 @@ class MCSampleAblationConfig:
     sample_sizes: Sequence[int] = (50, 200, 1000, 5000)
     n_trials: int = 20
     seed: int = 0
+    workers: int | None = None
+    store: "ArtifactStore | None" = None
+    run_id: str | None = None
 
 
-def run_mc_sample_ablation(config: MCSampleAblationConfig | None = None) -> list[dict]:
-    """Decision error and solve time versus the Monte Carlo sample size R.
+def mc_sample_point(
+    *,
+    n_samples: int,
+    arrival_rate: float,
+    pending_time: float,
+    target_hp: float,
+    n_trials: int,
+    seed: int,
+) -> dict:
+    """Decision error and solve time for one Monte Carlo sample size R.
 
     With a constant intensity the HP-constrained optimum has the closed form
     ``x* = quantile_alpha(Exp(rate)) - tau``, so the Monte Carlo decision can
     be compared against an exact reference.
     """
-    config = config or MCSampleAblationConfig()
-    rate = config.arrival_rate
-    alpha = 1.0 - config.target_hp
-    exact = -np.log(1.0 - alpha) / rate - config.pending_time
-    intensity = PiecewiseConstantIntensity(np.array([rate]), 60.0, extrapolation="hold")
-    pending = DeterministicPendingTime(config.pending_time)
-
-    rows: list[dict] = []
-    for n_samples in config.sample_sizes:
-        errors = []
-        timings = []
-        for trial in range(config.n_trials):
-            scenarios = generate_scenarios(
-                intensity,
-                pending,
-                n_queries=1,
-                n_samples=int(n_samples),
-                random_state=config.seed + trial,
-            )
-            xi, tau = scenarios.for_query(0)
-            started = time.perf_counter()
-            decision = solve_hp_constrained(xi, tau, config.target_hp)
-            timings.append(time.perf_counter() - started)
-            errors.append(abs(decision.raw_creation_time - exact))
-        rows.append(
-            {
-                "n_samples": int(n_samples),
-                "exact_decision": float(exact),
-                "mean_abs_error": float(np.mean(errors)),
-                "solve_time_ms": 1000.0 * float(np.median(timings)),
-            }
+    alpha = 1.0 - target_hp
+    exact = -np.log(1.0 - alpha) / arrival_rate - pending_time
+    intensity = PiecewiseConstantIntensity(
+        np.array([arrival_rate]), 60.0, extrapolation="hold"
+    )
+    pending = DeterministicPendingTime(pending_time)
+    errors = []
+    timings = []
+    for trial in range(n_trials):
+        scenarios = generate_scenarios(
+            intensity,
+            pending,
+            n_queries=1,
+            n_samples=int(n_samples),
+            random_state=seed + trial,
         )
-    return rows
+        xi, tau = scenarios.for_query(0)
+        started = time.perf_counter()
+        decision = solve_hp_constrained(xi, tau, target_hp)
+        timings.append(time.perf_counter() - started)
+        errors.append(abs(decision.raw_creation_time - exact))
+    return {
+        "n_samples": int(n_samples),
+        "exact_decision": float(exact),
+        "mean_abs_error": float(np.mean(errors)),
+        "solve_time_ms": 1000.0 * float(np.median(timings)),
+    }
+
+
+def run_mc_sample_ablation(config: MCSampleAblationConfig | None = None) -> list[dict]:
+    """Decision error and solve time versus the Monte Carlo sample size R."""
+    config = config or MCSampleAblationConfig()
+    tasks = [
+        FunctionTask(
+            fn=f"{__name__}.mc_sample_point",
+            kwargs=(
+                ("n_samples", int(n_samples)),
+                ("arrival_rate", float(config.arrival_rate)),
+                ("pending_time", float(config.pending_time)),
+                ("target_hp", float(config.target_hp)),
+                ("n_trials", int(config.n_trials)),
+                ("seed", int(config.seed)),
+            ),
+        )
+        for n_samples in config.sample_sizes
+    ]
+    return _run_points(tasks, config)
+
+
+# ------------------------------------------- regularization sensitivity grid
 
 
 @dataclass
@@ -164,6 +248,55 @@ class RegularizationSensitivityConfig:
     beta_period_values: Sequence[float] = (0.0, 10.0, 100.0)
     seed: int = 0
     max_iterations: int = 200
+    workers: int | None = None
+    store: "ArtifactStore | None" = None
+    run_id: str | None = None
+
+
+def regularization_point(
+    *,
+    beta_smooth: float,
+    beta_period: float,
+    period_seconds: float,
+    n_periods: int,
+    bin_seconds: float,
+    peak_qps: float,
+    base_qps: float,
+    seed: int,
+    max_iterations: int,
+) -> dict:
+    """Intensity-estimation error for one (beta_smooth, beta_period) cell."""
+    horizon = period_seconds * n_periods
+    n_bins = int(horizon / bin_seconds)
+    times = (np.arange(n_bins) + 0.5) * bin_seconds
+    truth = beta_bump_intensity(
+        times,
+        peak=peak_qps,
+        period_seconds=period_seconds,
+        exponent=10.0,
+        base=base_qps,
+    )
+    counts = sample_counts(
+        PiecewiseConstantIntensity(truth, bin_seconds, extrapolation="periodic"),
+        horizon,
+        seed,
+    )
+    period_bins = int(round(period_seconds / bin_seconds))
+    objective = RegularizedNHPPObjective(
+        counts=counts,
+        bin_seconds=bin_seconds,
+        beta_smooth=float(beta_smooth),
+        beta_period=float(beta_period),
+        period_bins=period_bins if beta_period > 0 else None,
+    )
+    result = fit_log_intensity(objective, ADMMConfig(max_iterations=max_iterations))
+    estimate = np.exp(result.log_intensity)
+    return {
+        "beta_smooth": float(beta_smooth),
+        "beta_period": float(beta_period),
+        "mse": mean_squared_error(estimate, truth),
+        "mae": mean_absolute_error(estimate, truth),
+    }
 
 
 def run_regularization_sensitivity(
@@ -171,42 +304,22 @@ def run_regularization_sensitivity(
 ) -> list[dict]:
     """Intensity error over a grid of smoothness / periodicity weights."""
     config = config or RegularizationSensitivityConfig()
-    horizon = config.period_seconds * config.n_periods
-    n_bins = int(horizon / config.bin_seconds)
-    times = (np.arange(n_bins) + 0.5) * config.bin_seconds
-    truth = beta_bump_intensity(
-        times,
-        peak=config.peak_qps,
-        period_seconds=config.period_seconds,
-        exponent=10.0,
-        base=config.base_qps,
-    )
-    counts = sample_counts(
-        PiecewiseConstantIntensity(truth, config.bin_seconds, extrapolation="periodic"),
-        horizon,
-        config.seed,
-    )
-    period_bins = int(round(config.period_seconds / config.bin_seconds))
-    admm = ADMMConfig(max_iterations=config.max_iterations)
-
-    rows: list[dict] = []
-    for beta_smooth in config.beta_smooth_values:
-        for beta_period in config.beta_period_values:
-            objective = RegularizedNHPPObjective(
-                counts=counts,
-                bin_seconds=config.bin_seconds,
-                beta_smooth=float(beta_smooth),
-                beta_period=float(beta_period),
-                period_bins=period_bins if beta_period > 0 else None,
-            )
-            result = fit_log_intensity(objective, admm)
-            estimate = np.exp(result.log_intensity)
-            rows.append(
-                {
-                    "beta_smooth": float(beta_smooth),
-                    "beta_period": float(beta_period),
-                    "mse": mean_squared_error(estimate, truth),
-                    "mae": mean_absolute_error(estimate, truth),
-                }
-            )
-    return rows
+    tasks = [
+        FunctionTask(
+            fn=f"{__name__}.regularization_point",
+            kwargs=(
+                ("beta_smooth", float(beta_smooth)),
+                ("beta_period", float(beta_period)),
+                ("period_seconds", float(config.period_seconds)),
+                ("n_periods", int(config.n_periods)),
+                ("bin_seconds", float(config.bin_seconds)),
+                ("peak_qps", float(config.peak_qps)),
+                ("base_qps", float(config.base_qps)),
+                ("seed", int(config.seed)),
+                ("max_iterations", int(config.max_iterations)),
+            ),
+        )
+        for beta_smooth in config.beta_smooth_values
+        for beta_period in config.beta_period_values
+    ]
+    return _run_points(tasks, config)

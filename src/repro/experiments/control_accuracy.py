@@ -5,29 +5,38 @@ probability / waiting budget / idle-cost budget of ``x`` actually yields
 ``approximately x`` on the replayed trace, and one sweep over the planning
 interval ``Delta`` (panel d) shows that less frequent planning costs more
 resources for the same QoS target.
+
+Both drivers run as :mod:`repro.runtime` task batches over a single shared
+workload spec: the trace is generated and the NHPP model fitted once (and
+persisted when a store is attached), every panel point parallelizes with
+``workers`` / ``REPRO_WORKERS``, and ``run_id`` journaling makes
+interrupted runs resumable.  The "actual" columns come from the executor's
+named extra metrics (``waiting_avg`` / ``idle_avg``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-import numpy as np
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
+from .base import robustscaler_spec, trace_defaults
 
-from ..scaling.robustscaler import RobustScalerObjective
-from .base import (
-    build_robustscaler,
-    default_planner,
-    make_trace,
-    prepare_workload,
-    trace_defaults,
-)
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import ArtifactStore
 
 __all__ = [
     "ControlAccuracyExperimentConfig",
     "run_control_accuracy_experiment",
     "run_planning_frequency_experiment",
 ]
+
+#: Panel name -> row column holding the delivered ("actual") value.
+_PANEL_ACTUALS = {
+    "hit_probability": "hit_rate",
+    "waiting_time": "waiting_avg",
+    "idle_cost": "idle_avg",
+}
 
 
 @dataclass
@@ -42,6 +51,25 @@ class ControlAccuracyExperimentConfig:
     idle_budgets: Sequence[float] = (2.0, 5.0, 10.0, 20.0, 40.0)
     planning_interval: float = 2.0
     monte_carlo_samples: int = 400
+    workers: int | None = None
+    #: Replay engine ("reference" / "batched"); both give identical rows.
+    engine: str | None = None
+    store: "ArtifactStore | None" = None
+    run_id: str | None = None
+
+
+def _workload_spec(config) -> WorkloadSpec:
+    defaults = trace_defaults(config.trace_name)
+    return WorkloadSpec(
+        scenario=config.trace_name,
+        scale=config.scale,
+        seed=config.seed,
+        prep=PrepSpec(
+            train_fraction=defaults["train_fraction"],
+            bin_seconds=defaults["bin_seconds"],
+            engine=config.engine,
+        ),
+    )
 
 
 def run_control_accuracy_experiment(
@@ -49,60 +77,36 @@ def run_control_accuracy_experiment(
 ) -> list[dict]:
     """Nominal vs actual HP, waiting time, and idle cost (Fig. 10 a-c)."""
     config = config or ControlAccuracyExperimentConfig()
-    defaults = trace_defaults(config.trace_name)
-    trace = make_trace(config.trace_name, scale=config.scale, seed=config.seed)
-    workload = prepare_workload(
-        trace,
-        train_fraction=defaults["train_fraction"],
-        bin_seconds=defaults["bin_seconds"],
-    )
-    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
+    workload = _workload_spec(config)
 
-    rows: list[dict] = []
-    for target in config.hp_targets:
-        scaler = build_robustscaler(
-            workload, RobustScalerObjective.HIT_PROBABILITY, target, planner=planner
+    def panel_task(panel: str, kind: str, nominal: float) -> EvalTask:
+        return EvalTask(
+            workload,
+            robustscaler_spec(config, kind, nominal),
+            extra=(("panel", panel), ("nominal", float(nominal))),
+            metrics=("waiting_avg", "idle_avg"),
         )
-        result = workload.replay(scaler)
-        rows.append(
-            {
-                "trace": config.trace_name,
-                "panel": "hit_probability",
-                "nominal": float(target),
-                "actual": result.hit_rate,
-                "relative_cost": result.total_cost / workload.reference_cost,
-            }
-        )
-    for budget in config.waiting_budgets:
-        scaler = build_robustscaler(
-            workload, RobustScalerObjective.RESPONSE_TIME, budget, planner=planner
-        )
-        result = workload.replay(scaler)
-        rows.append(
-            {
-                "trace": config.trace_name,
-                "panel": "waiting_time",
-                "nominal": float(budget),
-                "actual": float(result.waiting_times.mean()),
-                "relative_cost": result.total_cost / workload.reference_cost,
-            }
-        )
-    for budget in config.idle_budgets:
-        scaler = build_robustscaler(
-            workload, RobustScalerObjective.COST, budget, planner=planner
-        )
-        result = workload.replay(scaler)
-        idle = np.array([o.instance.idle_time for o in result.outcomes])
-        rows.append(
-            {
-                "trace": config.trace_name,
-                "panel": "idle_cost",
-                "nominal": float(budget),
-                "actual": float(idle.mean()) if idle.size else float("nan"),
-                "relative_cost": result.total_cost / workload.reference_cost,
-            }
-        )
-    return rows
+
+    tasks = [panel_task("hit_probability", "rs-hp", t) for t in config.hp_targets]
+    tasks += [panel_task("waiting_time", "rs-rt", b) for b in config.waiting_budgets]
+    tasks += [panel_task("idle_cost", "rs-cost", b) for b in config.idle_budgets]
+    evaluated = run_task_rows(
+        tasks,
+        base_seed=config.seed,
+        workers=config.workers,
+        store=config.store,
+        run_id=config.run_id,
+    )
+    return [
+        {
+            "trace": config.trace_name,
+            "panel": row["panel"],
+            "nominal": row["nominal"],
+            "actual": row[_PANEL_ACTUALS[row["panel"]]],
+            "relative_cost": row["relative_cost"],
+        }
+        for row in evaluated
+    ]
 
 
 @dataclass
@@ -115,6 +119,11 @@ class PlanningFrequencyExperimentConfig:
     planning_intervals: Sequence[float] = (1.0, 5.0, 15.0, 30.0, 60.0)
     waiting_budget: float = 3.0
     monte_carlo_samples: int = 400
+    workers: int | None = None
+    #: Replay engine ("reference" / "batched"); both give identical rows.
+    engine: str | None = None
+    store: "ArtifactStore | None" = None
+    run_id: str | None = None
 
 
 def run_planning_frequency_experiment(
@@ -122,31 +131,36 @@ def run_planning_frequency_experiment(
 ) -> list[dict]:
     """Cost of achieving the same waiting budget at different planning intervals."""
     config = config or PlanningFrequencyExperimentConfig()
-    defaults = trace_defaults(config.trace_name)
-    trace = make_trace(config.trace_name, scale=config.scale, seed=config.seed)
-    workload = prepare_workload(
-        trace,
-        train_fraction=defaults["train_fraction"],
-        bin_seconds=defaults["bin_seconds"],
-    )
-    rows: list[dict] = []
-    for interval in config.planning_intervals:
-        planner = default_planner(float(interval), config.monte_carlo_samples)
-        scaler = build_robustscaler(
+    workload = _workload_spec(config)
+    tasks = [
+        EvalTask(
             workload,
-            RobustScalerObjective.RESPONSE_TIME,
-            config.waiting_budget,
-            planner=planner,
+            ScalerSpec(
+                "rs-rt",
+                float(config.waiting_budget),
+                planning_interval=float(interval),
+                monte_carlo_samples=config.monte_carlo_samples,
+            ),
+            extra=(("planning_interval", float(interval)),),
+            metrics=("waiting_avg",),
         )
-        result = workload.replay(scaler)
-        rows.append(
-            {
-                "trace": config.trace_name,
-                "planning_interval": float(interval),
-                "waiting_budget": float(config.waiting_budget),
-                "actual_waiting": float(result.waiting_times.mean()),
-                "rt_avg": result.mean_response_time,
-                "relative_cost": result.total_cost / workload.reference_cost,
-            }
-        )
-    return rows
+        for interval in config.planning_intervals
+    ]
+    evaluated = run_task_rows(
+        tasks,
+        base_seed=config.seed,
+        workers=config.workers,
+        store=config.store,
+        run_id=config.run_id,
+    )
+    return [
+        {
+            "trace": config.trace_name,
+            "planning_interval": row["planning_interval"],
+            "waiting_budget": float(config.waiting_budget),
+            "actual_waiting": row["waiting_avg"],
+            "rt_avg": row["rt_avg"],
+            "relative_cost": row["relative_cost"],
+        }
+        for row in evaluated
+    ]

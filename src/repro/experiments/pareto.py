@@ -17,23 +17,27 @@ workload (the robustness drivers, the examples).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..config import SimulationConfig
 from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
 from ..scaling.robustscaler import RobustScalerObjective
+from ..store.traces import get_or_build_trace
 from ..types import ArrivalTrace
+from ..workloads import get_scenario
 from .base import (
     PreparedWorkload,
     baseline_sweeps,
     build_robustscaler,
     default_planner,
-    make_trace,
     prepare_workload,
     robustscaler_spec,
     run_scaler_sweep,
     trace_defaults,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import ArtifactStore
 
 __all__ = ["ParetoExperimentConfig", "run_pareto_experiment", "run_single_trace_pareto"]
 
@@ -85,6 +89,11 @@ class ParetoExperimentConfig:
     workers: int | None = None
     #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
+    #: Disk artifact store: prepared workloads and generated traces persist
+    #: across CLI invocations, and ``run_id`` journaling becomes available.
+    store: "ArtifactStore | None" = None
+    #: Journal per-task completions under this id (resumable runs).
+    run_id: str | None = None
 
 
 def _resolve_grids(
@@ -134,8 +143,11 @@ def run_pareto_experiment(config: ParetoExperimentConfig | None = None) -> list[
         defaults = trace_defaults(name)
         # The budget grids need the test window's mean QPS; generating the
         # trace here is cheap (no model fit) and bit-identical to what the
-        # executor regenerates from the same (scenario, scale, seed).
-        trace = make_trace(name, scale=config.scale, seed=config.seed)
+        # executor regenerates from the same (scenario, scale, seed).  With
+        # a store the realization is cached on disk instead.
+        trace = get_or_build_trace(
+            get_scenario(name), scale=config.scale, seed=config.seed, store=config.store
+        )
         _, test = trace.split(defaults["train_fraction"])
         grids = _resolve_grids(
             name, config, mu_tau=_PENDING_TIME, mean_test_qps=test.mean_qps
@@ -156,7 +168,13 @@ def run_pareto_experiment(config: ParetoExperimentConfig | None = None) -> list[
             EvalTask(workload, spec, extra=(("trace", name),))
             for spec in _scaler_specs(grids, config)
         ]
-    return run_task_rows(tasks, base_seed=config.seed, workers=config.workers)
+    return run_task_rows(
+        tasks,
+        base_seed=config.seed,
+        workers=config.workers,
+        store=config.store,
+        run_id=config.run_id,
+    )
 
 
 def run_single_trace_pareto(

@@ -16,11 +16,16 @@ perturbation size (workload cache) and the sweep points parallelize with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
+from ..store.traces import get_or_build_trace
 from ..traces.perturbation import perturb_trace
-from .base import make_trace, trace_defaults
+from ..workloads import get_scenario
+from .base import trace_defaults
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import ArtifactStore
 
 __all__ = ["PerturbationExperimentConfig", "run_perturbation_experiment"]
 
@@ -40,6 +45,11 @@ class PerturbationExperimentConfig:
     workers: int | None = None
     #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
+    #: Disk artifact store: prepared workloads and generated traces persist
+    #: across CLI invocations, and ``run_id`` journaling becomes available.
+    store: "ArtifactStore | None" = None
+    #: Journal per-task completions under this id (resumable runs).
+    run_id: str | None = None
 
 
 def run_perturbation_experiment(
@@ -48,7 +58,12 @@ def run_perturbation_experiment(
     """Compare AdapBP and RobustScaler-HP on increasingly perturbed traces."""
     config = config or PerturbationExperimentConfig()
     defaults = trace_defaults(config.trace_name)
-    base_trace = make_trace(config.trace_name, scale=config.scale, seed=config.seed)
+    base_trace = get_or_build_trace(
+        get_scenario(config.trace_name),
+        scale=config.scale,
+        seed=config.seed,
+        store=config.store,
+    )
     prep = PrepSpec(
         train_fraction=defaults["train_fraction"],
         bin_seconds=defaults["bin_seconds"],
@@ -74,4 +89,10 @@ def run_perturbation_experiment(
             for target in config.hp_targets
         ]
         tasks += [EvalTask(workload, spec, extra=extra) for spec in specs]
-    return run_task_rows(tasks, base_seed=config.seed, workers=config.workers)
+    return run_task_rows(
+        tasks,
+        base_seed=config.seed,
+        workers=config.workers,
+        store=config.store,
+        run_id=config.run_id,
+    )

@@ -12,25 +12,27 @@ RobustScaler-cost on the original and the modified trace, reporting hit rate,
 average response time, relative cost, and the high-level response-time
 quantiles of Table II.  A robust autoscaler produces near-identical numbers
 with and without the modification.
+
+The comparison is expressed as one :mod:`repro.runtime` task batch: each
+(condition, trace) pair ships as a direct-trace
+:class:`~repro.runtime.WorkloadSpec`, so every workload is fitted once (and,
+with a store attached, persisted across CLI invocations), the candidate
+evaluations parallelize with ``workers`` / ``REPRO_WORKERS``, and
+``run_id`` journaling makes interrupted runs resumable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from ..metrics.qos import response_time_quantiles
-from ..scaling.robustscaler import RobustScalerObjective
+from ..runtime import EvalTask, PrepSpec, WorkloadSpec, run_task_rows
 from ..traces.perturbation import inject_missing_window, remove_anomalous_bursts
 from ..types import ArrivalTrace
-from .base import (
-    PreparedWorkload,
-    build_robustscaler,
-    default_planner,
-    make_trace,
-    prepare_workload,
-    trace_defaults,
-)
+from .base import make_trace, robustscaler_spec, trace_defaults
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import ArtifactStore
 
 __all__ = ["RobustnessExperimentConfig", "run_robustness_experiment"]
 
@@ -49,6 +51,11 @@ class RobustnessExperimentConfig:
     monte_carlo_samples: int = 400
     include_alibaba: bool = True
     include_crs: bool = True
+    workers: int | None = None
+    #: Replay engine ("reference" / "batched"); both give identical rows.
+    engine: str | None = None
+    store: "ArtifactStore | None" = None
+    run_id: str | None = None
 
 
 def run_robustness_experiment(
@@ -56,15 +63,21 @@ def run_robustness_experiment(
 ) -> list[dict]:
     """Evaluate RobustScaler variants before/after trace modifications."""
     config = config or RobustnessExperimentConfig()
-    rows: list[dict] = []
+    tasks: list[EvalTask] = []
     if config.include_crs:
-        rows.extend(_run_missing_data(config))
+        tasks.extend(_missing_data_tasks(config))
     if config.include_alibaba:
-        rows.extend(_run_anomaly_removal(config))
-    return rows
+        tasks.extend(_anomaly_removal_tasks(config))
+    return run_task_rows(
+        tasks,
+        base_seed=config.seed,
+        workers=config.workers,
+        store=config.store,
+        run_id=config.run_id,
+    )
 
 
-def _run_missing_data(config: RobustnessExperimentConfig) -> list[dict]:
+def _missing_data_tasks(config: RobustnessExperimentConfig) -> list[EvalTask]:
     """CRS trace with one full training day of queries removed."""
     trace = make_trace("crs", scale=config.scale, seed=config.seed)
     defaults = trace_defaults("crs")
@@ -73,72 +86,43 @@ def _run_missing_data(config: RobustnessExperimentConfig) -> list[dict]:
     train_end = trace.horizon * defaults["train_fraction"]
     missing_start = max(0.0, train_end - _DAY)
     modified = inject_missing_window(trace, missing_start, _DAY)
-    return _compare(
-        "crs", trace, modified, "missing_data", config, defaults
-    )
+    return _comparison_tasks("crs", trace, modified, "missing_data", config, defaults)
 
 
-def _run_anomaly_removal(config: RobustnessExperimentConfig) -> list[dict]:
+def _anomaly_removal_tasks(config: RobustnessExperimentConfig) -> list[EvalTask]:
     """Alibaba trace with the unexpected burst thinned away."""
     trace = make_trace("alibaba", scale=config.scale, seed=config.seed)
     defaults = trace_defaults("alibaba")
     modified = remove_anomalous_bursts(trace, random_state=config.seed)
-    return _compare(
+    return _comparison_tasks(
         "alibaba", trace, modified, "anomaly_removed", config, defaults
     )
 
 
-def _compare(
+def _comparison_tasks(
     trace_key: str,
     original: ArrivalTrace,
     modified: ArrivalTrace,
     modification: str,
     config: RobustnessExperimentConfig,
     defaults: dict,
-) -> list[dict]:
-    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
-    rows: list[dict] = []
+) -> list[EvalTask]:
+    """The RobustScaler-HP / RobustScaler-cost candidates on both conditions."""
+    prep = PrepSpec(
+        train_fraction=defaults["train_fraction"],
+        bin_seconds=defaults["bin_seconds"],
+        engine=config.engine,
+    )
+    tasks: list[EvalTask] = []
     for label, trace in (("original", original), (modification, modified)):
-        workload = prepare_workload(
-            trace,
-            train_fraction=defaults["train_fraction"],
-            bin_seconds=defaults["bin_seconds"],
-        )
-        rows.extend(
-            _evaluate_variants(workload, trace_key, label, config, planner)
-        )
-    return rows
-
-
-def _evaluate_variants(
-    workload: PreparedWorkload,
-    trace_key: str,
-    label: str,
-    config: RobustnessExperimentConfig,
-    planner,
-) -> list[dict]:
-    rows: list[dict] = []
-    mean_gap = 1.0 / max(workload.test.mean_qps, 1e-9)
-    candidates = [
-        ("target_hp", target, RobustScalerObjective.HIT_PROBABILITY, target)
-        for target in config.hp_targets
-    ] + [
-        ("idle_budget", mean_gap * fraction, RobustScalerObjective.COST, mean_gap * fraction)
-        for fraction in config.cost_budget_fractions
-    ]
-    for parameter_name, parameter, objective, target in candidates:
-        scaler = build_robustscaler(workload, objective, target, planner=planner)
-        result = workload.replay(scaler)
-        row = {
-            "trace": trace_key,
-            "condition": label,
-            "scaler": scaler.name,
-            parameter_name: float(parameter),
-            "hit_rate": result.hit_rate,
-            "rt_avg": result.mean_response_time,
-            "relative_cost": result.total_cost / workload.reference_cost,
-        }
-        for level, value in response_time_quantiles(result).items():
-            row[f"rt_p{level * 100:g}"] = value
-        rows.append(row)
-    return rows
+        workload = WorkloadSpec(trace=trace, prep=prep)
+        _, test = trace.split(defaults["train_fraction"])
+        mean_gap = 1.0 / max(test.mean_qps, 1e-9)
+        extra = (("trace", trace_key), ("condition", label))
+        specs = [robustscaler_spec(config, "rs-hp", t) for t in config.hp_targets]
+        specs += [
+            robustscaler_spec(config, "rs-cost", mean_gap * fraction)
+            for fraction in config.cost_budget_fractions
+        ]
+        tasks += [EvalTask(workload, spec, extra=extra) for spec in specs]
+    return tasks

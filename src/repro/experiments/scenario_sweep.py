@@ -19,14 +19,18 @@ per-task Monte Carlo streams, and therefore every row.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..exceptions import ExperimentError
 from ..metrics.pareto import ParetoPoint, pareto_frontier
 from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
+from ..store.traces import get_or_build_trace
 from ..workloads import DEFAULT_REGISTRY, ScenarioRegistry
 from ..workloads.scenarios import Scenario
 from .base import robustscaler_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import ArtifactStore
 
 __all__ = [
     "ScenarioSweepConfig",
@@ -130,6 +134,11 @@ class ScenarioSweepConfig:
     workers: int | None = None
     #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
+    #: Disk artifact store: prepared workloads and generated traces persist
+    #: across CLI invocations, and ``run_id`` journaling becomes available.
+    store: "ArtifactStore | None" = None
+    #: Journal per-task completions under this id (resumable runs).
+    run_id: str | None = None
 
 
 def _sweep_registry(config: ScenarioSweepConfig) -> ScenarioRegistry:
@@ -167,7 +176,9 @@ def build_scenario_sweep_tasks(
     skipped: list[dict] = []
     for name in names:
         scenario = registry.get(name)
-        trace = scenario.build_trace(scale=config.scale, seed=config.seed)
+        trace = get_or_build_trace(
+            scenario, scale=config.scale, seed=config.seed, store=config.store
+        )
         _, test = trace.split(scenario.train_fraction)
         if test.n_queries < config.min_test_queries:
             skipped.append(
@@ -243,7 +254,13 @@ def run_scenario_sweep_experiment(
     """
     config = config or ScenarioSweepConfig()
     tasks, skipped = build_scenario_sweep_tasks(config)
-    evaluated = run_task_rows(tasks, base_seed=config.seed, workers=config.workers)
+    evaluated = run_task_rows(
+        tasks,
+        base_seed=config.seed,
+        workers=config.workers,
+        store=config.store,
+        run_id=config.run_id,
+    )
 
     by_scenario: dict[str, list[dict]] = {}
     for row in evaluated:

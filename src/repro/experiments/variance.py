@@ -15,10 +15,15 @@ is shared across every candidate and the replays parallelize with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
-from .base import make_trace, robustscaler_spec, trace_defaults
+from ..store.traces import get_or_build_trace
+from ..workloads import get_scenario
+from .base import robustscaler_spec, trace_defaults
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import ArtifactStore
 
 __all__ = ["VarianceExperimentConfig", "run_variance_experiment"]
 
@@ -40,13 +45,23 @@ class VarianceExperimentConfig:
     workers: int | None = None
     #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
+    #: Disk artifact store: prepared workloads and generated traces persist
+    #: across CLI invocations, and ``run_id`` journaling becomes available.
+    store: "ArtifactStore | None" = None
+    #: Journal per-task completions under this id (resumable runs).
+    run_id: str | None = None
 
 
 def run_variance_experiment(config: VarianceExperimentConfig | None = None) -> list[dict]:
     """Measure windowed QoS variance for each autoscaler sweep (Fig. 5)."""
     config = config or VarianceExperimentConfig()
     defaults = trace_defaults(config.trace_name)
-    trace = make_trace(config.trace_name, scale=config.scale, seed=config.seed)
+    trace = get_or_build_trace(
+        get_scenario(config.trace_name),
+        scale=config.scale,
+        seed=config.seed,
+        store=config.store,
+    )
     _, test = trace.split(defaults["train_fraction"])
     mean_gap = 1.0 / max(test.mean_qps, 1e-9)
 
@@ -85,4 +100,10 @@ def run_variance_experiment(config: VarianceExperimentConfig | None = None) -> l
         )
         for family, spec in candidates
     ]
-    return run_task_rows(tasks, base_seed=config.seed, workers=config.workers)
+    return run_task_rows(
+        tasks,
+        base_seed=config.seed,
+        workers=config.workers,
+        store=config.store,
+        run_id=config.run_id,
+    )

@@ -157,23 +157,35 @@ class PiecewiseConstantIntensity:
                     "requested cumulative mass exceeds the total mass of a "
                     "zero-extrapolated intensity"
                 )
+            # With a vanishingly small tail rate (or total mass) the division
+            # below can overflow to inf, and two inf samples make downstream
+            # diffs NaN; clamping at the largest finite float keeps the
+            # inversion finite and monotone — such times are unreachable for
+            # every practical purpose anyway.
+            finite_max = np.finfo(float).max
             if self.extrapolation == "hold":
                 rate = self._values[-1]
                 if rate <= 0:
                     raise ValidationError(
                         "cannot invert cumulative intensity: held intensity is zero"
                     )
-                out[beyond] = self.duration + (mb - total) / rate
+                with np.errstate(over="ignore"):
+                    tail = (mb - total) / rate
+                out[beyond] = self.duration + np.minimum(tail, finite_max)
             else:  # periodic
                 if total <= 0:
                     raise ValidationError(
                         "cannot invert cumulative intensity: periodic profile has zero mass"
                     )
                 extra = mb - total
-                cycles = np.floor(extra / total)
-                remainder = extra - cycles * total
-                base = self.duration * (1.0 + cycles)
-                out[beyond] = base + self._invert_within_window(remainder)
+                with np.errstate(over="ignore"):
+                    cycles = np.minimum(np.floor(extra / total), finite_max)
+                remainder = np.clip(extra - cycles * total, 0.0, total)
+                with np.errstate(over="ignore"):
+                    base = self.duration * (1.0 + cycles)
+                out[beyond] = np.minimum(base, finite_max) + self._invert_within_window(
+                    remainder
+                )
         return out if np.ndim(mass) else float(out[0])
 
     def _invert_within_window(self, masses: np.ndarray) -> np.ndarray:

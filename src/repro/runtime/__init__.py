@@ -33,6 +33,7 @@ from .executor import (
 from .spec import (
     EvalResult,
     EvalTask,
+    FunctionTask,
     PrepSpec,
     ScalerSpec,
     WorkloadSpec,
@@ -44,6 +45,7 @@ __all__ = [
     "CacheStats",
     "EvalResult",
     "EvalTask",
+    "FunctionTask",
     "PrepSpec",
     "PreparedWorkload",
     "ScalerSpec",

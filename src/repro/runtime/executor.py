@@ -1,37 +1,62 @@
 """Task executors: serial and multi-process, with identical results.
 
 :func:`run_tasks` evaluates a batch of :class:`~repro.runtime.spec.EvalTask`
-either in-process (``workers=1``) or on a
-:class:`concurrent.futures.ProcessPoolExecutor` (``workers=N``; when the
-caller passes ``workers=None`` the ``REPRO_WORKERS`` environment variable is
-consulted, defaulting to serial).  Both paths call the same
-:func:`execute_task` with the same per-task seed, so the result rows are
-bit-identical — only the wall-clock planning-latency columns, which measure
-real time, differ between runs.  Use :func:`strip_timing` before comparing
-rows.
+(or :class:`~repro.runtime.spec.FunctionTask`) either in-process
+(``workers=1``) or on a :class:`concurrent.futures.ProcessPoolExecutor`
+(``workers=N``; when the caller passes ``workers=None`` the
+``REPRO_WORKERS`` environment variable is consulted, defaulting to serial).
+Both paths call the same :func:`execute_task` with the same per-task seed,
+so the result rows are bit-identical — only the wall-clock timing columns,
+which measure real time, differ between runs.  Use :func:`strip_timing`
+before comparing rows.
 
-Scheduling is workload-aware: tasks are grouped by their workload cache key
-and each group is shipped to the pool as one unit (largest first), so every
-worker process prepares a given workload at most once in its own
+Scheduling is workload-aware: tasks are grouped by their
+:meth:`~repro.runtime.spec.EvalTask.group_key` and each group is shipped to
+the pool as one unit (largest first), so every worker process prepares a
+given workload at most once in its own
 :class:`~repro.runtime.cache.WorkloadCache` and the expensive preparations
 are never duplicated across sweep points.  When there are fewer groups than
-workers, large groups are split so the pool stays busy — the only case
-where a preparation is repeated, and only once per extra worker.
+workers, large groups are split so the pool stays busy; a split group may
+pay one extra fit, and with a disk store attached even that disappears
+whenever the preparation is already published in the store's ``workloads``
+namespace — always on a warm store, and on a cold one whenever the first
+half finishes fitting before the second half needs it (two halves that
+start simultaneously on a cold store still race to the first fit and
+publish equivalent artifacts).
+
+Persistence (:mod:`repro.store`) adds two behaviors on top:
+
+* ``store=`` promotes every workload cache to two tiers (memory → disk),
+  shared across pool workers and across CLI invocations;
+* ``run_id=`` journals each task's completion into the store's ``results``
+  namespace, making the batch resumable: rerunning the same task list with
+  the same ``run_id`` and ``base_seed`` skips everything already journaled
+  and returns rows bit-identical to an uninterrupted run (per-task
+  ``SeedSequence.spawn`` seeding makes rows independent of which tasks ran
+  in which process lifetime).
+
+``on_result=`` streams results to the caller the moment each task finishes
+(journal-recovered tasks first, then live completions in whatever order the
+pool produces them) for incremental progress reporting; the returned list
+is still in task order.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..exceptions import ValidationError
 from .cache import WorkloadCache
-from .spec import EvalResult, EvalTask, derive_task_seeds
+from .spec import EvalResult, EvalTask, FunctionTask, derive_task_seeds
 from .workload import evaluate_prepared
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..store import ArtifactStore
 
 __all__ = [
     "WORKERS_ENV_VAR",
@@ -46,7 +71,7 @@ __all__ = [
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 #: Row columns measuring wall-clock time (excluded from determinism checks).
-_TIMING_SUFFIXES = ("_planning_seconds",)
+_TIMING_SUFFIXES = ("_planning_seconds", "_time_ms")
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -70,9 +95,9 @@ def resolve_workers(workers: int | None = None) -> int:
 def strip_timing(rows: Iterable[dict]) -> list[dict]:
     """Copies of ``rows`` without the wall-clock timing columns.
 
-    Planning latencies are real time measurements and therefore the only row
-    entries that may differ between two executions of the same task list;
-    compare stripped rows when asserting determinism.
+    Planning latencies and solver timings are real time measurements and
+    therefore the only row entries that may differ between two executions of
+    the same task list; compare stripped rows when asserting determinism.
     """
     return [
         {
@@ -85,7 +110,7 @@ def strip_timing(rows: Iterable[dict]) -> list[dict]:
 
 
 def execute_task(
-    task: EvalTask,
+    task: EvalTask | FunctionTask,
     *,
     seed: np.random.SeedSequence | int | None = None,
     cache: WorkloadCache | None = None,
@@ -95,9 +120,15 @@ def execute_task(
 
     This is the single execution path shared by the serial and process-pool
     backends; determinism across backends reduces to calling it with the
-    same ``(task, seed)`` pairs.
+    same ``(task, seed)`` pairs.  :class:`FunctionTask` points carry their
+    seeds as explicit kwargs, so the per-task seed is unused for them.
     """
     start = time.perf_counter()
+    if isinstance(task, FunctionTask):
+        row = task.call()
+        return EvalResult(
+            index=index, row=row, wall_seconds=time.perf_counter() - start
+        )
     if cache is None:
         workload, hit = task.workload.prepare(), False
     else:
@@ -109,6 +140,7 @@ def execute_task(
         scaler,
         extra=task.row_annotations(),
         variance_window=task.variance_window,
+        metrics=task.metrics,
     )
     return EvalResult(
         index=index,
@@ -118,30 +150,79 @@ def execute_task(
     )
 
 
+# ------------------------------------------------------------------ journal
+
+
+def _journal_for(store, run_id, base_seed):
+    """The run journal, or ``None`` when persistence is not requested."""
+    if store is None or run_id is None:
+        return None
+    from ..store import RunJournal
+
+    return RunJournal(store, run_id, base_seed)
+
+
+def _load_journaled(journal, tasks) -> dict[int, EvalResult]:
+    """Recover completed tasks from the journal (digest-verified)."""
+    recovered: dict[int, EvalResult] = {}
+    for index, task in enumerate(tasks):
+        payload = journal.load(index, task.digest())
+        if payload is None:
+            continue
+        recovered[index] = EvalResult(
+            index=index,
+            row=payload["row"],
+            cache_hit=bool(payload.get("cache_hit", False)),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            resumed=True,
+        )
+    return recovered
+
+
+def _journal_record(journal, task, result: EvalResult) -> None:
+    journal.record(
+        result.index,
+        task.digest(),
+        {
+            "row": result.row,
+            "cache_hit": result.cache_hit,
+            "wall_seconds": result.wall_seconds,
+        },
+    )
+
+
 # ----------------------------------------------------------------- backends
 
-#: Per-worker-process workload cache (populated lazily inside pool workers).
-_WORKER_CACHE: WorkloadCache | None = None
+#: Per-worker-process workload caches, one per store location (``None`` for
+#: storeless batches), populated lazily inside pool workers.
+_WORKER_CACHES: dict[str | None, WorkloadCache] = {}
 
 
 def _pool_execute_chunk(
-    payloads: Sequence[tuple[int, EvalTask, np.random.SeedSequence]],
+    payloads: Sequence[tuple[int, EvalTask | FunctionTask, np.random.SeedSequence]],
+    store: "ArtifactStore | None" = None,
 ) -> list[EvalResult]:
-    """Top-level (picklable) pool entry point using the worker-local cache."""
-    global _WORKER_CACHE
-    if _WORKER_CACHE is None:
-        _WORKER_CACHE = WorkloadCache()
+    """Top-level (picklable) pool entry point using the worker-local cache.
+
+    The cache is keyed by the store root so one worker process can serve
+    batches against different stores; with a store attached, a workload
+    group split across workers re-fits only when the halves race on a cold
+    store — a later worker reads the earlier worker's published artifact.
+    """
+    cache_key = None if store is None else str(store.root)
+    cache = _WORKER_CACHES.get(cache_key)
+    if cache is None:
+        cache = _WORKER_CACHES.setdefault(cache_key, WorkloadCache(store=store))
     return [
-        execute_task(task, seed=seed, cache=_WORKER_CACHE, index=index)
+        execute_task(task, seed=seed, cache=cache, index=index)
         for index, task, seed in payloads
     ]
 
 
 def _schedule_chunks(
-    tasks: Sequence[EvalTask],
-    seeds: Sequence[np.random.SeedSequence],
+    payloads: Sequence[tuple[int, EvalTask | FunctionTask, np.random.SeedSequence]],
     n_workers: int,
-) -> list[list[tuple[int, EvalTask, np.random.SeedSequence]]]:
+) -> list[list[tuple[int, EvalTask | FunctionTask, np.random.SeedSequence]]]:
     """Group payloads by workload key, splitting only to keep the pool busy.
 
     One chunk = one unit of work for a worker.  Keeping a workload's tasks
@@ -150,12 +231,14 @@ def _schedule_chunks(
     (longest-processing-time-first scheduling).
     """
     groups: dict[tuple, list] = {}
-    for index, (task, seed) in enumerate(zip(tasks, seeds)):
-        groups.setdefault(task.workload.cache_key(), []).append((index, task, seed))
+    for index, task, seed in payloads:
+        groups.setdefault(task.group_key(), []).append((index, task, seed))
     chunks = sorted(groups.values(), key=len, reverse=True)
     # Fewer chunks than workers would leave processes idle; halve the
     # largest splittable chunk until the pool can be saturated.  Each split
-    # costs at most one duplicated preparation.
+    # costs at most one duplicated preparation (with a disk store, only
+    # when the halves race on a cold store; otherwise the second worker
+    # finds the first worker's artifact).
     while len(chunks) < n_workers:
         chunks.sort(key=len, reverse=True)
         largest = chunks[0]
@@ -167,11 +250,14 @@ def _schedule_chunks(
 
 
 def run_tasks(
-    tasks: Sequence[EvalTask],
+    tasks: Sequence[EvalTask | FunctionTask],
     *,
     base_seed: int = 0,
     workers: int | None = None,
     cache: WorkloadCache | None = None,
+    store: "ArtifactStore | None" = None,
+    run_id: str | None = None,
+    on_result: Callable[[EvalResult], None] | None = None,
 ) -> list[EvalResult]:
     """Evaluate ``tasks`` and return their results in task order.
 
@@ -188,39 +274,93 @@ def run_tasks(
         Process count; ``None`` consults ``REPRO_WORKERS`` and defaults to
         serial execution.
     cache:
-        Workload cache for the serial path (a fresh one is created when
-        omitted; pass one explicitly to share preparations across batches or
-        to read the hit/miss counters).  Pool workers always use their own
-        process-local caches; per-task ``cache_hit`` flags report their
-        effectiveness either way.
+        Workload cache for the serial path (one backed by ``store`` is
+        created when omitted; pass one explicitly to share preparations
+        across batches or to read the hit/miss counters).  Pool workers
+        always use their own process-local caches — backed by the same
+        ``store`` when one is given — and per-task ``cache_hit`` flags
+        report their effectiveness either way.
+    store:
+        Disk tier (:class:`~repro.store.ArtifactStore`): prepared workloads
+        are shared across workers and CLI invocations, and ``run_id``
+        journaling becomes available.
+    run_id:
+        Journal completions under this identifier (requires ``store``).  A
+        rerun with the same task list, ``base_seed`` and ``run_id`` resumes:
+        journaled tasks are recovered (marked ``resumed``) instead of
+        re-executed, and the merged rows are bit-identical to an
+        uninterrupted run.
+    on_result:
+        Callback invoked once per task as its result becomes available
+        (recovered tasks first, then live completions, not necessarily in
+        task order) — the incremental-progress hook.
     """
     tasks = list(tasks)
+    if run_id is not None and store is None:
+        raise ValidationError("run_id requires a store to journal into")
     seeds = derive_task_seeds(base_seed, len(tasks))
-    n_workers = min(resolve_workers(workers), max(len(tasks), 1))
+    journal = _journal_for(store, run_id, base_seed)
+    results: dict[int, EvalResult] = {}
+    if journal is not None:
+        results = _load_journaled(journal, tasks)
+        if on_result is not None:
+            for index in sorted(results):
+                on_result(results[index])
+
+    pending = [
+        (index, task, seeds[index])
+        for index, task in enumerate(tasks)
+        if index not in results
+    ]
+
+    def finish(task, result: EvalResult) -> None:
+        if journal is not None:
+            _journal_record(journal, task, result)
+        results[result.index] = result
+        if on_result is not None:
+            on_result(result)
+
+    n_workers = min(resolve_workers(workers), max(len(pending), 1))
     if n_workers <= 1:
-        cache = WorkloadCache() if cache is None else cache
-        return [
-            execute_task(task, seed=seed, cache=cache, index=index)
-            for index, (task, seed) in enumerate(zip(tasks, seeds))
-        ]
-    chunks = _schedule_chunks(tasks, seeds, n_workers)
-    results: list[EvalResult] = []
-    with ProcessPoolExecutor(max_workers=min(n_workers, len(chunks))) as pool:
-        for chunk_results in pool.map(_pool_execute_chunk, chunks):
-            results.extend(chunk_results)
-    results.sort(key=lambda result: result.index)
-    return results
+        cache = WorkloadCache(store=store) if cache is None else cache
+        for index, task, seed in pending:
+            finish(task, execute_task(task, seed=seed, cache=cache, index=index))
+    else:
+        chunks = _schedule_chunks(pending, n_workers)
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(chunks))) as pool:
+            futures = {
+                pool.submit(_pool_execute_chunk, chunk, store) for chunk in chunks
+            }
+            # Drain completions as they land so journaling and progress
+            # streaming happen the moment a chunk finishes, not at the end.
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for result in future.result():
+                        finish(tasks[result.index], result)
+    return [results[index] for index in range(len(tasks))]
 
 
 def run_task_rows(
-    tasks: Sequence[EvalTask],
+    tasks: Sequence[EvalTask | FunctionTask],
     *,
     base_seed: int = 0,
     workers: int | None = None,
     cache: WorkloadCache | None = None,
+    store: "ArtifactStore | None" = None,
+    run_id: str | None = None,
+    on_result: Callable[[EvalResult], None] | None = None,
 ) -> list[dict]:
     """Like :func:`run_tasks` but return just the report rows, in task order."""
     return [
         result.row
-        for result in run_tasks(tasks, base_seed=base_seed, workers=workers, cache=cache)
+        for result in run_tasks(
+            tasks,
+            base_seed=base_seed,
+            workers=workers,
+            cache=cache,
+            store=store,
+            run_id=run_id,
+            on_result=on_result,
+        )
     ]

@@ -16,6 +16,7 @@ consume.
 from __future__ import annotations
 
 import hashlib
+import importlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -36,6 +37,7 @@ __all__ = [
     "WorkloadSpec",
     "ScalerSpec",
     "EvalTask",
+    "FunctionTask",
     "EvalResult",
     "derive_task_seeds",
 ]
@@ -100,6 +102,14 @@ class PrepSpec:
 
     def _key(self, scenario=None) -> tuple:
         resolved = self.resolve(scenario)
+        # Key by the *effective* engine, not the raw override: engine=None
+        # defers to the simulation config (default "reference"), so e.g.
+        # `simulate` (explicit "reference") and the experiment drivers
+        # (None) must address the same prepared-workload artifact.
+        engine = resolved["engine"]
+        if engine is None:
+            simulation = resolved["simulation"]
+            engine = simulation.engine if simulation is not None else "reference"
         return (
             resolved["train_fraction"],
             resolved["bin_seconds"],
@@ -107,7 +117,7 @@ class PrepSpec:
             resolved["period_bins"],
             resolved["nhpp_config"],
             resolved["simulation"],
-            resolved["engine"],
+            engine,
         )
 
 
@@ -176,10 +186,23 @@ class WorkloadSpec:
         scenario = self._get_scenario()
         return scenario.build_trace(scale=self.scale, seed=self.seed)
 
-    def prepare(self) -> PreparedWorkload:
-        """Generate the trace (if needed), fit the model, package everything."""
+    def prepare(self, store=None) -> PreparedWorkload:
+        """Generate the trace (if needed), fit the model, package everything.
+
+        With a ``store``, scenario-backed specs fetch (or publish) the
+        seeded trace realization through the store's ``traces`` namespace
+        instead of re-sampling it — so a workload-cache miss still reuses
+        the trace a driver already generated for grid derivation.
+        """
         scenario = self._get_scenario() if self.scenario is not None else None
-        trace = self.build_trace()
+        if store is not None and scenario is not None:
+            from ..store.traces import get_or_build_trace
+
+            trace = get_or_build_trace(
+                scenario, scale=self.scale, seed=self.seed, store=store
+            )
+        else:
+            trace = self.build_trace()
         return prepare_workload(trace, **self.prep.resolve(scenario))
 
 
@@ -249,6 +272,17 @@ class ScalerSpec:
         )
 
 
+def _task_digest(canonical: tuple) -> str:
+    """Content digest of a task's canonical tuple (stable across processes).
+
+    Delegates to the store's key hashing so there is exactly one
+    canonical-repr-to-digest rule in the repository.
+    """
+    from ..store.artifacts import key_digest
+
+    return key_digest(canonical)
+
+
 @dataclass(frozen=True)
 class EvalTask:
     """One sweep point: a workload, a scaler, and row annotations.
@@ -256,13 +290,15 @@ class EvalTask:
     ``extra`` is an ordered tuple of ``(column, value)`` pairs merged into
     the result row (scenario labels, perturbation sizes, sweep families).
     ``variance_window`` additionally requests the windowed QoS statistics of
-    Fig. 5 in the row.
+    Fig. 5 in the row; ``metrics`` requests named extra metric columns (see
+    :func:`repro.runtime.workload.evaluate_prepared`).
     """
 
     workload: WorkloadSpec
     scaler: ScalerSpec
     extra: tuple[tuple[str, Any], ...] = ()
     variance_window: int | None = None
+    metrics: tuple[str, ...] = ()
 
     def row_annotations(self) -> dict:
         """The ``extra`` pairs plus the scaler's sweep parameter column."""
@@ -272,20 +308,100 @@ class EvalTask:
             annotations.setdefault(name, float(self.scaler.parameter))
         return annotations
 
+    def group_key(self) -> tuple:
+        """Scheduling key: tasks sharing it share one workload preparation."""
+        return self.workload.cache_key()
+
+    def digest(self) -> str:
+        """Content fingerprint used by the resumable-run journal.
+
+        Any change to the task — its workload identity (trace contents
+        included, via the cache key's content hash), prep config, scaler,
+        annotations or requested statistics — changes the digest, so stale
+        journal records can never be replayed against a different task.
+        """
+        scaler = self.scaler
+        return _task_digest(
+            (
+                "eval",
+                self.workload.cache_key(),
+                (
+                    scaler.kind,
+                    scaler.parameter,
+                    scaler.parameter_name,
+                    scaler.planning_interval,
+                    scaler.monte_carlo_samples,
+                ),
+                self.extra,
+                self.variance_window,
+                self.metrics,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class FunctionTask:
+    """One grid point evaluated by a named top-level function.
+
+    Some experiment grids are not a (workload, scaler) replay — ablation
+    points fit an ADMM objective or time a Monte Carlo solver.  A
+    ``FunctionTask`` names such a point as plain picklable data: the dotted
+    path of a module-level callable plus its keyword arguments, so the same
+    batch machinery (``run_tasks``: process pools, journaling, ordered
+    results) applies to every driver.
+
+    The callable must be importable wherever the task runs, accept exactly
+    ``dict(kwargs)``, be deterministic in those arguments (seeds travel as
+    explicit kwargs), and return one report-row dictionary.
+    """
+
+    fn: str
+    kwargs: tuple[tuple[str, Any], ...] = ()
+    extra: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if "." not in self.fn:
+            raise ValidationError(
+                f"FunctionTask.fn must be a dotted module path, got {self.fn!r}"
+            )
+
+    def call(self) -> dict:
+        """Import and invoke the target; returns its row plus ``extra``."""
+        module_name, _, attr = self.fn.rpartition(".")
+        target = getattr(importlib.import_module(module_name), attr)
+        row = target(**dict(self.kwargs))
+        if not isinstance(row, dict):
+            raise ValidationError(
+                f"{self.fn} returned {type(row).__name__}, expected a row dict"
+            )
+        if self.extra:
+            row = {**dict(self.extra), **row}
+        return row
+
+    def group_key(self) -> tuple:
+        """Scheduling key; function tasks share no preparation, so it is unique."""
+        return ("function", self.fn, self.kwargs)
+
+    def digest(self) -> str:
+        """Content fingerprint used by the resumable-run journal."""
+        return _task_digest(("function", self.fn, self.kwargs, self.extra))
+
 
 @dataclass
 class EvalResult:
     """The outcome of one executed task.
 
-    ``row`` holds the deterministic report row; ``cache_hit`` and
-    ``wall_seconds`` are execution metadata (never part of the row, so rows
-    stay bit-identical across executors).
+    ``row`` holds the deterministic report row; ``cache_hit``,
+    ``wall_seconds`` and ``resumed`` are execution metadata (never part of
+    the row, so rows stay bit-identical across executors).  ``resumed``
+    marks results recovered from a run journal instead of executed.
     """
 
     index: int
     row: dict
     cache_hit: bool = False
     wall_seconds: float = 0.0
+    resumed: bool = False
 
 
 def derive_task_seeds(base_seed: int, n_tasks: int) -> list[np.random.SeedSequence]:

@@ -16,11 +16,12 @@ produce their report rows through it.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from ..config import NHPPConfig, SimulationConfig
+from ..exceptions import ValidationError
 from ..metrics.report import summarize_result
 from ..metrics.variance import windowed_mean_variance
 from ..nhpp.intensity import PiecewiseConstantIntensity
@@ -31,7 +32,28 @@ from ..scaling.base import Autoscaler
 from ..simulation.runner import replay
 from ..types import ArrivalTrace, SimulationResult
 
-__all__ = ["PreparedWorkload", "prepare_workload", "evaluate_prepared"]
+__all__ = ["EXTRA_METRICS", "PreparedWorkload", "prepare_workload", "evaluate_prepared"]
+
+
+def _waiting_avg(result: SimulationResult) -> float:
+    waiting = result.waiting_times
+    return float(waiting.mean()) if waiting.size else float("nan")
+
+
+def _idle_avg(result: SimulationResult) -> float:
+    # Idle time of the serving instance: ready-to-start gap, floored at 0 —
+    # identical to QueryOutcome.instance.idle_time, computed columnar.
+    starts = result.start_times
+    if not starts.size:
+        return float("nan")
+    return float(np.maximum(0.0, starts - result.ready_times).mean())
+
+
+#: Named extra metric columns tasks can request (``EvalTask.metrics``).
+EXTRA_METRICS = {
+    "waiting_avg": _waiting_avg,
+    "idle_avg": _idle_avg,
+}
 
 
 @dataclass
@@ -144,6 +166,7 @@ def evaluate_prepared(
     *,
     extra: Mapping[str, Any] | None = None,
     variance_window: int | None = None,
+    metrics: Sequence[str] | None = None,
 ) -> dict:
     """Replay ``scaler`` on ``workload`` and build one report row.
 
@@ -153,13 +176,24 @@ def evaluate_prepared(
     is set the windowed QoS statistics of Fig. 5 (block means of
     ``variance_window`` consecutive queries) are appended as
     ``hit_rate_mean`` / ``hit_rate_variance`` / ``rt_mean`` /
-    ``rt_variance``.
+    ``rt_variance``.  ``metrics`` names extra columns from
+    :data:`EXTRA_METRICS` (``waiting_avg``, ``idle_avg``) used by the
+    nominal-vs-actual drivers.
     """
     result = workload.replay(scaler)
     row: dict = {"trace": workload.name, "scaler": scaler.name}
     if extra:
         row.update(extra)
     row.update(summarize_result(result, reference_cost=workload.reference_cost))
+    for name in metrics or ():
+        try:
+            compute = EXTRA_METRICS[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown extra metric {name!r}; expected one of "
+                f"{sorted(EXTRA_METRICS)}"
+            ) from None
+        row[name] = compute(result)
     if variance_window is not None:
         hit_mean, hit_var = windowed_mean_variance(
             result.hits.astype(float), variance_window

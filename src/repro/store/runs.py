@@ -1,0 +1,51 @@
+"""Per-run completion journal: the persistence behind resumable sweeps.
+
+A :class:`RunJournal` records one artifact per completed task of a named
+run, keyed by ``(run id, base seed, task index, task digest)`` in the
+store's ``results`` namespace.  Because the key embeds the task's content
+digest, a journal written by one task list can never be replayed against a
+different one: any change to a task (its workload, scaler, annotations or
+position) changes the digest and the stale record is simply not found.
+
+The journal stores plain payload dictionaries (the report row plus
+execution metadata), not executor types, so :mod:`repro.store` stays free
+of :mod:`repro.runtime` imports; the executor converts records back into
+``EvalResult`` objects.  Rows round-trip through pickle, which preserves
+floats bit-exactly — the property the resumability guarantee rests on.
+"""
+
+from __future__ import annotations
+
+from .artifacts import ArtifactStore
+
+__all__ = ["RunJournal"]
+
+#: Namespace run records live in.
+_NAMESPACE = "results"
+
+
+class RunJournal:
+    """Journal of completed task payloads for one ``(run_id, base_seed)``."""
+
+    def __init__(self, store: ArtifactStore, run_id: str, base_seed: int) -> None:
+        self.store = store
+        self.run_id = str(run_id)
+        self.base_seed = int(base_seed)
+
+    def _key(self, index: int, task_digest: str) -> tuple:
+        return ("run", self.run_id, self.base_seed, int(index), task_digest)
+
+    def load(self, index: int, task_digest: str) -> dict | None:
+        """The recorded payload for task ``index``, or ``None`` if absent.
+
+        Corrupt or digest-mismatched records read as ``None`` — the task
+        just re-executes and overwrites the record.
+        """
+        payload = self.store.get(_NAMESPACE, self._key(index, task_digest))
+        if not isinstance(payload, dict) or "row" not in payload:
+            return None
+        return payload
+
+    def record(self, index: int, task_digest: str, payload: dict) -> None:
+        """Persist ``payload`` as the completion record of task ``index``."""
+        self.store.put(_NAMESPACE, self._key(index, task_digest), payload)

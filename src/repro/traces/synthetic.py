@@ -140,7 +140,10 @@ def generate_trace_from_intensity(
     processing_time_mean:
         Mean query processing time in seconds.
     processing_time_distribution:
-        ``"exponential"``, ``"lognormal"`` (sigma 0.5) or ``"constant"``.
+        ``"exponential"``, ``"lognormal"`` (sigma 0.5), ``"bimodal"``
+        (cold/warm lognormal mixture: 15% of queries pay an 8x cold-start
+        premium, mixture mean equal to ``processing_time_mean``) or
+        ``"constant"``.
     name:
         Trace name; defaults to the profile name.
     random_state:
@@ -167,6 +170,25 @@ def generate_trace_from_intensity(
     return ArrivalTrace(arrivals, processing, name=trace_name, horizon=horizon_seconds)
 
 
+#: Cold/warm mixture parameters of the ``"bimodal"`` processing-time family:
+#: this fraction of queries lands on a cold instance ...
+_BIMODAL_COLD_FRACTION = 0.15
+#: ... and pays this multiple of the warm-path mean (container pull, model
+#: load, JIT warm-up), so the two modes are clearly separated.
+_BIMODAL_COLD_MULTIPLIER = 8.0
+#: Log-scale spreads of the warm and cold modes (warm executions cluster
+#: tightly; cold starts are more dispersed).
+_BIMODAL_WARM_SIGMA = 0.2
+_BIMODAL_COLD_SIGMA = 0.35
+
+
+def _lognormal_with_mean(
+    mean: float, sigma: float, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    mu = np.log(mean) - 0.5 * sigma**2
+    return rng.lognormal(mu, sigma, size=size)
+
+
 def _sample_processing_times(
     count: int,
     mean: float,
@@ -182,12 +204,30 @@ def _sample_processing_times(
     if distribution == "constant":
         return np.full(count, mean)
     if distribution == "lognormal":
-        sigma = 0.5
-        mu = np.log(mean) - 0.5 * sigma**2
-        return rng.lognormal(mu, sigma, size=count)
+        return _lognormal_with_mean(mean, 0.5, count, rng)
+    if distribution == "bimodal":
+        # Cold/warm mixture: most queries run on a warm instance, a minority
+        # pays the cold-start premium.  The warm-mode mean is chosen so the
+        # mixture's expectation equals ``mean``, keeping scenarios with this
+        # family comparable to unimodal ones at the same nominal mean.
+        warm_mean = mean / (
+            1.0 - _BIMODAL_COLD_FRACTION
+            + _BIMODAL_COLD_FRACTION * _BIMODAL_COLD_MULTIPLIER
+        )
+        cold = rng.random(count) < _BIMODAL_COLD_FRACTION
+        times = _lognormal_with_mean(warm_mean, _BIMODAL_WARM_SIGMA, count, rng)
+        n_cold = int(cold.sum())
+        if n_cold:
+            times[cold] = _lognormal_with_mean(
+                warm_mean * _BIMODAL_COLD_MULTIPLIER,
+                _BIMODAL_COLD_SIGMA,
+                n_cold,
+                rng,
+            )
+        return times
     raise ValidationError(
-        "processing_time_distribution must be 'exponential', 'lognormal' or "
-        f"'constant', got {distribution!r}"
+        "processing_time_distribution must be 'exponential', 'lognormal', "
+        f"'bimodal' or 'constant', got {distribution!r}"
     )
 
 

@@ -4,7 +4,7 @@ Importing this module populates :data:`repro.workloads.registry.DEFAULT_REGISTRY
 with named scenarios covering the situations an autoscaler meets in
 production — steady load, strong seasonality, weekend dips, launches,
 flash crowds, heavy-tailed Pareto bursts, sale events, batch bursts,
-multi-tenant mixes, outages and
+multi-tenant mixes, cold-start-dominated serving tiers, outages and
 recoveries — plus registry aliases for the three paper traces (``crs``,
 ``google``, ``alibaba``) so every workload in the repository can be looked
 up through one interface.
@@ -156,6 +156,15 @@ def _pareto_bursts_extreme(horizon: float) -> IntensityPrimitive:
     return base + bursts
 
 
+def _cold_start_services(horizon: float) -> IntensityPrimitive:
+    # Ordinary diurnal serving traffic; what makes the scenario hard is the
+    # processing-time model, not the arrivals: queries draw from the bimodal
+    # cold/warm family, so a minority of requests occupies an instance ~8x
+    # longer than the warm majority (container pull, model load).
+    daily = SeasonalBump(_DAY, 0.6, sharpness=5.0, base=0.08)
+    return daily * GammaNoise(0.2, correlation_bins=10)
+
+
 def _spiky_cron(horizon: float) -> IntensityPrimitive:
     return SeasonalBump(_HOUR, 1.4, sharpness=30.0, base=0.05) * GammaNoise(
         0.15, correlation_bins=3
@@ -285,6 +294,14 @@ def register_builtin_scenarios(registry=DEFAULT_REGISTRY, *, overwrite: bool = F
             horizon_seconds=2 * _DAY,
             train_fraction=0.7,
             tags=("bursty", "heavy-tail", "adversarial"),
+        ),
+        Scenario(
+            name="cold-start-services",
+            description="Diurnal serving tier with bimodal cold/warm processing times (15% pay ~8x)",
+            intensity=_cold_start_services,
+            horizon_seconds=2 * _DAY,
+            processing_time_distribution="bimodal",
+            tags=("seasonal", "bimodal-processing"),
         ),
         Scenario(
             name="spiky-cron",

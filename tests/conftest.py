@@ -13,6 +13,17 @@ from repro.traces.synthetic import beta_bump_intensity
 from repro.types import ArrivalTrace, QPSSeries
 
 
+@pytest.fixture(autouse=True)
+def _isolated_store_dir(tmp_path, monkeypatch):
+    """Point the artifact store at a per-test directory.
+
+    The CLI enables the disk store by default; without this, tests would
+    write into (and read warm state from) the developer's real
+    ``~/.cache/repro/store``.
+    """
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "repro-store"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for tests."""

@@ -124,6 +124,28 @@ class TestInverseCumulative:
         with pytest.raises(ValidationError):
             intensity.inverse_cumulative(-0.1)
 
+    def test_tiny_held_rate_stays_finite_and_monotone(self):
+        """Regression: a denormal-scale tail rate used to overflow the hold
+        extrapolation to inf, making consecutive samples' diffs NaN."""
+        tiny = 2.2250738585072014e-308
+        intensity = PiecewiseConstantIntensity(
+            np.array([tiny]), 60.0, extrapolation="hold"
+        )
+        masses = np.array([1.0, 2.0, 3.0, 1e30])
+        times = intensity.inverse_cumulative(masses)
+        assert np.all(np.isfinite(times))
+        assert np.all(np.diff(times) >= 0.0)
+
+    def test_tiny_periodic_mass_stays_finite_and_monotone(self):
+        tiny = 2.2250738585072014e-308
+        intensity = PiecewiseConstantIntensity(
+            np.array([tiny]), 60.0, extrapolation="periodic"
+        )
+        masses = np.array([1.0, 2.0, 1e30])
+        times = intensity.inverse_cumulative(masses)
+        assert np.all(np.isfinite(times))
+        assert np.all(np.diff(times) >= 0.0)
+
     @given(st.floats(min_value=0.0, max_value=500.0))
     @settings(max_examples=60, deadline=None)
     def test_inverse_is_generalized_inverse(self, mass):

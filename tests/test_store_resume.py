@@ -1,0 +1,187 @@
+"""Tests for resumable experiment runs (`run_tasks(..., run_id=...)`).
+
+The headline guarantee: a run that is killed mid-way and restarted with the
+same task list, base seed, store and ``run_id`` produces rows bit-identical
+to an uninterrupted run — journaled tasks are recovered verbatim (pickle
+preserves floats exactly) and the per-task ``SeedSequence.spawn`` seeding
+makes the remaining tasks independent of what ran before the interruption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.runtime import (
+    EvalResult,
+    EvalTask,
+    FunctionTask,
+    ScalerSpec,
+    WorkloadSpec,
+    run_task_rows,
+    run_tasks,
+    strip_timing,
+)
+from repro.store import ArtifactStore
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+def small_tasks() -> list[EvalTask]:
+    tasks: list[EvalTask] = []
+    for name in ("steady-state", "flash-crowd"):
+        workload = WorkloadSpec(scenario=name, scale=0.05, seed=7)
+        specs = [
+            ScalerSpec("reactive"),
+            ScalerSpec("bp", 2),
+            ScalerSpec("rs-hp", 0.7, planning_interval=20.0, monte_carlo_samples=60),
+        ]
+        tasks += [
+            EvalTask(workload, spec, extra=(("scenario", name),)) for spec in specs
+        ]
+    return tasks
+
+
+def multiply_point(*, a: float, b: float) -> dict:
+    """Deterministic FunctionTask target used by the tests below."""
+    return {"a": a, "b": b, "product": a * b}
+
+
+class _InterruptAfter:
+    """on_result hook that simulates a crash after ``limit`` completions."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.seen: list[EvalResult] = []
+
+    def __call__(self, result: EvalResult) -> None:
+        self.seen.append(result)
+        if len(self.seen) >= self.limit:
+            raise KeyboardInterrupt
+
+
+class TestResume:
+    def test_run_id_requires_store(self):
+        with pytest.raises(ValidationError):
+            run_tasks(small_tasks()[:1], run_id="r")
+
+    def test_interrupted_run_resumes_bit_identical(self, store):
+        tasks = small_tasks()
+        baseline = run_task_rows(tasks, base_seed=7)
+
+        interrupt = _InterruptAfter(2)
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks(
+                tasks, base_seed=7, store=store, run_id="r1", on_result=interrupt
+            )
+        journaled = len(store.entries("results"))
+        assert 0 < journaled < len(tasks)
+
+        resumed = run_tasks(tasks, base_seed=7, store=store, run_id="r1")
+        n_recovered = sum(result.resumed for result in resumed)
+        assert n_recovered == journaled
+        assert [r.row for r in resumed] and strip_timing(
+            [r.row for r in resumed]
+        ) == strip_timing(baseline)
+
+    def test_completed_run_resumes_everything_verbatim(self, store):
+        tasks = small_tasks()[:3]
+        first = run_tasks(tasks, base_seed=7, store=store, run_id="done")
+        second = run_tasks(tasks, base_seed=7, store=store, run_id="done")
+        assert all(result.resumed for result in second)
+        # Verbatim recovery: even the timing columns match the first run.
+        assert [r.row for r in second] == [r.row for r in first]
+
+    def test_journal_ignored_when_tasks_change(self, store):
+        tasks = small_tasks()[:2]
+        run_tasks(tasks, base_seed=7, store=store, run_id="r2")
+        changed = [
+            EvalTask(task.workload, ScalerSpec("bp", 3), extra=task.extra)
+            for task in tasks
+        ]
+        rerun = run_tasks(changed, base_seed=7, store=store, run_id="r2")
+        assert not any(result.resumed for result in rerun)
+
+    def test_journal_keyed_by_base_seed(self, store):
+        tasks = small_tasks()[:2]
+        run_tasks(tasks, base_seed=7, store=store, run_id="r3")
+        other_seed = run_tasks(tasks, base_seed=8, store=store, run_id="r3")
+        assert not any(result.resumed for result in other_seed)
+
+    def test_parallel_resume_matches_serial(self, store):
+        tasks = small_tasks()
+        baseline = run_task_rows(tasks, base_seed=7)
+        interrupt = _InterruptAfter(1)
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks(
+                tasks, base_seed=7, store=store, run_id="r4", on_result=interrupt
+            )
+        resumed = run_task_rows(
+            tasks, base_seed=7, workers=2, store=store, run_id="r4"
+        )
+        assert strip_timing(resumed) == strip_timing(baseline)
+
+
+class TestStreaming:
+    def test_on_result_sees_every_task_in_completion_order(self, store):
+        tasks = small_tasks()[:4]
+        seen: list[int] = []
+        results = run_tasks(tasks, base_seed=7, on_result=lambda r: seen.append(r.index))
+        assert sorted(seen) == list(range(len(tasks)))
+        assert [result.index for result in results] == list(range(len(tasks)))
+
+    def test_recovered_results_stream_first(self, store):
+        tasks = small_tasks()[:3]
+        run_tasks(tasks, base_seed=7, store=store, run_id="r5")
+        seen: list[bool] = []
+        run_tasks(
+            tasks,
+            base_seed=7,
+            store=store,
+            run_id="r5",
+            on_result=lambda r: seen.append(r.resumed),
+        )
+        assert seen == [True, True, True]
+
+
+class TestFunctionTasks:
+    def _grid(self) -> list[FunctionTask]:
+        return [
+            FunctionTask(
+                fn=f"{__name__}.multiply_point",
+                kwargs=(("a", float(a)), ("b", 3.0)),
+                extra=(("grid", "demo"),),
+            )
+            for a in range(4)
+        ]
+
+    def test_rows_and_annotations(self):
+        rows = run_task_rows(self._grid(), base_seed=0)
+        assert [row["product"] for row in rows] == [0.0, 3.0, 6.0, 9.0]
+        assert all(row["grid"] == "demo" for row in rows)
+
+    def test_parallel_matches_serial(self):
+        serial = run_task_rows(self._grid(), base_seed=0)
+        parallel = run_task_rows(self._grid(), base_seed=0, workers=2)
+        assert serial == parallel
+
+    def test_resumable(self, store):
+        grid = self._grid()
+        first = run_task_rows(grid, base_seed=0, store=store, run_id="fn")
+        rerun = run_tasks(grid, base_seed=0, store=store, run_id="fn")
+        assert all(result.resumed for result in rerun)
+        assert [result.row for result in rerun] == first
+
+    def test_digest_distinguishes_kwargs(self):
+        a, b, *_ = self._grid()
+        assert a.digest() != b.digest()
+        assert a.digest() == self._grid()[0].digest()
+
+    def test_fn_path_validated(self):
+        with pytest.raises(ValidationError):
+            FunctionTask(fn="notdotted")
