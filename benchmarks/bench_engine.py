@@ -33,7 +33,7 @@ from repro.config import SimulationConfig
 from repro.nhpp.sampling import sample_homogeneous_arrivals
 from repro.scaling.backup_pool import BackupPoolScaler, ReactiveScaler
 from repro.scaling.base import Autoscaler, ScalingResponse
-from repro.simulation import BatchedEventSimulator, ScalingPerQuerySimulator
+from repro.simulation import create_simulator
 from repro.types import ArrivalTrace, ScalingAction
 
 from conftest import print_artifact
@@ -118,16 +118,17 @@ def count_divergent_rows(reference, batched) -> int:
 def run_engine_comparison(sizes: tuple[int, ...], seed: int = 7) -> list[dict]:
     """Time both engines on each (size, scaler) cell and check divergence."""
     rows: list[dict] = []
-    config = SimulationConfig(pending_time=0.2, seed=seed)
+    reference_config = SimulationConfig(pending_time=0.2, seed=seed, engine="reference")
+    batched_config = SimulationConfig(pending_time=0.2, seed=seed, engine="batched")
     for n_queries in sizes:
         trace = make_trace(n_queries, seed=seed)
         for label, factory in _scaler_families():
             started = time.perf_counter()
-            reference = ScalingPerQuerySimulator(config).replay(trace, factory())
+            reference = create_simulator(reference_config).replay(trace, factory())
             reference_seconds = time.perf_counter() - started
 
             started = time.perf_counter()
-            batched = BatchedEventSimulator(config).replay(trace, factory())
+            batched = create_simulator(batched_config).replay(trace, factory())
             batched_seconds = time.perf_counter() - started
 
             rows.append(

@@ -16,7 +16,7 @@ from repro.nhpp.sampling import sample_homogeneous_arrivals
 from repro.pending import DeterministicPendingTime
 from repro.scaling.backup_pool import BackupPoolScaler
 from repro.scaling.robustscaler import RobustScaler
-from repro.simulation.engine import ScalingPerQuerySimulator
+from repro.simulation import create_simulator
 from repro.types import ArrivalTrace
 
 
@@ -27,7 +27,9 @@ def _trace(n_seconds: float = 3600.0, rate: float = 1.0) -> ArrivalTrace:
 
 def test_simulator_throughput_backup_pool(benchmark):
     trace = _trace()
-    simulator = ScalingPerQuerySimulator(SimulationConfig(pending_time=10.0))
+    simulator = create_simulator(
+        SimulationConfig(pending_time=10.0, engine="reference")
+    )
     result = benchmark(simulator.replay, trace, BackupPoolScaler(3))
     assert result.n_queries == trace.n_queries
 
@@ -42,7 +44,9 @@ def test_simulator_throughput_robustscaler(benchmark):
         planner=PlannerConfig(planning_interval=5.0, monte_carlo_samples=300),
         random_state=0,
     )
-    simulator = ScalingPerQuerySimulator(SimulationConfig(pending_time=10.0))
+    simulator = create_simulator(
+        SimulationConfig(pending_time=10.0, engine="reference")
+    )
     result = benchmark.pedantic(
         simulator.replay, args=(trace, scaler), rounds=1, iterations=1
     )

@@ -26,7 +26,15 @@ Autoscaling for Complex Workloads* (Qian et al., ICDE 2022).  It provides:
   process pool (``--workers`` / ``REPRO_WORKERS``) with bit-identical
   result rows, deterministic per-task seeding via
   ``numpy.random.SeedSequence.spawn``, and a workload-preparation cache
-  that fits each workload model once per sweep.
+  that fits each workload model once per sweep;
+* a unified declarative experiment API (:mod:`repro.api`): every
+  experiment registered once as an ``ExperimentSpec`` (typed parameter
+  schema, task-batch builder, result schema), driven by the fluent
+  :class:`~repro.api.Session` facade — ``Session(workers=4)
+  .experiment("pareto").scenario("google").run()`` — with the batched
+  replay engine as the default, a typed ``ResultSet`` (columnar rows +
+  provenance), and ``repro experiment`` CLI subcommands generated from
+  the registry.
 
 Quickstart
 ----------
@@ -105,6 +113,7 @@ from .workloads import (
     register_scenario,
     scenario_names,
 )
+from .api import Session, list_experiments, run_experiment
 
 __version__ = "1.0.0"
 
@@ -178,4 +187,8 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "scenario_names",
+    # declarative experiment API
+    "Session",
+    "list_experiments",
+    "run_experiment",
 ]

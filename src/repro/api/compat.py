@@ -1,0 +1,63 @@
+"""Deprecation shims bridging the old per-driver configs onto the registry.
+
+PR 5 collapsed the ~10 hand-rolled ``*ExperimentConfig`` dataclasses into
+the declarative :class:`~repro.api.registry.ExperimentSpec` schemas.  The
+old dataclasses and ``run_*_experiment`` entry points keep working for one
+release as thin wrappers: constructing a config emits exactly one
+:class:`DeprecationWarning`, and running it routes through
+:func:`repro.api.session.run_experiment` with the config's fields mapped
+onto the schema — producing rows bit-identical to the new
+:class:`~repro.api.session.Session` path.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+from .registry import get_experiment
+from .session import run_experiment
+
+__all__ = ["warn_deprecated_config", "run_legacy_config"]
+
+#: Context attributes configs carried that are session-level knobs now.
+_CONTEXT_FIELDS = ("workers", "engine", "store", "run_id")
+
+
+def warn_deprecated_config(config: Any, experiment: str) -> None:
+    """Emit the one deprecation warning for an old config dataclass.
+
+    Called from each config's ``__post_init__``, so every construction warns
+    exactly once; the message names the registry replacement.
+    """
+    warnings.warn(
+        f"{type(config).__name__} is deprecated; use "
+        f'repro.api.Session().experiment("{experiment}").run(...) or '
+        f'repro.api.run_experiment("{experiment}", params) instead',
+        DeprecationWarning,
+        # warn -> __post_init__ -> dataclass-generated __init__ -> caller.
+        stacklevel=4,
+    )
+
+
+def run_legacy_config(experiment: str, config: Any) -> list[dict]:
+    """Run ``experiment`` parameterized by a legacy config object (or ``None``).
+
+    Every schema parameter that exists as an attribute on ``config`` is
+    forwarded; the context knobs (``workers`` / ``engine`` / ``store`` /
+    ``run_id``) are threaded into the run context exactly as the old
+    drivers consumed them.  ``config=None`` runs the registry defaults.
+    """
+    spec = get_experiment(experiment)
+    params: dict[str, Any] = {}
+    context: dict[str, Any] = {}
+    if config is not None:
+        for param in spec.params:
+            if hasattr(config, param.name):
+                value = getattr(config, param.name)
+                if value is not None or param.default is None:
+                    params[param.name] = value
+        for name in _CONTEXT_FIELDS:
+            if hasattr(config, name):
+                context[name] = getattr(config, name)
+    return run_experiment(experiment, params, **context)

@@ -7,18 +7,23 @@ Usage examples::
     repro experiment pareto                  # regenerate the Fig. 4 data
     repro experiment table3                  # periodicity-regularization study
     repro experiment scenario-sweep --workers 4   # parallel registry sweep
+    repro experiment pareto --help           # registry-generated options
     repro workloads list                     # the scenario registry
     repro workloads generate --scenario flash-crowd --seed 7 --out fc.csv
     repro workloads sweep                    # autoscalers across every scenario
     repro store info                         # artifact-store footprint
-    repro store gc --max-bytes 500000000     # evict oldest artifacts
+    repro store ls --runs                    # journaled runs with completion
+    repro store gc --max-bytes 500000000 --pin workloads/
 
-The CLI is a thin wrapper over :mod:`repro.experiments`; the paper-facing
-subcommands print plain-text tables mirroring the paper's artifacts, while
-``workloads`` exposes the scenario registry of :mod:`repro.workloads` —
-listing scenarios, generating seed-reproducible traces (optionally saved to
-CSV), and sweeping RobustScaler plus the baselines across the registry.
-(The installed entry points ``repro`` and ``robustscaler`` are synonyms.)
+The ``experiment`` and ``workloads sweep`` subcommands are **generated from
+the experiment registry** (:mod:`repro.api`): each experiment's options come
+from its declared parameter schema plus the uniform session knobs
+(``--workers`` / ``--engine`` / ``--run-id`` / store flags / ``--quiet``),
+so adding an experiment never touches this module.  Execution routes
+through :class:`repro.api.Session` — the same facade documented for
+programmatic use — with the batched replay engine as the default
+(``--engine reference`` is the escape hatch; both engines produce
+bit-identical rows).
 
 Persistence: ``simulate``, ``experiment`` and ``workloads sweep`` use the
 disk artifact store of :mod:`repro.store` by default, so repeated
@@ -27,7 +32,8 @@ them.  ``--store-dir`` (or the ``REPRO_STORE_DIR`` environment variable)
 relocates it, ``--no-store`` disables it, ``--run-id`` journals per-task
 completions so an interrupted sweep resumes where it left off, and the
 ``store`` command group (``info`` / ``ls`` / ``gc`` / ``clear``) manages
-the store's footprint.
+the store's footprint.  Long runs print a live ``N/M tasks, ~Xs left``
+progress line on stderr (``--quiet`` disables it).
 """
 
 from __future__ import annotations
@@ -35,36 +41,23 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Sequence
+from typing import Sequence
 
-from .config import PlannerConfig, SimulationConfig
-from .exceptions import ExperimentError, ValidationError, WorkloadError
-from .experiments import (
-    run_control_accuracy_experiment,
-    run_mc_accuracy_experiment,
-    run_pareto_experiment,
-    run_perturbation_experiment,
-    run_planning_frequency_experiment,
-    run_realenv_experiment,
-    run_regularization_experiment,
-    run_robustness_experiment,
-    run_scalability_experiment,
-    run_scenario_sweep_experiment,
-    run_traces_overview,
-    run_variance_experiment,
-    summarize_scenario_sweep,
+from .api import ProgressHook, Session, get_experiment, list_experiments
+from .api.cligen import (
+    add_param_arguments,
+    add_session_arguments,
+    collect_params,
+    collect_session_kwargs,
 )
-from .experiments.control_accuracy import (
-    ControlAccuracyExperimentConfig,
-    PlanningFrequencyExperimentConfig,
+from .exceptions import (
+    ConfigurationError,
+    ExperimentError,
+    ValidationError,
+    WorkloadError,
 )
-from .experiments.pareto import ParetoExperimentConfig
-from .experiments.perturbation import PerturbationExperimentConfig
-from .experiments.robustness import RobustnessExperimentConfig
-from .experiments.scenario_sweep import ScenarioSweepConfig
-from .experiments.variance import VarianceExperimentConfig
+from .experiments import summarize_scenario_sweep
 from .metrics.report import format_table, summarize_result
-from .pending import DeterministicPendingTime
 from .runtime import PrepSpec, WorkloadCache, WorkloadSpec
 from .scaling import (
     AdaptiveBackupPoolScaler,
@@ -73,48 +66,77 @@ from .scaling import (
     RobustScaler,
     RobustScalerObjective,
 )
-from .simulation import replay
-from .store import STORE_DIR_ENV_VAR, resolve_store
-from .traces import get_trace, list_traces
-from .traces.io import save_trace_csv
-from .workloads import get_scenario, list_scenarios, scenario_names
+from .config import PlannerConfig
+from .simulation.runner import resolve_engine
+from .store import STORE_DIR_ENV_VAR, list_runs, resolve_store
+from .traces import list_traces
+from .workloads import get_scenario, list_scenarios
 
 __all__ = ["main", "build_parser"]
 
-_EXPERIMENTS: dict[str, Callable[[], list[dict]]] = {
-    "traces": run_traces_overview,
-    "pareto": run_pareto_experiment,
-    "variance": run_variance_experiment,
-    "perturbation": run_perturbation_experiment,
-    "scalability": run_scalability_experiment,
-    "table1": run_mc_accuracy_experiment,
-    "robustness": run_robustness_experiment,
-    "control": run_control_accuracy_experiment,
-    "planning-frequency": run_planning_frequency_experiment,
-    "table3": run_regularization_experiment,
-    "table4": run_realenv_experiment,
-    "scenario-sweep": run_scenario_sweep_experiment,
-}
-
-#: Experiments routed through the parallel evaluation runtime; their config
-#: classes accept ``scale``, ``workers``, ``engine``, ``store`` and
-#: ``run_id``.
-_RUNTIME_EXPERIMENTS = {
-    "pareto": (ParetoExperimentConfig, run_pareto_experiment),
-    "scenario-sweep": (ScenarioSweepConfig, run_scenario_sweep_experiment),
-    "variance": (VarianceExperimentConfig, run_variance_experiment),
-    "perturbation": (PerturbationExperimentConfig, run_perturbation_experiment),
-    "robustness": (RobustnessExperimentConfig, run_robustness_experiment),
-    "control": (ControlAccuracyExperimentConfig, run_control_accuracy_experiment),
-    "planning-frequency": (
-        PlanningFrequencyExperimentConfig,
-        run_planning_frequency_experiment,
-    ),
-}
+#: Presentation-only flags the workloads sweep adds on top of the generated
+#: schema options (whitelisted by the registry-generation audit).
+SWEEP_EXTRA_FLAGS = frozenset({"--summary-only", "--hp-only"})
 
 
-def _add_store_flags(parser: argparse.ArgumentParser) -> None:
-    """The persistence flags shared by simulate / experiment / sweep."""
+class _ProgressLine(ProgressHook):
+    """Live ``N/M tasks, ~Xs left`` line on stderr, driven by ``on_result``.
+
+    On a terminal the line redraws in place; elsewhere (CI logs, pipes) it
+    prints at most ~10 newline-terminated snapshots so logs stay readable.
+    The ETA extrapolates from live completions only — journal-recovered
+    tasks arrive instantly and would otherwise skew the rate.
+    """
+
+    def __init__(self, stream) -> None:
+        self.stream = stream
+        self.total = 0
+        self.done = 0
+        self.live_done = 0
+        self.started = time.perf_counter()
+        self._live_started: float | None = None
+        self._dirty = False
+        self._isatty = bool(getattr(stream, "isatty", lambda: False)())
+
+    def begin(self, total: int) -> None:
+        self.total = total
+
+    def _eta_text(self) -> str:
+        remaining = max(self.total - self.done, 0)
+        if remaining == 0:
+            return "done"
+        if self.live_done == 0 or self._live_started is None:
+            return "estimating time left"
+        rate = (time.perf_counter() - self._live_started) / self.live_done
+        return f"~{max(rate * remaining, 0.0):.0f}s left"
+
+    def update(self, result) -> None:
+        self.done += 1
+        if not getattr(result, "resumed", False):
+            if self._live_started is None:
+                # Rate starts at the first live completion's *start*, which
+                # we approximate by the line's construction time; resumed
+                # records recovered before it do not distort the estimate.
+                self._live_started = self.started
+            self.live_done += 1
+        text = f"[progress] {self.done}/{self.total} tasks, {self._eta_text()}"
+        if self._isatty:
+            self.stream.write("\r" + text.ljust(48))
+            self.stream.flush()
+            self._dirty = True
+        else:
+            step = max(1, self.total // 10)
+            if self.done % step == 0 or self.done == self.total:
+                self.stream.write(text + "\n")
+
+    def finish(self) -> None:
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False
+
+
+def _add_store_dir_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store-dir",
         default=None,
@@ -122,11 +144,6 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
             "artifact-store directory (default: the "
             f"{STORE_DIR_ENV_VAR} environment variable, else ~/.cache/repro/store)"
         ),
-    )
-    parser.add_argument(
-        "--no-store",
-        action="store_true",
-        help="disable the disk artifact store for this invocation",
     )
 
 
@@ -144,7 +161,7 @@ def _store_summary(store) -> str:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser."""
+    """Build the CLI argument parser (experiment options come from the registry)."""
     parser = argparse.ArgumentParser(
         prog="robustscaler",
         description="Reproduction of RobustScaler (ICDE 2022): QoS-aware autoscaling",
@@ -179,48 +196,34 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--engine",
         choices=["reference", "batched"],
-        default="reference",
-        help="replay engine (identical results; 'batched' is faster on large traces)",
+        default=None,
+        help=(
+            "replay engine (default: batched; identical results, 'reference' "
+            "is the per-query event loop)"
+        ),
     )
-    _add_store_flags(simulate)
+    _add_store_dir_flag(simulate)
+    simulate.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the disk artifact store for this invocation",
+    )
 
     experiment = subparsers.add_parser(
-        "experiment", help="run one of the paper-reproduction experiments"
+        "experiment",
+        help="run a registered experiment (options generated from its schema)",
     )
-    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
-    experiment.add_argument(
-        "--scale", type=float, default=None, help="trace size factor where applicable"
-    )
-    experiment.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help=(
-            "evaluation processes for the runtime-backed experiments "
-            f"({', '.join(sorted(_RUNTIME_EXPERIMENTS))}); default: the "
-            "REPRO_WORKERS environment variable, else serial"
-        ),
-    )
-    experiment.add_argument(
-        "--engine",
-        choices=["reference", "batched"],
-        default=None,
-        help=(
-            "replay engine for the runtime-backed experiments "
-            f"({', '.join(sorted(_RUNTIME_EXPERIMENTS))}); both engines "
-            "produce identical rows, 'batched' is faster on large traces"
-        ),
-    )
-    experiment.add_argument(
-        "--run-id",
-        default=None,
-        help=(
-            "journal per-task completions under this id so an interrupted "
-            "run resumes where it left off (runtime-backed experiments, "
-            "requires the store)"
-        ),
-    )
-    _add_store_flags(experiment)
+    experiment_sub = experiment.add_subparsers(dest="name", required=True)
+    for spec in list_experiments():
+        title = f"{spec.artifact}: {spec.title}" if spec.artifact else spec.title
+        sub = experiment_sub.add_parser(
+            spec.name,
+            help=title,
+            description=title,
+            epilog="result columns: " + ", ".join(spec.result_columns),
+        )
+        add_param_arguments(sub, spec)
+        add_session_arguments(sub, spec, store_env_var=STORE_DIR_ENV_VAR)
 
     workloads = subparsers.add_parser(
         "workloads", help="workload-scenario registry: list, generate, sweep"
@@ -242,59 +245,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sweep = workloads_sub.add_parser(
-        "sweep", help="run RobustScaler and the baselines across scenarios"
+        "sweep",
+        help=(
+            "run RobustScaler and the baselines across scenarios "
+            "(the 'scenario-sweep' experiment with a frontier summary)"
+        ),
     )
-    sweep.add_argument(
-        "--scenario",
-        action="append",
-        default=None,
-        help="restrict to this scenario (repeatable; default: whole registry)",
-    )
-    sweep.add_argument("--scale", type=float, default=0.1, help="trace size factor")
-    sweep.add_argument("--seed", type=int, default=7)
-    sweep.add_argument("--planning-interval", type=float, default=10.0)
-    sweep.add_argument("--mc-samples", type=int, default=120)
-    sweep.add_argument(
-        "--hp-target",
-        action="append",
-        type=float,
-        default=None,
-        help="RobustScaler-HP target (repeatable; default: per-scenario grids)",
-    )
+    sweep_spec = get_experiment("scenario-sweep")
+    add_param_arguments(sweep, sweep_spec)
+    add_session_arguments(sweep, sweep_spec, store_env_var=STORE_DIR_ENV_VAR)
     sweep.add_argument(
         "--summary-only",
         action="store_true",
         help="print only the per-scenario frontier summary",
     )
     sweep.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help=(
-            "evaluation processes; default: the REPRO_WORKERS environment "
-            "variable, else serial"
-        ),
-    )
-    sweep.add_argument(
         "--hp-only",
         action="store_true",
         help="sweep only the HP variant of RobustScaler (skip RT and cost)",
     )
-    sweep.add_argument(
-        "--engine",
-        choices=["reference", "batched"],
-        default=None,
-        help="replay engine (identical results; 'batched' is faster on large traces)",
-    )
-    sweep.add_argument(
-        "--run-id",
-        default=None,
-        help=(
-            "journal per-task completions under this id so an interrupted "
-            "sweep resumes where it left off (requires the store)"
-        ),
-    )
-    _add_store_flags(sweep)
 
     store = subparsers.add_parser(
         "store", help="manage the persistent artifact store"
@@ -312,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
     store_ls.add_argument(
         "--limit", type=int, default=50, help="maximum entries to list (default: 50)"
     )
+    store_ls.add_argument(
+        "--runs",
+        action="store_true",
+        help=(
+            "list journaled runs instead of raw artifacts: one row per "
+            "run id with its completion count"
+        ),
+    )
     store_gc = store_sub.add_parser(
         "gc", help="evict artifacts beyond age/size bounds (oldest first)"
     )
@@ -327,17 +304,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="evict artifacts older than this many days",
     )
+    store_gc.add_argument(
+        "--pin",
+        action="append",
+        default=None,
+        metavar="KEY_PREFIX",
+        help=(
+            "key-digest prefix (bare, or namespace/-qualified like "
+            "'workloads/') whose artifacts survive eviction; repeatable"
+        ),
+    )
     store_clear = store_sub.add_parser("clear", help="remove every artifact")
     for sub in (store_info, store_ls, store_gc, store_clear):
-        sub.add_argument(
-            "--store-dir",
-            default=None,
-            help=(
-                "artifact-store directory (default: the "
-                f"{STORE_DIR_ENV_VAR} environment variable, else "
-                "~/.cache/repro/store)"
-            ),
-        )
+        _add_store_dir_flag(sub)
 
     return parser
 
@@ -394,7 +373,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
                 train_fraction=scenario.train_fraction,
                 bin_seconds=scenario.bin_seconds,
                 pending_time=scenario.pending_time,
-                engine=args.engine,
+                engine=resolve_engine(args.engine),
             ),
         )
         # Preparation validates the seed/scale and may raise too, so it
@@ -438,6 +417,8 @@ def _command_workloads_list() -> int:
 
 
 def _command_workloads_generate(args: argparse.Namespace) -> int:
+    from .traces.io import save_trace_csv
+
     scenario = get_scenario(args.scenario)
     trace = scenario.build_trace(scale=args.scale, seed=args.seed)
     qps = trace.to_qps_series(scenario.bin_seconds)
@@ -461,23 +442,48 @@ def _command_workloads_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_workloads_sweep(args: argparse.Namespace) -> int:
-    store = resolve_store(args.store_dir, enabled=not args.no_store)
-    config = ScenarioSweepConfig(
-        scenario_names=args.scenario,
-        scale=args.scale,
-        seed=args.seed,
-        planning_interval=args.planning_interval,
-        monte_carlo_samples=args.mc_samples,
-        hp_targets=tuple(args.hp_target) if args.hp_target else None,
-        include_rt_variant=not args.hp_only,
-        include_cost_variant=not args.hp_only,
-        workers=args.workers,
-        engine=args.engine,
+def _run_registry_experiment(args: argparse.Namespace, name: str):
+    """Shared execution path of ``experiment`` and ``workloads sweep``.
+
+    Returns ``(result, store)`` where ``result`` is the Session's ResultSet.
+    """
+    spec = get_experiment(name)
+    params = collect_params(args, spec)
+    session_kwargs = collect_session_kwargs(args, spec)
+    store = None
+    progress = None
+    if spec.runtime:
+        store = resolve_store(args.store_dir, enabled=not args.no_store)
+        if not args.quiet:
+            progress = _ProgressLine(sys.stderr)
+    session = Session(
         store=store,
-        run_id=args.run_id,
+        workers=session_kwargs.get("workers"),
+        engine=session_kwargs.get("engine"),
+        run_id=session_kwargs.get("run_id"),
+        progress=progress,
     )
-    rows = run_scenario_sweep_experiment(config)
+    return session.experiment(name).run(**params), store
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    try:
+        result, store = _run_registry_experiment(args, args.name)
+    except (ExperimentError, ValidationError, WorkloadError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_table(result.rows, title=f"Experiment: {args.name}"))
+    if store is not None:
+        print(_store_summary(store), file=sys.stderr)
+    return 0
+
+
+def _command_workloads_sweep(args: argparse.Namespace) -> int:
+    if args.hp_only:
+        args.rt_variant = False
+        args.cost_variant = False
+    result, store = _run_registry_experiment(args, "scenario-sweep")
+    rows = result.rows
     if store is not None:
         print(_store_summary(store), file=sys.stderr)
     if not args.summary_only:
@@ -509,47 +515,32 @@ def _command_workloads(args: argparse.Namespace) -> int:
             return _command_workloads_generate(args)
         if args.workloads_command == "sweep":
             return _command_workloads_sweep(args)
-    except (WorkloadError, ValidationError) as exc:
+    except (ExperimentError, WorkloadError, ValidationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 2  # pragma: no cover - subparser is required
 
 
-def _command_experiment(args: argparse.Namespace) -> int:
-    store = None
-    try:
-        if args.name in _RUNTIME_EXPERIMENTS:
-            store = resolve_store(args.store_dir, enabled=not args.no_store)
-            config_cls, runner = _RUNTIME_EXPERIMENTS[args.name]
-            kwargs: dict = {
-                "workers": args.workers,
-                "engine": args.engine,
-                "store": store,
-                "run_id": args.run_id,
-            }
-            if args.scale is not None:
-                kwargs["scale"] = args.scale
-            rows = runner(config_cls(**kwargs))
-        else:
-            for flag, value in (
-                ("--workers", args.workers),
-                ("--engine", args.engine),
-                ("--run-id", args.run_id),
-                ("--store-dir", args.store_dir),
-                ("--no-store", args.no_store or None),
-            ):
-                if value is not None:
-                    print(
-                        f"note: {flag} is ignored by experiment {args.name!r}",
-                        file=sys.stderr,
-                    )
-            rows = _EXPERIMENTS[args.name]()
-    except (ExperimentError, ValidationError, WorkloadError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(format_table(rows, title=f"Experiment: {args.name}"))
-    if store is not None:
-        print(_store_summary(store), file=sys.stderr)
+def _command_store_ls_runs(store, args: argparse.Namespace) -> int:
+    if args.namespace is not None:
+        print(
+            "note: --namespace is ignored with --runs (the run index lives "
+            "in 'results')",
+            file=sys.stderr,
+        )
+    runs = list_runs(store)
+    now = time.time()
+    rows = [
+        {
+            "run_id": run["run_id"],
+            "base_seed": run["base_seed"],
+            "completed": run["completed"],
+            "total": "?" if run["total"] is None else run["total"],
+            "age_hours": max(0.0, (now - run["updated_at"]) / 3600.0),
+        }
+        for run in runs[: max(args.limit, 0)]
+    ]
+    print(format_table(rows, title=f"Journaled runs ({len(runs)} total)"))
     return 0
 
 
@@ -573,6 +564,8 @@ def _command_store(args: argparse.Namespace) -> int:
         print(format_table(rows, title="Artifact store"))
         return 0
     if args.store_command == "ls":
+        if args.runs:
+            return _command_store_ls_runs(store, args)
         try:
             entries = store.entries(args.namespace)
         except ValidationError as exc:
@@ -594,13 +587,18 @@ def _command_store(args: argparse.Namespace) -> int:
             None if args.max_age_days is None else args.max_age_days * 86_400.0
         )
         try:
-            report = store.gc(max_bytes=args.max_bytes, max_age_seconds=max_age)
+            report = store.gc(
+                max_bytes=args.max_bytes,
+                max_age_seconds=max_age,
+                pins=tuple(args.pin or ()),
+            )
         except ValidationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        pinned = f", {report.pinned} pinned" if report.pinned else ""
         print(
             f"removed {report.removed} artifacts ({report.freed_bytes} bytes); "
-            f"kept {report.kept} ({report.kept_bytes} bytes)"
+            f"kept {report.kept} ({report.kept_bytes} bytes{pinned})"
         )
         return 0
     if args.store_command == "clear":

@@ -203,6 +203,11 @@ class SimulationConfig:
         ``"batched"`` is the vectorized engine of
         :mod:`repro.simulation.fastengine` that produces identical results
         (same RNG draw order, same tiebreaks) at a fraction of the cost.
+        ``None`` (the default) leaves the choice to the consuming layer:
+        :mod:`repro.api` and the CLI resolve it to ``"batched"``, while the
+        legacy :func:`repro.simulation.create_simulator` path keeps the
+        reference engine for one deprecation release (with a
+        :class:`DeprecationWarning`).
     """
 
     pending_time: float = 13.0
@@ -211,13 +216,13 @@ class SimulationConfig:
     charge_decision_latency: bool = False
     scheduling_latency: float = 0.0
     seed: int = 0
-    engine: str = "reference"
+    engine: Optional[str] = None
 
-    #: Recognized values of :attr:`engine`.
+    #: Recognized values of :attr:`engine` (besides ``None`` = unspecified).
     ENGINES = ("reference", "batched")
 
     def __post_init__(self) -> None:
-        if self.engine not in self.ENGINES:
+        if self.engine is not None and self.engine not in self.ENGINES:
             raise ConfigurationError(
                 f"engine must be one of {self.ENGINES}, got {self.engine!r}"
             )

@@ -1,30 +1,39 @@
 """Experiment drivers reproducing every table and figure of the paper.
 
-Each module exposes one ``run_*`` function returning plain row dictionaries
-(so results can be rendered with :func:`repro.metrics.format_table`, asserted
-in tests, or dumped to CSV) plus a small configuration dataclass whose
-defaults are laptop-sized.  The mapping from paper artifact to driver is:
+Every driver is registered in the declarative experiment registry of
+:mod:`repro.api` (importing this package populates it): one
+:class:`~repro.api.ExperimentSpec` per experiment, carrying its parameter
+schema, task-batch builder and result schema.  The one documented way to
+run them programmatically is the fluent :class:`repro.api.Session`; the
+``repro experiment`` CLI subcommands are generated from the same registry.
+
+The mapping from paper artifact to registry name is:
 
 ===========================  =============================================
-Paper artifact               Driver
+Paper artifact               Registry / CLI name
 ===========================  =============================================
-Fig. 3 (trace overview)      :func:`repro.experiments.traces_overview.run_traces_overview`
-Fig. 4 (Pareto plots)        :func:`repro.experiments.pareto.run_pareto_experiment`
-Fig. 5 (QoS variance)        :func:`repro.experiments.variance.run_variance_experiment`
-Fig. 6/7 (perturbations)     :func:`repro.experiments.perturbation.run_perturbation_experiment`
-Fig. 8 (runtime vs QPS)      :func:`repro.experiments.scalability.run_scalability_experiment`
-Table I (MC accuracy)        :func:`repro.experiments.scalability.run_mc_accuracy_experiment`
-Fig. 9 / Table II            :func:`repro.experiments.robustness.run_robustness_experiment`
-Fig. 10 (control accuracy)   :func:`repro.experiments.control_accuracy.run_control_accuracy_experiment`
-Fig. 10(d) (planning freq.)  :func:`repro.experiments.control_accuracy.run_planning_frequency_experiment`
-Table III (regularization)   :func:`repro.experiments.regularization.run_regularization_experiment`
-Table IV (real environment)  :func:`repro.experiments.realenv.run_realenv_experiment`
+Fig. 3 (trace overview)      ``traces``
+Fig. 4 (Pareto plots)        ``pareto``
+Fig. 5 (QoS variance)        ``variance``
+Fig. 6/7 (perturbations)     ``perturbation``
+Fig. 8 (runtime vs QPS)      ``scalability``
+Table I (MC accuracy)        ``table1``
+Fig. 9 / Table II            ``robustness``
+Fig. 10 (control accuracy)   ``control``
+Fig. 10(d) (planning freq.)  ``planning-frequency``
+Table III (regularization)   ``table3``
+Table IV (real environment)  ``table4``
 ===========================  =============================================
 
-Beyond the paper, :func:`repro.experiments.scenario_sweep.run_scenario_sweep_experiment`
-runs the autoscaler comparison across every scenario in the workload
-registry (:mod:`repro.workloads`) and marks each scenario's cost/QoS Pareto
-frontier.
+Beyond the paper, ``scenario-sweep`` runs the autoscaler comparison across
+every scenario in the workload registry (:mod:`repro.workloads`) and marks
+each scenario's cost/QoS Pareto frontier, and the three ablations
+(``kappa-ablation`` / ``mc-sample-ablation`` /
+``regularization-sensitivity``) probe the design choices of DESIGN.md.
+
+The historical ``run_*_experiment(config)`` entry points and their config
+dataclasses remain importable as deprecated wrappers over the registry for
+one release; they produce rows bit-identical to the new path.
 """
 
 from .base import PreparedWorkload, prepare_workload, sweep_targets

@@ -12,8 +12,11 @@ Three ablations complement the paper's own experiments:
 * **regularization sensitivity** — intensity-estimation error over a grid of
   the smoothness and periodicity weights ``beta_1`` and ``beta_2``.
 
-None of these grids is a (workload, scaler) replay, so each grid point runs
-as a :class:`~repro.runtime.FunctionTask` naming one of the module-level
+All three are registered in :mod:`repro.api` (``kappa-ablation`` /
+``mc-sample-ablation`` / ``regularization-sensitivity``), which also gives
+them generated CLI subcommands for the first time.  None of these grids is
+a (workload, scaler) replay, so each grid point runs as a
+:class:`~repro.runtime.FunctionTask` naming one of the module-level
 ``*_point`` functions below: the drivers gain ``workers`` parallelism and
 ``run_id`` resumability from :func:`repro.runtime.run_tasks` while the
 point functions stay plain, deterministic-in-their-arguments Python.
@@ -23,10 +26,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence
 
 import numpy as np
 
+from ..api import (
+    ExperimentSpec,
+    ParamSpec,
+    register_experiment,
+    run_legacy_config,
+    warn_deprecated_config,
+)
+from ..api.session import RunContext
 from ..config import ADMMConfig, PlannerConfig, SimulationConfig
 from ..metrics.errors import mean_absolute_error, mean_squared_error
 from ..nhpp.admm import fit_log_intensity
@@ -36,14 +47,11 @@ from ..nhpp.sampling import sample_counts, sample_homogeneous_arrivals
 from ..optimization.formulations import solve_hp_constrained
 from ..optimization.montecarlo import generate_scenarios
 from ..pending import DeterministicPendingTime
-from ..runtime import FunctionTask, run_task_rows
+from ..runtime import FunctionTask
 from ..scaling.sequential import SequentialHPScaler
 from ..simulation.runner import create_simulator
 from ..traces.synthetic import beta_bump_intensity
 from ..types import ArrivalTrace
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..store import ArtifactStore
 
 __all__ = [
     "run_kappa_ablation",
@@ -55,34 +63,7 @@ __all__ = [
 ]
 
 
-def _run_points(tasks: list[FunctionTask], config) -> list[dict]:
-    """Execute an ablation grid through the shared runtime executor."""
-    return run_task_rows(
-        tasks,
-        base_seed=config.seed,
-        workers=config.workers,
-        store=getattr(config, "store", None),
-        run_id=getattr(config, "run_id", None),
-    )
-
-
 # ------------------------------------------------------------ kappa ablation
-
-
-@dataclass
-class KappaAblationConfig:
-    """Parameters of the kappa look-ahead ablation."""
-
-    arrival_rate: float = 0.2
-    horizon_seconds: float = 2 * 3600.0
-    pending_time: float = 13.0
-    target_hp: float = 0.9
-    planning_every: int = 1
-    monte_carlo_samples: int = 1000
-    seed: int = 3
-    workers: int | None = None
-    store: "ArtifactStore | None" = None
-    run_id: str | None = None
 
 
 def kappa_ablation_point(
@@ -96,6 +77,7 @@ def kappa_ablation_point(
     planning_every: int,
     monte_carlo_samples: int,
     seed: int,
+    engine: str = "reference",
 ) -> dict:
     """One kappa-ablation variant on a known-rate homogeneous workload."""
     arrivals = sample_homogeneous_arrivals(arrival_rate, horizon_seconds, seed)
@@ -112,7 +94,9 @@ def kappa_ablation_point(
         planner=PlannerConfig(monte_carlo_samples=monte_carlo_samples),
         random_state=seed,
     )
-    simulator = create_simulator(SimulationConfig(pending_time=pending_time))
+    simulator = create_simulator(
+        SimulationConfig(pending_time=pending_time, engine=engine)
+    )
     result = simulator.replay(trace, scaler)
     return {
         "variant": variant,
@@ -124,22 +108,22 @@ def kappa_ablation_point(
     }
 
 
-def run_kappa_ablation(config: KappaAblationConfig | None = None) -> list[dict]:
+def _run_kappa_ablation(params: dict, ctx: RunContext) -> list[dict]:
     """Algorithm 4 with and without the kappa look-ahead on a known-rate workload."""
-    config = config or KappaAblationConfig()
     tasks = [
         FunctionTask(
             fn=f"{__name__}.kappa_ablation_point",
             kwargs=(
                 ("variant", variant),
                 ("intensity_upper_bound", upper_bound),
-                ("arrival_rate", float(config.arrival_rate)),
-                ("horizon_seconds", float(config.horizon_seconds)),
-                ("pending_time", float(config.pending_time)),
-                ("target_hp", float(config.target_hp)),
-                ("planning_every", int(config.planning_every)),
-                ("monte_carlo_samples", int(config.monte_carlo_samples)),
-                ("seed", int(config.seed)),
+                ("arrival_rate", float(params["arrival_rate"])),
+                ("horizon_seconds", float(params["horizon_seconds"])),
+                ("pending_time", float(params["pending_time"])),
+                ("target_hp", float(params["target_hp"])),
+                ("planning_every", int(params["planning_every"])),
+                ("monte_carlo_samples", int(params["monte_carlo_samples"])),
+                ("seed", int(params["seed"])),
+                ("engine", ctx.engine),
             ),
         )
         for variant, upper_bound in (
@@ -147,25 +131,76 @@ def run_kappa_ablation(config: KappaAblationConfig | None = None) -> list[dict]:
             ("no look-ahead (kappa = 0)", 0.0),
         )
     ]
-    return _run_points(tasks, config)
+    return ctx.run_rows(tasks, base_seed=params["seed"])
 
 
-# ------------------------------------------------------ Monte Carlo ablation
+register_experiment(
+    ExperimentSpec(
+        name="kappa-ablation",
+        title="Algorithm 4 with vs without the kappa look-ahead",
+        params=(
+            ParamSpec("arrival_rate", "float", 0.2, help="true arrival rate (QPS)"),
+            ParamSpec(
+                "horizon_seconds", "float", 2 * 3600.0, help="replay horizon (seconds)"
+            ),
+            ParamSpec(
+                "pending_time", "float", 13.0, help="instance startup time (seconds)"
+            ),
+            ParamSpec("target_hp", "float", 0.9, help="target hit probability"),
+            ParamSpec(
+                "planning_every", "int", 1, help="plan once every m arrivals"
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                1000,
+                cli_flag="--mc-samples",
+                help="Monte Carlo sample size R",
+            ),
+            ParamSpec("seed", "int", 3, help="arrival and Monte Carlo seed"),
+        ),
+        run=_run_kappa_ablation,
+        result_columns=(
+            "variant",
+            "kappa",
+            "target_hp",
+            "hit_rate",
+            "rt_avg",
+            "total_cost",
+        ),
+    )
+)
 
 
 @dataclass
-class MCSampleAblationConfig:
-    """Parameters of the Monte Carlo sample-size ablation."""
+class KappaAblationConfig:
+    """Deprecated parameter object of the ``"kappa-ablation"`` experiment.
 
-    arrival_rate: float = 1.0
-    pending_time: float = 5.0
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
+    """
+
+    arrival_rate: float = 0.2
+    horizon_seconds: float = 2 * 3600.0
+    pending_time: float = 13.0
     target_hp: float = 0.9
-    sample_sizes: Sequence[int] = (50, 200, 1000, 5000)
-    n_trials: int = 20
-    seed: int = 0
+    planning_every: int = 1
+    monte_carlo_samples: int = 1000
+    seed: int = 3
     workers: int | None = None
-    store: "ArtifactStore | None" = None
+    store: object = None
     run_id: str | None = None
+
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "kappa-ablation")
+
+
+def run_kappa_ablation(config: KappaAblationConfig | None = None) -> list[dict]:
+    """Kappa look-ahead ablation (deprecated wrapper over the registry)."""
+    return run_legacy_config("kappa-ablation", config)
+
+
+# ------------------------------------------------------ Monte Carlo ablation
 
 
 def mc_sample_point(
@@ -212,45 +247,86 @@ def mc_sample_point(
     }
 
 
-def run_mc_sample_ablation(config: MCSampleAblationConfig | None = None) -> list[dict]:
+def _run_mc_sample_ablation(params: dict, ctx: RunContext) -> list[dict]:
     """Decision error and solve time versus the Monte Carlo sample size R."""
-    config = config or MCSampleAblationConfig()
     tasks = [
         FunctionTask(
             fn=f"{__name__}.mc_sample_point",
             kwargs=(
                 ("n_samples", int(n_samples)),
-                ("arrival_rate", float(config.arrival_rate)),
-                ("pending_time", float(config.pending_time)),
-                ("target_hp", float(config.target_hp)),
-                ("n_trials", int(config.n_trials)),
-                ("seed", int(config.seed)),
+                ("arrival_rate", float(params["arrival_rate"])),
+                ("pending_time", float(params["pending_time"])),
+                ("target_hp", float(params["target_hp"])),
+                ("n_trials", int(params["n_trials"])),
+                ("seed", int(params["seed"])),
             ),
         )
-        for n_samples in config.sample_sizes
+        for n_samples in params["sample_sizes"]
     ]
-    return _run_points(tasks, config)
+    return ctx.run_rows(tasks, base_seed=params["seed"])
 
 
-# ------------------------------------------- regularization sensitivity grid
+register_experiment(
+    ExperimentSpec(
+        name="mc-sample-ablation",
+        title="decision error and solve time vs Monte Carlo sample size",
+        params=(
+            ParamSpec("arrival_rate", "float", 1.0, help="true arrival rate (QPS)"),
+            ParamSpec(
+                "pending_time", "float", 5.0, help="instance startup time (seconds)"
+            ),
+            ParamSpec("target_hp", "float", 0.9, help="target hit probability"),
+            ParamSpec(
+                "sample_sizes",
+                "int",
+                (50, 200, 1000, 5000),
+                sequence=True,
+                cli_flag="--sample-size",
+                help="Monte Carlo sample counts R to compare",
+            ),
+            ParamSpec("n_trials", "int", 20, help="trials per sample size"),
+            ParamSpec("seed", "int", 0, help="Monte Carlo seed"),
+        ),
+        run=_run_mc_sample_ablation,
+        result_columns=(
+            "n_samples",
+            "exact_decision",
+            "mean_abs_error",
+            "solve_time_ms",
+        ),
+        engine_aware=False,
+    )
+)
 
 
 @dataclass
-class RegularizationSensitivityConfig:
-    """Parameters of the beta_1 / beta_2 sensitivity sweep."""
+class MCSampleAblationConfig:
+    """Deprecated parameter object of the ``"mc-sample-ablation"`` experiment.
 
-    period_seconds: float = 7200.0
-    n_periods: int = 6
-    bin_seconds: float = 60.0
-    peak_qps: float = 1.0
-    base_qps: float = 0.1
-    beta_smooth_values: Sequence[float] = (0.0, 10.0, 50.0, 200.0)
-    beta_period_values: Sequence[float] = (0.0, 10.0, 100.0)
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
+    """
+
+    arrival_rate: float = 1.0
+    pending_time: float = 5.0
+    target_hp: float = 0.9
+    sample_sizes: Sequence[int] = (50, 200, 1000, 5000)
+    n_trials: int = 20
     seed: int = 0
-    max_iterations: int = 200
     workers: int | None = None
-    store: "ArtifactStore | None" = None
+    store: object = None
     run_id: str | None = None
+
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "mc-sample-ablation")
+
+
+def run_mc_sample_ablation(config: MCSampleAblationConfig | None = None) -> list[dict]:
+    """Monte Carlo sample-size ablation (deprecated wrapper over the registry)."""
+    return run_legacy_config("mc-sample-ablation", config)
+
+
+# ------------------------------------------- regularization sensitivity grid
 
 
 def regularization_point(
@@ -299,27 +375,94 @@ def regularization_point(
     }
 
 
-def run_regularization_sensitivity(
-    config: RegularizationSensitivityConfig | None = None,
-) -> list[dict]:
+def _run_regularization_sensitivity(params: dict, ctx: RunContext) -> list[dict]:
     """Intensity error over a grid of smoothness / periodicity weights."""
-    config = config or RegularizationSensitivityConfig()
     tasks = [
         FunctionTask(
             fn=f"{__name__}.regularization_point",
             kwargs=(
                 ("beta_smooth", float(beta_smooth)),
                 ("beta_period", float(beta_period)),
-                ("period_seconds", float(config.period_seconds)),
-                ("n_periods", int(config.n_periods)),
-                ("bin_seconds", float(config.bin_seconds)),
-                ("peak_qps", float(config.peak_qps)),
-                ("base_qps", float(config.base_qps)),
-                ("seed", int(config.seed)),
-                ("max_iterations", int(config.max_iterations)),
+                ("period_seconds", float(params["period_seconds"])),
+                ("n_periods", int(params["n_periods"])),
+                ("bin_seconds", float(params["bin_seconds"])),
+                ("peak_qps", float(params["peak_qps"])),
+                ("base_qps", float(params["base_qps"])),
+                ("seed", int(params["seed"])),
+                ("max_iterations", int(params["max_iterations"])),
             ),
         )
-        for beta_smooth in config.beta_smooth_values
-        for beta_period in config.beta_period_values
+        for beta_smooth in params["beta_smooth_values"]
+        for beta_period in params["beta_period_values"]
     ]
-    return _run_points(tasks, config)
+    return ctx.run_rows(tasks, base_seed=params["seed"])
+
+
+register_experiment(
+    ExperimentSpec(
+        name="regularization-sensitivity",
+        title="intensity error over the beta_1 / beta_2 grid",
+        params=(
+            ParamSpec(
+                "period_seconds", "float", 7200.0, help="true period (seconds)"
+            ),
+            ParamSpec("n_periods", "int", 6, help="observed cycles"),
+            ParamSpec("bin_seconds", "float", 60.0, help="fitting bin width"),
+            ParamSpec("peak_qps", "float", 1.0, help="intensity peak (QPS)"),
+            ParamSpec("base_qps", "float", 0.1, help="intensity base (QPS)"),
+            ParamSpec(
+                "beta_smooth_values",
+                "float",
+                (0.0, 10.0, 50.0, 200.0),
+                sequence=True,
+                cli_flag="--beta-smooth",
+                help="smoothness weights beta_1",
+            ),
+            ParamSpec(
+                "beta_period_values",
+                "float",
+                (0.0, 10.0, 100.0),
+                sequence=True,
+                cli_flag="--beta-period",
+                help="periodicity weights beta_2",
+            ),
+            ParamSpec("seed", "int", 0, help="count-sampling seed"),
+            ParamSpec("max_iterations", "int", 200, help="ADMM iteration cap"),
+        ),
+        run=_run_regularization_sensitivity,
+        result_columns=("beta_smooth", "beta_period", "mse", "mae"),
+        engine_aware=False,
+    )
+)
+
+
+@dataclass
+class RegularizationSensitivityConfig:
+    """Deprecated parameter object of ``"regularization-sensitivity"``.
+
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
+    """
+
+    period_seconds: float = 7200.0
+    n_periods: int = 6
+    bin_seconds: float = 60.0
+    peak_qps: float = 1.0
+    base_qps: float = 0.1
+    beta_smooth_values: Sequence[float] = (0.0, 10.0, 50.0, 200.0)
+    beta_period_values: Sequence[float] = (0.0, 10.0, 100.0)
+    seed: int = 0
+    max_iterations: int = 200
+    workers: int | None = None
+    store: object = None
+    run_id: str | None = None
+
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "regularization-sensitivity")
+
+
+def run_regularization_sensitivity(
+    config: RegularizationSensitivityConfig | None = None,
+) -> list[dict]:
+    """Regularization sensitivity grid (deprecated wrapper over the registry)."""
+    return run_legacy_config("regularization-sensitivity", config)

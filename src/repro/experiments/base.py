@@ -13,7 +13,7 @@ location.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..config import PlannerConfig
 from ..runtime.spec import ScalerSpec
@@ -77,16 +77,23 @@ def robustscaler_spec(
 ) -> ScalerSpec:
     """A RobustScaler :class:`~repro.runtime.ScalerSpec` bound to a driver config.
 
-    ``config`` is any experiment configuration carrying ``planning_interval``
-    and ``monte_carlo_samples`` — the one place the drivers' planner settings
-    turn into declarative specs.
+    ``config`` carries ``planning_interval`` and ``monte_carlo_samples`` —
+    either as attributes (the legacy config dataclasses) or as mapping keys
+    (the resolved parameter dictionaries of :mod:`repro.api`) — the one
+    place the drivers' planner settings turn into declarative specs.
     """
+    if isinstance(config, Mapping):
+        planning_interval = config["planning_interval"]
+        monte_carlo_samples = config["monte_carlo_samples"]
+    else:
+        planning_interval = config.planning_interval
+        monte_carlo_samples = config.monte_carlo_samples
     return ScalerSpec(
         kind,
         float(target),
         parameter_name=parameter_name,
-        planning_interval=config.planning_interval,
-        monte_carlo_samples=config.monte_carlo_samples,
+        planning_interval=planning_interval,
+        monte_carlo_samples=monte_carlo_samples,
     )
 
 
@@ -96,7 +103,17 @@ def sweep_targets(values: Iterable[float]) -> list[float]:
 
 
 def trace_defaults(name: str) -> dict:
-    """Per-trace defaults (train split, bin width, sweep grids) used by drivers."""
+    """Per-trace defaults (train split, bin width, sweep grids) used by drivers.
+
+    The three paper traces carry hand-tuned grids; every other registered
+    workload scenario gets generic defaults derived from its registry entry
+    (its own train split, bin width and pending time plus the tag-refined
+    target grids of
+    :func:`repro.experiments.scenario_sweep.scenario_sweep_defaults`), which
+    is what makes the whole scenario registry reachable from experiments
+    that were historically limited to crs/google/alibaba.  Unknown names
+    raise :class:`KeyError`.
+    """
     defaults = {
         "crs": {
             "train_fraction": 0.75,
@@ -121,9 +138,33 @@ def trace_defaults(name: str) -> dict:
         },
     }
     key = name.lower()
-    if key not in defaults:
-        raise KeyError(f"unknown trace name {name!r}; expected one of {sorted(defaults)}")
-    return defaults[key]
+    if key in defaults:
+        return defaults[key]
+    return _generic_scenario_defaults(name)
+
+
+def _generic_scenario_defaults(name: str) -> dict:
+    """Registry-derived defaults for scenarios beyond the paper's traces."""
+    from ..exceptions import WorkloadError
+    from ..workloads import get_scenario
+    from .scenario_sweep import scenario_sweep_defaults
+
+    try:
+        scenario = get_scenario(name)
+    except WorkloadError as exc:
+        raise KeyError(
+            f"unknown trace name {name!r}; expected one of "
+            "['alibaba', 'crs', 'google'] or any registered workload scenario"
+        ) from exc
+    grids = scenario_sweep_defaults(scenario)
+    return {
+        "train_fraction": scenario.train_fraction,
+        "bin_seconds": scenario.bin_seconds,
+        "pending_time": scenario.pending_time,
+        "pool_sizes": [0, 1, 2, 4, 8],
+        "adaptive_factors": [0.0, 10.0, 25.0, 50.0, 100.0],
+        "hp_targets": sorted(set(grids["hp_targets"]) | {0.9}),
+    }
 
 
 def make_trace(name: str, *, scale: float = 0.25, seed: int = 7) -> ArrivalTrace:

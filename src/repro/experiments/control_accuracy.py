@@ -6,27 +6,34 @@ probability / waiting budget / idle-cost budget of ``x`` actually yields
 interval ``Delta`` (panel d) shows that less frequent planning costs more
 resources for the same QoS target.
 
-Both drivers run as :mod:`repro.runtime` task batches over a single shared
-workload spec: the trace is generated and the NHPP model fitted once (and
-persisted when a store is attached), every panel point parallelizes with
-``workers`` / ``REPRO_WORKERS``, and ``run_id`` journaling makes
-interrupted runs resumable.  The "actual" columns come from the executor's
-named extra metrics (``waiting_avg`` / ``idle_avg``).
+Registered as ``"control"`` and ``"planning-frequency"`` in
+:mod:`repro.api`.  Both run as :mod:`repro.runtime` task batches over a
+single shared workload spec: the trace is generated and the NHPP model
+fitted once (and persisted when a store is attached), every panel point
+parallelizes with ``workers`` / ``REPRO_WORKERS``, and ``run_id``
+journaling makes interrupted runs resumable.  The "actual" columns come
+from the executor's named extra metrics (``waiting_avg`` / ``idle_avg``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence
 
-from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
+from ..api import (
+    ExperimentSpec,
+    ParamSpec,
+    register_experiment,
+    run_legacy_config,
+    warn_deprecated_config,
+)
+from ..api.session import RunContext
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec
 from .base import robustscaler_spec, trace_defaults
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..store import ArtifactStore
 
 __all__ = [
     "ControlAccuracyExperimentConfig",
+    "PlanningFrequencyExperimentConfig",
     "run_control_accuracy_experiment",
     "run_planning_frequency_experiment",
 ]
@@ -39,9 +46,180 @@ _PANEL_ACTUALS = {
 }
 
 
+def _workload_spec(params: dict, ctx: RunContext) -> WorkloadSpec:
+    defaults = trace_defaults(params["trace_name"])
+    return WorkloadSpec(
+        scenario=params["trace_name"],
+        scale=params["scale"],
+        seed=params["seed"],
+        prep=PrepSpec(
+            train_fraction=defaults["train_fraction"],
+            bin_seconds=defaults["bin_seconds"],
+            engine=ctx.engine,
+        ),
+    )
+
+
+def _run_control_accuracy(params: dict, ctx: RunContext) -> list[dict]:
+    """Nominal vs actual HP, waiting time, and idle cost (Fig. 10 a-c)."""
+    workload = _workload_spec(params, ctx)
+
+    def panel_task(panel: str, kind: str, nominal: float) -> EvalTask:
+        return EvalTask(
+            workload,
+            robustscaler_spec(params, kind, nominal),
+            extra=(("panel", panel), ("nominal", float(nominal))),
+            metrics=("waiting_avg", "idle_avg"),
+        )
+
+    tasks = [panel_task("hit_probability", "rs-hp", t) for t in params["hp_targets"]]
+    tasks += [
+        panel_task("waiting_time", "rs-rt", b) for b in params["waiting_budgets"]
+    ]
+    tasks += [panel_task("idle_cost", "rs-cost", b) for b in params["idle_budgets"]]
+    evaluated = ctx.run_rows(tasks, base_seed=params["seed"])
+    return [
+        {
+            "trace": params["trace_name"],
+            "panel": row["panel"],
+            "nominal": row["nominal"],
+            "actual": row[_PANEL_ACTUALS[row["panel"]]],
+            "relative_cost": row["relative_cost"],
+        }
+        for row in evaluated
+    ]
+
+
+def _run_planning_frequency(params: dict, ctx: RunContext) -> list[dict]:
+    """Cost of holding one waiting budget at different planning intervals."""
+    workload = _workload_spec(params, ctx)
+    tasks = [
+        EvalTask(
+            workload,
+            ScalerSpec(
+                "rs-rt",
+                float(params["waiting_budget"]),
+                planning_interval=float(interval),
+                monte_carlo_samples=params["monte_carlo_samples"],
+            ),
+            extra=(("planning_interval", float(interval)),),
+            metrics=("waiting_avg",),
+        )
+        for interval in params["planning_intervals"]
+    ]
+    evaluated = ctx.run_rows(tasks, base_seed=params["seed"])
+    return [
+        {
+            "trace": params["trace_name"],
+            "planning_interval": row["planning_interval"],
+            "waiting_budget": float(params["waiting_budget"]),
+            "actual_waiting": row["waiting_avg"],
+            "rt_avg": row["rt_avg"],
+            "relative_cost": row["relative_cost"],
+        }
+        for row in evaluated
+    ]
+
+
+_SHARED_PARAMS = (
+    ParamSpec(
+        "trace_name", "str", "crs", cli_flag="--trace", help="trace / workload scenario"
+    ),
+    ParamSpec("scale", "float", 0.25, help="trace size factor"),
+    ParamSpec("seed", "int", 7, help="trace-generation and Monte Carlo seed"),
+    ParamSpec(
+        "monte_carlo_samples",
+        "int",
+        400,
+        cli_flag="--mc-samples",
+        help="Monte Carlo sample size R",
+    ),
+)
+
+register_experiment(
+    ExperimentSpec(
+        name="control",
+        title="nominal vs actual QoS/cost control accuracy",
+        artifact="Fig. 10 a-c",
+        params=_SHARED_PARAMS
+        + (
+            ParamSpec(
+                "hp_targets",
+                "float",
+                (0.2, 0.4, 0.6, 0.8, 0.95),
+                sequence=True,
+                cli_flag="--hp-target",
+                help="nominal hit probabilities",
+            ),
+            ParamSpec(
+                "waiting_budgets",
+                "float",
+                (1.0, 3.0, 6.0, 10.0, 13.0),
+                sequence=True,
+                cli_flag="--waiting-budget",
+                help="nominal waiting budgets (seconds)",
+            ),
+            ParamSpec(
+                "idle_budgets",
+                "float",
+                (2.0, 5.0, 10.0, 20.0, 40.0),
+                sequence=True,
+                cli_flag="--idle-budget",
+                help="nominal idle budgets (seconds)",
+            ),
+            ParamSpec(
+                "planning_interval", "float", 2.0, help="RobustScaler Delta (seconds)"
+            ),
+        ),
+        run=_run_control_accuracy,
+        result_columns=("trace", "panel", "nominal", "actual", "relative_cost"),
+        scenario_param="trace_name",
+    )
+)
+
+register_experiment(
+    ExperimentSpec(
+        name="planning-frequency",
+        title="cost of one waiting budget across planning intervals",
+        artifact="Fig. 10 d",
+        params=_SHARED_PARAMS
+        + (
+            ParamSpec(
+                "planning_intervals",
+                "float",
+                (1.0, 5.0, 15.0, 30.0, 60.0),
+                sequence=True,
+                cli_flag="--planning-interval",
+                help="planning intervals Delta to compare (seconds)",
+            ),
+            ParamSpec(
+                "waiting_budget",
+                "float",
+                3.0,
+                help="the waiting budget to hold (seconds)",
+            ),
+        ),
+        run=_run_planning_frequency,
+        result_columns=(
+            "trace",
+            "planning_interval",
+            "waiting_budget",
+            "actual_waiting",
+            "rt_avg",
+            "relative_cost",
+        ),
+        scenario_param="trace_name",
+    )
+)
+
+
 @dataclass
 class ControlAccuracyExperimentConfig:
-    """Parameters of the nominal-vs-actual experiment (Fig. 10 a-c)."""
+    """Deprecated parameter object of the ``"control"`` experiment.
+
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
+    """
 
     trace_name: str = "crs"
     scale: float = 0.25
@@ -52,66 +230,28 @@ class ControlAccuracyExperimentConfig:
     planning_interval: float = 2.0
     monte_carlo_samples: int = 400
     workers: int | None = None
-    #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
-    store: "ArtifactStore | None" = None
+    store: object = None
     run_id: str | None = None
 
-
-def _workload_spec(config) -> WorkloadSpec:
-    defaults = trace_defaults(config.trace_name)
-    return WorkloadSpec(
-        scenario=config.trace_name,
-        scale=config.scale,
-        seed=config.seed,
-        prep=PrepSpec(
-            train_fraction=defaults["train_fraction"],
-            bin_seconds=defaults["bin_seconds"],
-            engine=config.engine,
-        ),
-    )
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "control")
 
 
 def run_control_accuracy_experiment(
     config: ControlAccuracyExperimentConfig | None = None,
 ) -> list[dict]:
-    """Nominal vs actual HP, waiting time, and idle cost (Fig. 10 a-c)."""
-    config = config or ControlAccuracyExperimentConfig()
-    workload = _workload_spec(config)
-
-    def panel_task(panel: str, kind: str, nominal: float) -> EvalTask:
-        return EvalTask(
-            workload,
-            robustscaler_spec(config, kind, nominal),
-            extra=(("panel", panel), ("nominal", float(nominal))),
-            metrics=("waiting_avg", "idle_avg"),
-        )
-
-    tasks = [panel_task("hit_probability", "rs-hp", t) for t in config.hp_targets]
-    tasks += [panel_task("waiting_time", "rs-rt", b) for b in config.waiting_budgets]
-    tasks += [panel_task("idle_cost", "rs-cost", b) for b in config.idle_budgets]
-    evaluated = run_task_rows(
-        tasks,
-        base_seed=config.seed,
-        workers=config.workers,
-        store=config.store,
-        run_id=config.run_id,
-    )
-    return [
-        {
-            "trace": config.trace_name,
-            "panel": row["panel"],
-            "nominal": row["nominal"],
-            "actual": row[_PANEL_ACTUALS[row["panel"]]],
-            "relative_cost": row["relative_cost"],
-        }
-        for row in evaluated
-    ]
+    """Fig. 10 a-c control accuracy (deprecated wrapper over the registry)."""
+    return run_legacy_config("control", config)
 
 
 @dataclass
 class PlanningFrequencyExperimentConfig:
-    """Parameters of the planning-frequency experiment (Fig. 10 d)."""
+    """Deprecated parameter object of the ``"planning-frequency"`` experiment.
+
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
+    """
 
     trace_name: str = "crs"
     scale: float = 0.25
@@ -120,47 +260,16 @@ class PlanningFrequencyExperimentConfig:
     waiting_budget: float = 3.0
     monte_carlo_samples: int = 400
     workers: int | None = None
-    #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
-    store: "ArtifactStore | None" = None
+    store: object = None
     run_id: str | None = None
+
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "planning-frequency")
 
 
 def run_planning_frequency_experiment(
     config: PlanningFrequencyExperimentConfig | None = None,
 ) -> list[dict]:
-    """Cost of achieving the same waiting budget at different planning intervals."""
-    config = config or PlanningFrequencyExperimentConfig()
-    workload = _workload_spec(config)
-    tasks = [
-        EvalTask(
-            workload,
-            ScalerSpec(
-                "rs-rt",
-                float(config.waiting_budget),
-                planning_interval=float(interval),
-                monte_carlo_samples=config.monte_carlo_samples,
-            ),
-            extra=(("planning_interval", float(interval)),),
-            metrics=("waiting_avg",),
-        )
-        for interval in config.planning_intervals
-    ]
-    evaluated = run_task_rows(
-        tasks,
-        base_seed=config.seed,
-        workers=config.workers,
-        store=config.store,
-        run_id=config.run_id,
-    )
-    return [
-        {
-            "trace": config.trace_name,
-            "planning_interval": row["planning_interval"],
-            "waiting_budget": float(config.waiting_budget),
-            "actual_waiting": row["waiting_avg"],
-            "rt_avg": row["rt_avg"],
-            "relative_cost": row["relative_cost"],
-        }
-        for row in evaluated
-    ]
+    """Fig. 10 d planning frequency (deprecated wrapper over the registry)."""
+    return run_legacy_config("planning-frequency", config)

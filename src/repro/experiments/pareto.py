@@ -6,21 +6,32 @@ three RobustScaler variants) and records ``hit_rate``, ``rt_avg`` and
 ``relative_cost`` for each point — exactly the data behind the six Pareto
 plots of Fig. 4.
 
-:func:`run_pareto_experiment` expresses the full sweep as one
-:mod:`repro.runtime` task batch, so each trace is prepared once (workload
-cache) and the points evaluate serially or on a process pool (``workers`` /
-``REPRO_WORKERS``) with identical rows.  :func:`run_single_trace_pareto`
-remains the in-process variant for callers that already hold a prepared
-workload (the robustness drivers, the examples).
+The experiment is registered as ``"pareto"`` in :mod:`repro.api`: its
+parameter schema replaces the old :class:`ParetoExperimentConfig` (kept as
+a deprecated shim), the full sweep is expressed as one :mod:`repro.runtime`
+task batch, and thanks to the registry-derived per-scenario defaults of
+:func:`repro.experiments.base.trace_defaults` it runs against *any*
+registered workload scenario, not just the paper's three traces.
+:func:`run_single_trace_pareto` remains the in-process variant for callers
+that already hold a prepared workload (the robustness drivers, the
+examples).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence
 
+from ..api import (
+    ExperimentSpec,
+    ParamSpec,
+    register_experiment,
+    run_legacy_config,
+    warn_deprecated_config,
+)
+from ..api.session import RunContext
 from ..config import SimulationConfig
-from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec
 from ..scaling.robustscaler import RobustScalerObjective
 from ..store.traces import get_or_build_trace
 from ..types import ArrivalTrace
@@ -36,9 +47,6 @@ from .base import (
     trace_defaults,
 )
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..store import ArtifactStore
-
 __all__ = ["ParetoExperimentConfig", "run_pareto_experiment", "run_single_trace_pareto"]
 
 #: Pending time (seconds) of the paper's deployment, the ``mu_tau`` the
@@ -46,31 +54,201 @@ __all__ = ["ParetoExperimentConfig", "run_pareto_experiment", "run_single_trace_
 _PENDING_TIME = 13.0
 
 
+def _resolve_grids(
+    trace_key: str,
+    params: dict,
+    *,
+    mu_tau: float,
+    mean_test_qps: float,
+) -> dict:
+    """Concrete sweep grids for one trace (param overrides, else defaults)."""
+    defaults = trace_defaults(trace_key)
+    rt_budgets = params["rt_budgets"]
+    if rt_budgets is None:
+        # Waiting-time budgets spanning "almost always wait the full pending
+        # time" down to "almost never wait".
+        rt_budgets = [mu_tau * f for f in (0.75, 0.5, 0.25, 0.1, 0.02)]
+    cost_budgets = params["cost_budgets"]
+    if cost_budgets is None:
+        mean_gap = 1.0 / max(mean_test_qps, 1e-9)
+        cost_budgets = [mean_gap * f for f in (0.05, 0.25)]
+    return {
+        "pool_sizes": list(params["pool_sizes"] or defaults["pool_sizes"]),
+        "adaptive_factors": list(
+            params["adaptive_factors"] or defaults["adaptive_factors"]
+        ),
+        "hp_targets": list(params["hp_targets"] or defaults["hp_targets"]),
+        "rt_budgets": sorted(rt_budgets, reverse=True),
+        "cost_budgets": sorted(cost_budgets),
+    }
+
+
+def _scaler_specs(grids: dict, params: dict) -> list[ScalerSpec]:
+    """The per-trace sweep as declarative scaler specs (baselines first)."""
+    specs = [ScalerSpec("bp", int(size)) for size in grids["pool_sizes"]]
+    specs += [ScalerSpec("adapbp", float(f)) for f in grids["adaptive_factors"]]
+    specs += [robustscaler_spec(params, "rs-hp", t) for t in grids["hp_targets"]]
+    if params["include_rt_variant"]:
+        specs += [robustscaler_spec(params, "rs-rt", b) for b in grids["rt_budgets"]]
+    if params["include_cost_variant"]:
+        specs += [
+            robustscaler_spec(params, "rs-cost", b) for b in grids["cost_budgets"]
+        ]
+    return specs
+
+
+def _run_pareto(params: dict, ctx: RunContext) -> list[dict]:
+    """Run the Fig. 4 sweeps on every configured trace and return all rows."""
+    tasks: list[EvalTask] = []
+    for name in params["trace_names"]:
+        defaults = trace_defaults(name)
+        pending_time = defaults.get("pending_time", _PENDING_TIME)
+        # The budget grids need the test window's mean QPS; generating the
+        # trace here is cheap (no model fit) and bit-identical to what the
+        # executor regenerates from the same (scenario, scale, seed).  With
+        # a store the realization is cached on disk instead.
+        trace = get_or_build_trace(
+            get_scenario(name),
+            scale=params["scale"],
+            seed=params["seed"],
+            store=ctx.store,
+        )
+        _, test = trace.split(defaults["train_fraction"])
+        grids = _resolve_grids(
+            name, params, mu_tau=pending_time, mean_test_qps=test.mean_qps
+        )
+        workload = WorkloadSpec(
+            scenario=name,
+            scale=params["scale"],
+            seed=params["seed"],
+            prep=PrepSpec(
+                train_fraction=defaults["train_fraction"],
+                bin_seconds=defaults["bin_seconds"],
+                pending_time=pending_time,
+                simulation=params["extra_simulation"],
+                engine=ctx.engine,
+            ),
+        )
+        tasks += [
+            EvalTask(workload, spec, extra=(("trace", name),))
+            for spec in _scaler_specs(grids, params)
+        ]
+    return ctx.run_rows(tasks, base_seed=params["seed"])
+
+
+register_experiment(
+    ExperimentSpec(
+        name="pareto",
+        title="cost/QoS Pareto sweep of every autoscaler on the paper traces",
+        artifact="Fig. 4",
+        params=(
+            ParamSpec(
+                "trace_names",
+                "str",
+                ("crs", "google", "alibaba"),
+                sequence=True,
+                cli_flag="--trace",
+                help="trace / workload scenario to sweep",
+            ),
+            ParamSpec("scale", "float", 0.25, help="trace size factor (1.0 ~ paper)"),
+            ParamSpec("seed", "int", 7, help="trace-generation and Monte Carlo seed"),
+            ParamSpec(
+                "planning_interval", "float", 2.0, help="RobustScaler Delta (seconds)"
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                400,
+                cli_flag="--mc-samples",
+                help="Monte Carlo sample size R",
+            ),
+            ParamSpec(
+                "hp_targets",
+                "float",
+                None,
+                sequence=True,
+                cli_flag="--hp-target",
+                help="RobustScaler-HP targets",
+            ),
+            ParamSpec(
+                "rt_budgets",
+                "float",
+                None,
+                sequence=True,
+                cli_flag="--rt-budget",
+                help="RobustScaler-RT waiting budgets (seconds)",
+            ),
+            ParamSpec(
+                "cost_budgets",
+                "float",
+                None,
+                sequence=True,
+                cli_flag="--cost-budget",
+                help="RobustScaler-cost idle budgets (seconds)",
+            ),
+            ParamSpec(
+                "include_rt_variant",
+                "bool",
+                True,
+                cli_flag="--rt-variant",
+                help="sweep the RT-constrained RobustScaler",
+            ),
+            ParamSpec(
+                "include_cost_variant",
+                "bool",
+                True,
+                cli_flag="--cost-variant",
+                help="sweep the cost-constrained RobustScaler",
+            ),
+            ParamSpec(
+                "pool_sizes",
+                "int",
+                None,
+                sequence=True,
+                cli_flag="--pool-size",
+                help="Backup Pool sizes",
+            ),
+            ParamSpec(
+                "adaptive_factors",
+                "float",
+                None,
+                sequence=True,
+                cli_flag="--adaptive-factor",
+                help="Adaptive Backup Pool rate factors",
+            ),
+            ParamSpec(
+                "extra_simulation",
+                "object",
+                None,
+                help="explicit SimulationConfig override",
+            ),
+        ),
+        run=_run_pareto,
+        result_columns=(
+            "trace",
+            "scaler",
+            "pool_size",
+            "rate_factor",
+            "target_hp",
+            "waiting_budget",
+            "idle_budget",
+            "n_queries",
+            "hit_rate",
+            "rt_avg",
+            "relative_cost",
+        ),
+        scenario_param="trace_names",
+    )
+)
+
+
 @dataclass
 class ParetoExperimentConfig:
-    """Parameters of the Pareto experiment.
+    """Deprecated parameter object of the ``"pareto"`` experiment.
 
-    Attributes
-    ----------
-    trace_names:
-        Which of the three traces to include.
-    scale:
-        Size factor of the generated traces (1.0 ~ paper size).
-    seed:
-        Seed for trace generation.
-    planning_interval:
-        RobustScaler planning interval Delta in seconds (paper: 1 s).
-    monte_carlo_samples:
-        Monte Carlo sample size R for the decision solvers.
-    hp_targets, rt_budgets, cost_budgets:
-        Sweep grids of the three RobustScaler variants; ``None`` uses
-        per-trace defaults (RT budgets and cost budgets are expressed in
-        seconds of waiting time / idle time respectively).
-    include_rt_variant, include_cost_variant:
-        Allow dropping the extra variants for faster runs.
-    workers:
-        Process count for the runtime executor; ``None`` consults
-        ``REPRO_WORKERS`` and defaults to serial.
+    Retained for one release as a shim over the registry schema; construct
+    emits a :class:`DeprecationWarning`.  Use
+    ``repro.api.Session().experiment("pareto")`` instead.
     """
 
     trace_names: tuple[str, ...] = ("crs", "google", "alibaba")
@@ -87,94 +265,17 @@ class ParetoExperimentConfig:
     adaptive_factors: Sequence[float] | None = None
     extra_simulation: SimulationConfig | None = field(default=None)
     workers: int | None = None
-    #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
-    #: Disk artifact store: prepared workloads and generated traces persist
-    #: across CLI invocations, and ``run_id`` journaling becomes available.
-    store: "ArtifactStore | None" = None
-    #: Journal per-task completions under this id (resumable runs).
+    store: object = None
     run_id: str | None = None
 
-
-def _resolve_grids(
-    trace_key: str,
-    config: ParetoExperimentConfig,
-    *,
-    mu_tau: float,
-    mean_test_qps: float,
-) -> dict:
-    """Concrete sweep grids for one trace (config overrides, else defaults)."""
-    defaults = trace_defaults(trace_key)
-    rt_budgets = config.rt_budgets
-    if rt_budgets is None:
-        # Waiting-time budgets spanning "almost always wait the full pending
-        # time" down to "almost never wait".
-        rt_budgets = [mu_tau * f for f in (0.75, 0.5, 0.25, 0.1, 0.02)]
-    cost_budgets = config.cost_budgets
-    if cost_budgets is None:
-        mean_gap = 1.0 / max(mean_test_qps, 1e-9)
-        cost_budgets = [mean_gap * f for f in (0.05, 0.25)]
-    return {
-        "pool_sizes": list(config.pool_sizes or defaults["pool_sizes"]),
-        "adaptive_factors": list(config.adaptive_factors or defaults["adaptive_factors"]),
-        "hp_targets": list(config.hp_targets or defaults["hp_targets"]),
-        "rt_budgets": sorted(rt_budgets, reverse=True),
-        "cost_budgets": sorted(cost_budgets),
-    }
-
-
-def _scaler_specs(grids: dict, config: ParetoExperimentConfig) -> list[ScalerSpec]:
-    """The per-trace sweep as declarative scaler specs (baselines first)."""
-    specs = [ScalerSpec("bp", int(size)) for size in grids["pool_sizes"]]
-    specs += [ScalerSpec("adapbp", float(f)) for f in grids["adaptive_factors"]]
-    specs += [robustscaler_spec(config, "rs-hp", t) for t in grids["hp_targets"]]
-    if config.include_rt_variant:
-        specs += [robustscaler_spec(config, "rs-rt", b) for b in grids["rt_budgets"]]
-    if config.include_cost_variant:
-        specs += [robustscaler_spec(config, "rs-cost", b) for b in grids["cost_budgets"]]
-    return specs
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "pareto")
 
 
 def run_pareto_experiment(config: ParetoExperimentConfig | None = None) -> list[dict]:
-    """Run the Fig. 4 sweeps on every configured trace and return all rows."""
-    config = config or ParetoExperimentConfig()
-    tasks: list[EvalTask] = []
-    for name in config.trace_names:
-        defaults = trace_defaults(name)
-        # The budget grids need the test window's mean QPS; generating the
-        # trace here is cheap (no model fit) and bit-identical to what the
-        # executor regenerates from the same (scenario, scale, seed).  With
-        # a store the realization is cached on disk instead.
-        trace = get_or_build_trace(
-            get_scenario(name), scale=config.scale, seed=config.seed, store=config.store
-        )
-        _, test = trace.split(defaults["train_fraction"])
-        grids = _resolve_grids(
-            name, config, mu_tau=_PENDING_TIME, mean_test_qps=test.mean_qps
-        )
-        workload = WorkloadSpec(
-            scenario=name,
-            scale=config.scale,
-            seed=config.seed,
-            prep=PrepSpec(
-                train_fraction=defaults["train_fraction"],
-                bin_seconds=defaults["bin_seconds"],
-                pending_time=_PENDING_TIME,
-                simulation=config.extra_simulation,
-                engine=config.engine,
-            ),
-        )
-        tasks += [
-            EvalTask(workload, spec, extra=(("trace", name),))
-            for spec in _scaler_specs(grids, config)
-        ]
-    return run_task_rows(
-        tasks,
-        base_seed=config.seed,
-        workers=config.workers,
-        store=config.store,
-        run_id=config.run_id,
-    )
+    """Run the Fig. 4 sweeps (deprecated wrapper over the registry path)."""
+    return run_legacy_config("pareto", config)
 
 
 def run_single_trace_pareto(
@@ -186,24 +287,36 @@ def run_single_trace_pareto(
 ) -> list[dict]:
     """Run the Fig. 4 sweeps for one trace (reused by the robustness drivers).
 
-    Unlike :func:`run_pareto_experiment` this evaluates in-process against a
+    Unlike the registry experiment this evaluates in-process against a
     concrete (possibly caller-prepared) workload, which is what the
     robustness/perturbation-style drivers need for their modified traces.
     """
-    config = config or ParetoExperimentConfig()
+    params = {
+        "planning_interval": config.planning_interval if config else 2.0,
+        "monte_carlo_samples": config.monte_carlo_samples if config else 400,
+        "hp_targets": config.hp_targets if config else None,
+        "rt_budgets": config.rt_budgets if config else None,
+        "cost_budgets": config.cost_budgets if config else None,
+        "pool_sizes": config.pool_sizes if config else None,
+        "adaptive_factors": config.adaptive_factors if config else None,
+        "include_rt_variant": config.include_rt_variant if config else True,
+        "include_cost_variant": config.include_cost_variant if config else True,
+    }
     defaults = trace_defaults(trace_key)
     if workload is None:
         workload = prepare_workload(
             trace,
             train_fraction=defaults["train_fraction"],
             bin_seconds=defaults["bin_seconds"],
-            simulation=config.extra_simulation,
-            engine=config.engine,
+            simulation=config.extra_simulation if config else None,
+            engine=config.engine if config else None,
         )
-    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
+    planner = default_planner(
+        params["planning_interval"], params["monte_carlo_samples"]
+    )
     grids = _resolve_grids(
         trace_key,
-        config,
+        params,
         mu_tau=workload.pending_model.mean,
         mean_test_qps=workload.test.mean_qps,
     )
@@ -221,7 +334,7 @@ def run_single_trace_pareto(
         grids["hp_targets"],
         parameter_name="target_hp",
     )
-    if config.include_rt_variant:
+    if params["include_rt_variant"]:
         rows += run_scaler_sweep(
             workload,
             lambda d: build_robustscaler(
@@ -230,7 +343,7 @@ def run_single_trace_pareto(
             grids["rt_budgets"],
             parameter_name="waiting_budget",
         )
-    if config.include_cost_variant:
+    if params["include_cost_variant"]:
         rows += run_scaler_sweep(
             workload,
             lambda b: build_robustscaler(

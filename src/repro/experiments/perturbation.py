@@ -1,38 +1,151 @@
 """Figs. 6 and 7 — AdapBP vs RobustScaler-HP under growing data perturbations.
 
-The CRS trace is perturbed with the paper's protocol (hourly five-minute
+The base trace is perturbed with the paper's protocol (hourly five-minute
 deletions plus ``c`` extra copies of the queries in a shifted five-minute
 window), the workload model is re-fitted on the perturbed training data, and
 both AdapBP and RobustScaler-HP are swept over their trade-off parameter on
 the perturbed test data.  The paper's observation is that AdapBP degrades as
 ``c`` grows while RobustScaler's frontier barely moves.
 
-Each perturbed trace is shipped to the :mod:`repro.runtime` executor as a
-direct-trace workload spec, so the model re-fit happens once per
-perturbation size (workload cache) and the sweep points parallelize with
-``workers`` / ``REPRO_WORKERS``.
+Registered as ``"perturbation"`` in :mod:`repro.api`.  Each perturbed trace
+is shipped to the :mod:`repro.runtime` executor as a direct-trace workload
+spec, so the model re-fit happens once per perturbation size (workload
+cache) and the sweep points parallelize with ``workers`` /
+``REPRO_WORKERS``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence
 
-from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
+from ..api import (
+    ExperimentSpec,
+    ParamSpec,
+    register_experiment,
+    run_legacy_config,
+    warn_deprecated_config,
+)
+from ..api.session import RunContext
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec
 from ..store.traces import get_or_build_trace
 from ..traces.perturbation import perturb_trace
 from ..workloads import get_scenario
 from .base import trace_defaults
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..store import ArtifactStore
-
 __all__ = ["PerturbationExperimentConfig", "run_perturbation_experiment"]
+
+
+def _run_perturbation(params: dict, ctx: RunContext) -> list[dict]:
+    """Compare AdapBP and RobustScaler-HP on increasingly perturbed traces."""
+    defaults = trace_defaults(params["trace_name"])
+    base_trace = get_or_build_trace(
+        get_scenario(params["trace_name"]),
+        scale=params["scale"],
+        seed=params["seed"],
+        store=ctx.store,
+    )
+    prep = PrepSpec(
+        train_fraction=defaults["train_fraction"],
+        bin_seconds=defaults["bin_seconds"],
+        engine=ctx.engine,
+    )
+
+    tasks: list[EvalTask] = []
+    for c in params["perturbation_sizes"]:
+        perturbed = perturb_trace(base_trace, float(c), random_state=params["seed"])
+        workload = WorkloadSpec(trace=perturbed, prep=prep)
+        extra = (
+            ("trace", params["trace_name"]),
+            ("perturbation_size", float(c)),
+        )
+        specs = [ScalerSpec("adapbp", float(f)) for f in params["adaptive_factors"]]
+        specs += [
+            ScalerSpec(
+                "rs-hp",
+                float(target),
+                planning_interval=params["planning_interval"],
+                monte_carlo_samples=params["monte_carlo_samples"],
+            )
+            for target in params["hp_targets"]
+        ]
+        tasks += [EvalTask(workload, spec, extra=extra) for spec in specs]
+    return ctx.run_rows(tasks, base_seed=params["seed"])
+
+
+register_experiment(
+    ExperimentSpec(
+        name="perturbation",
+        title="AdapBP vs RobustScaler-HP under growing data perturbations",
+        artifact="Figs. 6-7",
+        params=(
+            ParamSpec(
+                "trace_name",
+                "str",
+                "crs",
+                cli_flag="--trace",
+                help="trace / workload scenario",
+            ),
+            ParamSpec("scale", "float", 0.25, help="trace size factor"),
+            ParamSpec("seed", "int", 7, help="trace-generation and Monte Carlo seed"),
+            ParamSpec(
+                "perturbation_sizes",
+                "float",
+                (1.0, 2.0, 4.0, 6.0),
+                sequence=True,
+                cli_flag="--perturbation-size",
+                help="extra-copy multipliers c of the perturbation protocol",
+            ),
+            ParamSpec(
+                "hp_targets",
+                "float",
+                (0.3, 0.6, 0.9),
+                sequence=True,
+                cli_flag="--hp-target",
+                help="RobustScaler-HP targets",
+            ),
+            ParamSpec(
+                "adaptive_factors",
+                "float",
+                (25.0, 50.0, 100.0),
+                sequence=True,
+                cli_flag="--adaptive-factor",
+                help="Adaptive Backup Pool rate factors",
+            ),
+            ParamSpec(
+                "planning_interval", "float", 2.0, help="RobustScaler Delta (seconds)"
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                400,
+                cli_flag="--mc-samples",
+                help="Monte Carlo sample size R",
+            ),
+        ),
+        run=_run_perturbation,
+        result_columns=(
+            "trace",
+            "scaler",
+            "perturbation_size",
+            "rate_factor",
+            "target_hp",
+            "hit_rate",
+            "rt_avg",
+            "relative_cost",
+        ),
+        scenario_param="trace_name",
+    )
+)
 
 
 @dataclass
 class PerturbationExperimentConfig:
-    """Parameters of the perturbation-robustness experiment (Figs. 6-7)."""
+    """Deprecated parameter object of the ``"perturbation"`` experiment.
+
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
+    """
 
     trace_name: str = "crs"
     scale: float = 0.25
@@ -43,56 +156,16 @@ class PerturbationExperimentConfig:
     planning_interval: float = 2.0
     monte_carlo_samples: int = 400
     workers: int | None = None
-    #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
-    #: Disk artifact store: prepared workloads and generated traces persist
-    #: across CLI invocations, and ``run_id`` journaling becomes available.
-    store: "ArtifactStore | None" = None
-    #: Journal per-task completions under this id (resumable runs).
+    store: object = None
     run_id: str | None = None
+
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "perturbation")
 
 
 def run_perturbation_experiment(
     config: PerturbationExperimentConfig | None = None,
 ) -> list[dict]:
-    """Compare AdapBP and RobustScaler-HP on increasingly perturbed traces."""
-    config = config or PerturbationExperimentConfig()
-    defaults = trace_defaults(config.trace_name)
-    base_trace = get_or_build_trace(
-        get_scenario(config.trace_name),
-        scale=config.scale,
-        seed=config.seed,
-        store=config.store,
-    )
-    prep = PrepSpec(
-        train_fraction=defaults["train_fraction"],
-        bin_seconds=defaults["bin_seconds"],
-        engine=config.engine,
-    )
-
-    tasks: list[EvalTask] = []
-    for c in config.perturbation_sizes:
-        perturbed = perturb_trace(base_trace, float(c), random_state=config.seed)
-        workload = WorkloadSpec(trace=perturbed, prep=prep)
-        extra = (
-            ("trace", config.trace_name),
-            ("perturbation_size", float(c)),
-        )
-        specs = [ScalerSpec("adapbp", float(f)) for f in config.adaptive_factors]
-        specs += [
-            ScalerSpec(
-                "rs-hp",
-                float(target),
-                planning_interval=config.planning_interval,
-                monte_carlo_samples=config.monte_carlo_samples,
-            )
-            for target in config.hp_targets
-        ]
-        tasks += [EvalTask(workload, spec, extra=extra) for spec in specs]
-    return run_task_rows(
-        tasks,
-        base_seed=config.seed,
-        workers=config.workers,
-        store=config.store,
-        run_id=config.run_id,
-    )
+    """Figs. 6-7 perturbation study (deprecated wrapper over the registry)."""
+    return run_legacy_config("perturbation", config)

@@ -10,12 +10,24 @@ reproduce the comparison by replaying the same trace twice:
 * **real** — the :func:`repro.simulation.realenv.real_environment_config`
   simulator, which charges the planner's wall-clock latency against the plan
   and adds control-plane scheduling latency plus pod startup jitter.
+
+Registered as ``"table4"`` in :mod:`repro.api`.  The "real" rows charge
+*measured* planner wall-clock time, so unlike every other experiment they
+are intentionally not bit-reproducible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api import (
+    ExperimentSpec,
+    ParamSpec,
+    register_experiment,
+    run_legacy_config,
+    warn_deprecated_config,
+)
+from ..api.session import RunContext
 from ..config import SimulationConfig
 from ..scaling.robustscaler import RobustScalerObjective
 from ..simulation.realenv import real_environment_config
@@ -30,33 +42,22 @@ from .base import (
 __all__ = ["RealEnvExperimentConfig", "run_realenv_experiment"]
 
 
-@dataclass
-class RealEnvExperimentConfig:
-    """Parameters of the simulated-vs-real-environment comparison (Table IV)."""
-
-    trace_name: str = "crs"
-    scale: float = 0.25
-    seed: int = 7
-    target_hp: float = 0.9
-    planning_interval: float = 2.0
-    monte_carlo_samples: int = 400
-    scheduling_latency: float = 1.0
-    pending_time_jitter: float = 2.0
-
-
-def run_realenv_experiment(config: RealEnvExperimentConfig | None = None) -> list[dict]:
+def _run_realenv(params: dict, ctx: RunContext) -> list[dict]:
     """Replay RobustScaler-HP in the simulated and the real environment."""
-    config = config or RealEnvExperimentConfig()
-    defaults = trace_defaults(config.trace_name)
-    trace = make_trace(config.trace_name, scale=config.scale, seed=config.seed)
-    planner = default_planner(config.planning_interval, config.monte_carlo_samples)
+    defaults = trace_defaults(params["trace_name"])
+    trace = make_trace(
+        params["trace_name"], scale=params["scale"], seed=params["seed"]
+    )
+    planner = default_planner(
+        params["planning_interval"], params["monte_carlo_samples"]
+    )
 
     rows: list[dict] = []
-    simulated_config = SimulationConfig(pending_time=13.0)
+    simulated_config = SimulationConfig(pending_time=13.0, engine=ctx.engine)
     real_config = real_environment_config(
         simulated_config,
-        scheduling_latency=config.scheduling_latency,
-        pending_time_jitter=config.pending_time_jitter,
+        scheduling_latency=params["scheduling_latency"],
+        pending_time_jitter=params["pending_time_jitter"],
     )
     for label, sim_config in (("simulated", simulated_config), ("real", real_config)):
         workload = prepare_workload(
@@ -68,14 +69,14 @@ def run_realenv_experiment(config: RealEnvExperimentConfig | None = None) -> lis
         scaler = build_robustscaler(
             workload,
             RobustScalerObjective.HIT_PROBABILITY,
-            config.target_hp,
+            params["target_hp"],
             planner=planner,
         )
         result = workload.replay(scaler)
         rows.append(
             {
                 "environment": label,
-                "target_hp": float(config.target_hp),
+                "target_hp": float(params["target_hp"]),
                 "hit_rate": result.hit_rate,
                 "rt_avg": result.mean_response_time,
                 "cost_per_query": result.total_cost / max(result.n_queries, 1),
@@ -85,3 +86,85 @@ def run_realenv_experiment(config: RealEnvExperimentConfig | None = None) -> lis
             }
         )
     return rows
+
+
+register_experiment(
+    ExperimentSpec(
+        name="table4",
+        title="RobustScaler-HP in the simulated vs the real environment",
+        artifact="Table IV",
+        params=(
+            ParamSpec(
+                "trace_name",
+                "str",
+                "crs",
+                cli_flag="--trace",
+                help="trace / workload scenario",
+            ),
+            ParamSpec("scale", "float", 0.25, help="trace size factor"),
+            ParamSpec("seed", "int", 7, help="trace-generation and Monte Carlo seed"),
+            ParamSpec("target_hp", "float", 0.9, help="HP target"),
+            ParamSpec(
+                "planning_interval", "float", 2.0, help="RobustScaler Delta (seconds)"
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                400,
+                cli_flag="--mc-samples",
+                help="Monte Carlo sample size R",
+            ),
+            ParamSpec(
+                "scheduling_latency",
+                "float",
+                1.0,
+                help="control-plane round trip (seconds)",
+            ),
+            ParamSpec(
+                "pending_time_jitter",
+                "float",
+                2.0,
+                help="pod startup jitter half-width (seconds)",
+            ),
+        ),
+        run=_run_realenv,
+        result_columns=(
+            "environment",
+            "target_hp",
+            "hit_rate",
+            "rt_avg",
+            "cost_per_query",
+            "relative_cost",
+            "mean_planning_ms",
+        ),
+        runtime=False,
+        engine_aware=True,
+        scenario_param="trace_name",
+    )
+)
+
+
+@dataclass
+class RealEnvExperimentConfig:
+    """Deprecated parameter object of the ``"table4"`` experiment.
+
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
+    """
+
+    trace_name: str = "crs"
+    scale: float = 0.25
+    seed: int = 7
+    target_hp: float = 0.9
+    planning_interval: float = 2.0
+    monte_carlo_samples: int = 400
+    scheduling_latency: float = 1.0
+    pending_time_jitter: float = 2.0
+
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "table4")
+
+
+def run_realenv_experiment(config: RealEnvExperimentConfig | None = None) -> list[dict]:
+    """Table IV environment comparison (deprecated wrapper over the registry)."""
+    return run_legacy_config("table4", config)

@@ -13,35 +13,173 @@ average response time, relative cost, and the high-level response-time
 quantiles of Table II.  A robust autoscaler produces near-identical numbers
 with and without the modification.
 
-The comparison is expressed as one :mod:`repro.runtime` task batch: each
-(condition, trace) pair ships as a direct-trace
-:class:`~repro.runtime.WorkloadSpec`, so every workload is fitted once (and,
-with a store attached, persisted across CLI invocations), the candidate
-evaluations parallelize with ``workers`` / ``REPRO_WORKERS``, and
-``run_id`` journaling makes interrupted runs resumable.
+Registered as ``"robustness"`` in :mod:`repro.api`: the comparison is one
+:mod:`repro.runtime` task batch where each (condition, trace) pair ships as
+a direct-trace :class:`~repro.runtime.WorkloadSpec`, so every workload is
+fitted once (and, with a store attached, persisted across CLI invocations),
+the candidate evaluations parallelize with ``workers`` / ``REPRO_WORKERS``,
+and ``run_id`` journaling makes interrupted runs resumable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence
 
-from ..runtime import EvalTask, PrepSpec, WorkloadSpec, run_task_rows
+from ..api import (
+    ExperimentSpec,
+    ParamSpec,
+    register_experiment,
+    run_legacy_config,
+    warn_deprecated_config,
+)
+from ..api.session import RunContext
+from ..runtime import EvalTask, PrepSpec, WorkloadSpec
 from ..traces.perturbation import inject_missing_window, remove_anomalous_bursts
 from ..types import ArrivalTrace
 from .base import make_trace, robustscaler_spec, trace_defaults
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..store import ArtifactStore
 
 __all__ = ["RobustnessExperimentConfig", "run_robustness_experiment"]
 
 _DAY = 86_400.0
 
 
+def _run_robustness(params: dict, ctx: RunContext) -> list[dict]:
+    """Evaluate RobustScaler variants before/after trace modifications."""
+    tasks: list[EvalTask] = []
+    if params["include_crs"]:
+        tasks.extend(_missing_data_tasks(params, ctx))
+    if params["include_alibaba"]:
+        tasks.extend(_anomaly_removal_tasks(params, ctx))
+    return ctx.run_rows(tasks, base_seed=params["seed"])
+
+
+def _missing_data_tasks(params: dict, ctx: RunContext) -> list[EvalTask]:
+    """CRS trace with one full training day of queries removed."""
+    trace = make_trace("crs", scale=params["scale"], seed=params["seed"])
+    defaults = trace_defaults("crs")
+    # Remove the last full day of the training window; the training window is
+    # the first `train_fraction` of the horizon.
+    train_end = trace.horizon * defaults["train_fraction"]
+    missing_start = max(0.0, train_end - _DAY)
+    modified = inject_missing_window(trace, missing_start, _DAY)
+    return _comparison_tasks(
+        "crs", trace, modified, "missing_data", params, ctx, defaults
+    )
+
+
+def _anomaly_removal_tasks(params: dict, ctx: RunContext) -> list[EvalTask]:
+    """Alibaba trace with the unexpected burst thinned away."""
+    trace = make_trace("alibaba", scale=params["scale"], seed=params["seed"])
+    defaults = trace_defaults("alibaba")
+    modified = remove_anomalous_bursts(trace, random_state=params["seed"])
+    return _comparison_tasks(
+        "alibaba", trace, modified, "anomaly_removed", params, ctx, defaults
+    )
+
+
+def _comparison_tasks(
+    trace_key: str,
+    original: ArrivalTrace,
+    modified: ArrivalTrace,
+    modification: str,
+    params: dict,
+    ctx: RunContext,
+    defaults: dict,
+) -> list[EvalTask]:
+    """The RobustScaler-HP / RobustScaler-cost candidates on both conditions."""
+    prep = PrepSpec(
+        train_fraction=defaults["train_fraction"],
+        bin_seconds=defaults["bin_seconds"],
+        engine=ctx.engine,
+    )
+    tasks: list[EvalTask] = []
+    for label, trace in (("original", original), (modification, modified)):
+        workload = WorkloadSpec(trace=trace, prep=prep)
+        _, test = trace.split(defaults["train_fraction"])
+        mean_gap = 1.0 / max(test.mean_qps, 1e-9)
+        extra = (("trace", trace_key), ("condition", label))
+        specs = [robustscaler_spec(params, "rs-hp", t) for t in params["hp_targets"]]
+        specs += [
+            robustscaler_spec(params, "rs-cost", mean_gap * fraction)
+            for fraction in params["cost_budget_fractions"]
+        ]
+        tasks += [EvalTask(workload, spec, extra=extra) for spec in specs]
+    return tasks
+
+
+register_experiment(
+    ExperimentSpec(
+        name="robustness",
+        title="RobustScaler stability under missing data and anomaly removal",
+        artifact="Fig. 9 / Table II",
+        params=(
+            ParamSpec("scale", "float", 0.25, help="trace size factor"),
+            ParamSpec("seed", "int", 7, help="trace-generation and Monte Carlo seed"),
+            ParamSpec(
+                "hp_targets",
+                "float",
+                (0.5, 0.9),
+                sequence=True,
+                cli_flag="--hp-target",
+                help="RobustScaler-HP targets",
+            ),
+            ParamSpec(
+                "cost_budget_fractions",
+                "float",
+                (0.05, 0.2),
+                sequence=True,
+                cli_flag="--cost-budget-fraction",
+                help="idle budgets as fractions of the mean inter-arrival gap",
+            ),
+            ParamSpec(
+                "planning_interval", "float", 2.0, help="RobustScaler Delta (seconds)"
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                400,
+                cli_flag="--mc-samples",
+                help="Monte Carlo sample size R",
+            ),
+            ParamSpec(
+                "include_alibaba",
+                "bool",
+                True,
+                cli_flag="--alibaba",
+                help="run the Alibaba anomaly-removal comparison",
+            ),
+            ParamSpec(
+                "include_crs",
+                "bool",
+                True,
+                cli_flag="--crs",
+                help="run the CRS missing-data comparison",
+            ),
+        ),
+        run=_run_robustness,
+        result_columns=(
+            "trace",
+            "condition",
+            "scaler",
+            "target_hp",
+            "idle_budget",
+            "hit_rate",
+            "rt_avg",
+            "relative_cost",
+            "rt_p95",
+        ),
+    )
+)
+
+
 @dataclass
 class RobustnessExperimentConfig:
-    """Parameters of the missing-data / anomaly-removal experiment."""
+    """Deprecated parameter object of the ``"robustness"`` experiment.
+
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
+    """
 
     scale: float = 0.25
     seed: int = 7
@@ -52,77 +190,16 @@ class RobustnessExperimentConfig:
     include_alibaba: bool = True
     include_crs: bool = True
     workers: int | None = None
-    #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
-    store: "ArtifactStore | None" = None
+    store: object = None
     run_id: str | None = None
+
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "robustness")
 
 
 def run_robustness_experiment(
     config: RobustnessExperimentConfig | None = None,
 ) -> list[dict]:
-    """Evaluate RobustScaler variants before/after trace modifications."""
-    config = config or RobustnessExperimentConfig()
-    tasks: list[EvalTask] = []
-    if config.include_crs:
-        tasks.extend(_missing_data_tasks(config))
-    if config.include_alibaba:
-        tasks.extend(_anomaly_removal_tasks(config))
-    return run_task_rows(
-        tasks,
-        base_seed=config.seed,
-        workers=config.workers,
-        store=config.store,
-        run_id=config.run_id,
-    )
-
-
-def _missing_data_tasks(config: RobustnessExperimentConfig) -> list[EvalTask]:
-    """CRS trace with one full training day of queries removed."""
-    trace = make_trace("crs", scale=config.scale, seed=config.seed)
-    defaults = trace_defaults("crs")
-    # Remove the last full day of the training window; the training window is
-    # the first `train_fraction` of the horizon.
-    train_end = trace.horizon * defaults["train_fraction"]
-    missing_start = max(0.0, train_end - _DAY)
-    modified = inject_missing_window(trace, missing_start, _DAY)
-    return _comparison_tasks("crs", trace, modified, "missing_data", config, defaults)
-
-
-def _anomaly_removal_tasks(config: RobustnessExperimentConfig) -> list[EvalTask]:
-    """Alibaba trace with the unexpected burst thinned away."""
-    trace = make_trace("alibaba", scale=config.scale, seed=config.seed)
-    defaults = trace_defaults("alibaba")
-    modified = remove_anomalous_bursts(trace, random_state=config.seed)
-    return _comparison_tasks(
-        "alibaba", trace, modified, "anomaly_removed", config, defaults
-    )
-
-
-def _comparison_tasks(
-    trace_key: str,
-    original: ArrivalTrace,
-    modified: ArrivalTrace,
-    modification: str,
-    config: RobustnessExperimentConfig,
-    defaults: dict,
-) -> list[EvalTask]:
-    """The RobustScaler-HP / RobustScaler-cost candidates on both conditions."""
-    prep = PrepSpec(
-        train_fraction=defaults["train_fraction"],
-        bin_seconds=defaults["bin_seconds"],
-        engine=config.engine,
-    )
-    tasks: list[EvalTask] = []
-    for label, trace in (("original", original), (modification, modified)):
-        workload = WorkloadSpec(trace=trace, prep=prep)
-        _, test = trace.split(defaults["train_fraction"])
-        mean_gap = 1.0 / max(test.mean_qps, 1e-9)
-        extra = (("trace", trace_key), ("condition", label))
-        specs = [robustscaler_spec(config, "rs-hp", t) for t in config.hp_targets]
-        specs += [
-            robustscaler_spec(config, "rs-cost", mean_gap * fraction)
-            for fraction in config.cost_budget_fractions
-        ]
-        tasks += [EvalTask(workload, spec, extra=extra) for spec in specs]
-    return tasks
+    """Fig. 9 / Table II robustness study (deprecated wrapper over the registry)."""
+    return run_legacy_config("robustness", config)

@@ -11,6 +11,10 @@ Table I replays a synthetic trace generated from the same family of
 intensities with all three RobustScaler variants and compares the achieved
 QoS/cost level against the target that was requested.  The paper uses a peak
 of 1000 QPS; the default here is laptop-sized but the peak is a parameter.
+
+Registered as ``"scalability"`` and ``"table1"`` in :mod:`repro.api`; the
+former is a pure solver-timing grid (no replay, so no engine selection),
+the latter replays through whichever engine the session resolves.
 """
 
 from __future__ import annotations
@@ -21,6 +25,14 @@ from typing import Sequence
 
 import numpy as np
 
+from ..api import (
+    ExperimentSpec,
+    ParamSpec,
+    register_experiment,
+    run_legacy_config,
+    warn_deprecated_config,
+)
+from ..api.session import RunContext
 from ..config import PlannerConfig, SimulationConfig
 from ..nhpp.intensity import PiecewiseConstantIntensity
 from ..optimization.formulations import DecisionObjective, solve_batch
@@ -29,7 +41,6 @@ from ..pending import DeterministicPendingTime
 from ..scaling.robustscaler import RobustScaler, RobustScalerObjective
 from ..simulation.runner import create_simulator
 from ..traces.synthetic import beta_bump_intensity, generate_trace_from_intensity
-from ..types import ArrivalTrace
 
 __all__ = [
     "ScalabilityExperimentConfig",
@@ -39,9 +50,110 @@ __all__ = [
 ]
 
 
+def _run_scalability(params: dict, ctx: RunContext) -> list[dict]:
+    """Measure per-decision-update runtime for each QPS level and each variant.
+
+    Each row reports the wall-clock seconds of one planning round (scenario
+    sampling plus per-query solves for all instances falling in the planning
+    window) at the given QPS, for the HP, RT and cost formulations.
+    """
+    pending = DeterministicPendingTime(params["pending_time"])
+    rows: list[dict] = []
+    for qps in params["qps_levels"]:
+        intensity = PiecewiseConstantIntensity(
+            np.array([float(qps)]), 60.0, extrapolation="hold"
+        )
+        expected = qps * (params["planning_window"] + params["pending_time"])
+        n_queries = max(1, int(np.ceil(expected + 4.0 * np.sqrt(expected) + 5.0)))
+        for objective, target in (
+            (DecisionObjective.HIT_PROBABILITY, params["target_hp"]),
+            (DecisionObjective.RESPONSE_TIME, params["waiting_budget"]),
+            (DecisionObjective.COST, params["idle_budget"]),
+        ):
+            timings = []
+            for repeat in range(params["repeats"]):
+                started = time.perf_counter()
+                scenarios = generate_scenarios(
+                    intensity,
+                    pending,
+                    n_queries=n_queries,
+                    n_samples=params["monte_carlo_samples"],
+                    random_state=params["seed"] + repeat,
+                )
+                solve_batch(scenarios, objective, target)
+                timings.append(time.perf_counter() - started)
+            rows.append(
+                {
+                    "qps": float(qps),
+                    "variant": f"RobustScaler-{objective.value.upper()}",
+                    "decisions_per_update": n_queries,
+                    "runtime_seconds": float(np.median(timings)),
+                    "runtime_per_decision_ms": 1000.0
+                    * float(np.median(timings))
+                    / n_queries,
+                }
+            )
+    return rows
+
+
+register_experiment(
+    ExperimentSpec(
+        name="scalability",
+        title="decision-update runtime versus instantaneous QPS",
+        artifact="Fig. 8",
+        params=(
+            ParamSpec(
+                "qps_levels",
+                "float",
+                (0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0),
+                sequence=True,
+                cli_flag="--qps",
+                help="instantaneous QPS levels to time",
+            ),
+            ParamSpec(
+                "planning_window", "float", 5.0, help="planning window (seconds)"
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                1000,
+                cli_flag="--mc-samples",
+                help="Monte Carlo sample size R",
+            ),
+            ParamSpec(
+                "pending_time", "float", 13.0, help="instance startup time (seconds)"
+            ),
+            ParamSpec("target_hp", "float", 0.9, help="HP-variant target"),
+            ParamSpec(
+                "waiting_budget", "float", 1.0, help="RT-variant budget (seconds)"
+            ),
+            ParamSpec(
+                "idle_budget", "float", 2.0, help="cost-variant budget (seconds)"
+            ),
+            ParamSpec("repeats", "int", 3, help="timing repetitions per cell"),
+            ParamSpec("seed", "int", 0, help="Monte Carlo seed"),
+        ),
+        run=_run_scalability,
+        result_columns=(
+            "qps",
+            "variant",
+            "decisions_per_update",
+            "runtime_seconds",
+            "runtime_per_decision_ms",
+        ),
+        runtime=False,
+        engine_aware=False,
+    )
+)
+
+
 @dataclass
 class ScalabilityExperimentConfig:
-    """Parameters of the runtime-vs-QPS measurement (Fig. 8)."""
+    """Deprecated parameter object of the ``"scalability"`` experiment.
+
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
+    """
 
     qps_levels: Sequence[float] = (0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0)
     planning_window: float = 5.0
@@ -53,129 +165,73 @@ class ScalabilityExperimentConfig:
     repeats: int = 3
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "scalability")
+
 
 def run_scalability_experiment(
     config: ScalabilityExperimentConfig | None = None,
 ) -> list[dict]:
-    """Measure per-decision-update runtime for each QPS level and each variant.
-
-    Each row reports the wall-clock seconds of one planning round (scenario
-    sampling plus per-query solves for all instances falling in the planning
-    window) at the given QPS, for the HP, RT and cost formulations.
-    """
-    config = config or ScalabilityExperimentConfig()
-    pending = DeterministicPendingTime(config.pending_time)
-    rows: list[dict] = []
-    for qps in config.qps_levels:
-        intensity = PiecewiseConstantIntensity(
-            np.array([float(qps)]), 60.0, extrapolation="hold"
-        )
-        expected = qps * (config.planning_window + config.pending_time)
-        n_queries = max(1, int(np.ceil(expected + 4.0 * np.sqrt(expected) + 5.0)))
-        for objective, target in (
-            (DecisionObjective.HIT_PROBABILITY, config.target_hp),
-            (DecisionObjective.RESPONSE_TIME, config.waiting_budget),
-            (DecisionObjective.COST, config.idle_budget),
-        ):
-            timings = []
-            for repeat in range(config.repeats):
-                started = time.perf_counter()
-                scenarios = generate_scenarios(
-                    intensity,
-                    pending,
-                    n_queries=n_queries,
-                    n_samples=config.monte_carlo_samples,
-                    random_state=config.seed + repeat,
-                )
-                solve_batch(scenarios, objective, target)
-                timings.append(time.perf_counter() - started)
-            rows.append(
-                {
-                    "qps": float(qps),
-                    "variant": f"RobustScaler-{objective.value.upper()}",
-                    "decisions_per_update": n_queries,
-                    "runtime_seconds": float(np.median(timings)),
-                    "runtime_per_decision_ms": 1000.0 * float(np.median(timings)) / n_queries,
-                }
-            )
-    return rows
+    """Fig. 8 runtime-vs-QPS (deprecated wrapper over the registry)."""
+    return run_legacy_config("scalability", config)
 
 
-@dataclass
-class MCAccuracyExperimentConfig:
-    """Parameters of the Monte Carlo accuracy experiment (Table I).
-
-    The paper's run uses ``peak_qps = 1000`` and a one-hour period over seven
-    hours; the defaults below shrink the peak so the replay finishes in
-    seconds while exercising exactly the same code path.
-    """
-
-    peak_qps: float = 20.0
-    base_qps: float = 0.001
-    period_seconds: float = 1800.0
-    horizon_seconds: float = 4 * 1800.0
-    train_fraction: float = 0.75
-    pending_time: float = 13.0
-    processing_time_mean: float = 20.0
-    target_hp: float = 0.9
-    waiting_budget: float = 1.0
-    idle_budget: float = 2.0
-    planning_interval: float = 5.0
-    monte_carlo_samples: int = 1000
-    seed: int = 0
-    #: Replay engine ("reference" / "batched"); both give identical rows.
-    engine: str = "reference"
-
-
-def _bump_intensity(config: MCAccuracyExperimentConfig) -> PiecewiseConstantIntensity:
-    bin_seconds = max(config.period_seconds / 360.0, 1.0)
-    times = (np.arange(int(config.horizon_seconds / bin_seconds)) + 0.5) * bin_seconds
+def _bump_intensity(params: dict) -> PiecewiseConstantIntensity:
+    bin_seconds = max(params["period_seconds"] / 360.0, 1.0)
+    times = (np.arange(int(params["horizon_seconds"] / bin_seconds)) + 0.5) * bin_seconds
     values = beta_bump_intensity(
         times,
-        peak=config.peak_qps,
-        period_seconds=config.period_seconds,
+        peak=params["peak_qps"],
+        period_seconds=params["period_seconds"],
         exponent=40.0,
-        base=config.base_qps,
+        base=params["base_qps"],
     )
     return PiecewiseConstantIntensity(values, bin_seconds, extrapolation="periodic")
 
 
-def run_mc_accuracy_experiment(
-    config: MCAccuracyExperimentConfig | None = None,
-) -> list[dict]:
+def _run_mc_accuracy(params: dict, ctx: RunContext) -> list[dict]:
     """Replay the synthetic high-QPS trace with the three variants (Table I).
 
     Returns one row per variant with the target level and the achieved level,
     where "level" means hit rate (HP variant), mean waiting time in seconds
     (RT variant), or mean idle time per instance in seconds (cost variant).
     """
-    config = config or MCAccuracyExperimentConfig()
-    intensity = _bump_intensity(config)
+    intensity = _bump_intensity(params)
     trace = generate_trace_from_intensity(
         intensity,
-        config.horizon_seconds,
-        processing_time_mean=config.processing_time_mean,
+        params["horizon_seconds"],
+        processing_time_mean=params["processing_time_mean"],
         processing_time_distribution="exponential",
         name="mc-accuracy",
-        random_state=config.seed,
+        random_state=params["seed"],
     )
-    train, test = trace.split(config.train_fraction)
+    train, test = trace.split(params["train_fraction"])
     # The ground-truth intensity is periodic, so the forecast for the test
     # window is the same profile shifted by the training duration.
     forecast = intensity.shift(train.horizon)
-    pending = DeterministicPendingTime(config.pending_time)
+    pending = DeterministicPendingTime(params["pending_time"])
     planner = PlannerConfig(
-        planning_interval=config.planning_interval,
-        monte_carlo_samples=config.monte_carlo_samples,
+        planning_interval=params["planning_interval"],
+        monte_carlo_samples=params["monte_carlo_samples"],
     )
-    sim_config = SimulationConfig(pending_time=config.pending_time, engine=config.engine)
+    sim_config = SimulationConfig(
+        pending_time=params["pending_time"], engine=ctx.engine
+    )
     simulator = create_simulator(sim_config)
 
     rows: list[dict] = []
     variants = (
-        (RobustScalerObjective.HIT_PROBABILITY, config.target_hp, "hit probability"),
-        (RobustScalerObjective.RESPONSE_TIME, config.waiting_budget, "waiting seconds"),
-        (RobustScalerObjective.COST, config.idle_budget, "idle seconds per instance"),
+        (RobustScalerObjective.HIT_PROBABILITY, params["target_hp"], "hit probability"),
+        (
+            RobustScalerObjective.RESPONSE_TIME,
+            params["waiting_budget"],
+            "waiting seconds",
+        ),
+        (
+            RobustScalerObjective.COST,
+            params["idle_budget"],
+            "idle seconds per instance",
+        ),
     )
     for objective, target, unit in variants:
         scaler = RobustScaler(
@@ -184,7 +240,7 @@ def run_mc_accuracy_experiment(
             objective=objective,
             target=target,
             planner=planner,
-            random_state=config.seed,
+            random_state=params["seed"],
         )
         result = simulator.replay(test, scaler)
         if objective is RobustScalerObjective.HIT_PROBABILITY:
@@ -204,3 +260,93 @@ def run_mc_accuracy_experiment(
             }
         )
     return rows
+
+
+register_experiment(
+    ExperimentSpec(
+        name="table1",
+        title="Monte Carlo accuracy: achieved vs targeted QoS/cost levels",
+        artifact="Table I",
+        params=(
+            ParamSpec("peak_qps", "float", 20.0, help="intensity peak (QPS)"),
+            ParamSpec("base_qps", "float", 0.001, help="intensity base (QPS)"),
+            ParamSpec(
+                "period_seconds", "float", 1800.0, help="bump period (seconds)"
+            ),
+            ParamSpec(
+                "horizon_seconds", "float", 4 * 1800.0, help="horizon (seconds)"
+            ),
+            ParamSpec("train_fraction", "float", 0.75, help="training split"),
+            ParamSpec(
+                "pending_time", "float", 13.0, help="instance startup time (seconds)"
+            ),
+            ParamSpec(
+                "processing_time_mean", "float", 20.0, help="mean service time"
+            ),
+            ParamSpec("target_hp", "float", 0.9, help="HP-variant target"),
+            ParamSpec(
+                "waiting_budget", "float", 1.0, help="RT-variant budget (seconds)"
+            ),
+            ParamSpec(
+                "idle_budget", "float", 2.0, help="cost-variant budget (seconds)"
+            ),
+            ParamSpec(
+                "planning_interval", "float", 5.0, help="RobustScaler Delta (seconds)"
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                1000,
+                cli_flag="--mc-samples",
+                help="Monte Carlo sample size R",
+            ),
+            ParamSpec("seed", "int", 0, help="generation and Monte Carlo seed"),
+        ),
+        run=_run_mc_accuracy,
+        result_columns=(
+            "variant",
+            "metric",
+            "target_level",
+            "achieved_level",
+            "n_queries",
+        ),
+        runtime=False,
+        engine_aware=True,
+    )
+)
+
+
+@dataclass
+class MCAccuracyExperimentConfig:
+    """Deprecated parameter object of the ``"table1"`` experiment.
+
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.  (Its historical
+    ``engine`` default of ``"reference"`` is preserved; the registry path
+    defaults to the bit-identical batched engine.)
+    """
+
+    peak_qps: float = 20.0
+    base_qps: float = 0.001
+    period_seconds: float = 1800.0
+    horizon_seconds: float = 4 * 1800.0
+    train_fraction: float = 0.75
+    pending_time: float = 13.0
+    processing_time_mean: float = 20.0
+    target_hp: float = 0.9
+    waiting_budget: float = 1.0
+    idle_budget: float = 2.0
+    planning_interval: float = 5.0
+    monte_carlo_samples: int = 1000
+    seed: int = 0
+    engine: str = "reference"
+
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "table1")
+
+
+def run_mc_accuracy_experiment(
+    config: MCAccuracyExperimentConfig | None = None,
+) -> list[dict]:
+    """Table I Monte Carlo accuracy (deprecated wrapper over the registry)."""
+    return run_legacy_config("table1", config)

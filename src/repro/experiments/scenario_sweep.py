@@ -9,28 +9,34 @@ RobustScaler variants (HP-, RT- and cost-constrained, each over a
 per-scenario default target grid), and reports cost/QoS rows with the
 per-scenario Pareto frontier marked (via :mod:`repro.metrics.pareto`).
 
-Execution routes through :mod:`repro.runtime`: the sweep is expressed as a
-batch of :class:`~repro.runtime.EvalTask` and evaluated either serially or
-on a process pool (``workers`` / ``REPRO_WORKERS``) with bit-identical
-rows.  Everything is deterministic for a fixed ``seed``: the traces, the
-per-task Monte Carlo streams, and therefore every row.
+Registered as ``"scenario-sweep"`` in :mod:`repro.api`; execution routes
+through :mod:`repro.runtime`: the sweep is expressed as a batch of
+:class:`~repro.runtime.EvalTask` and evaluated either serially or on a
+process pool (``workers`` / ``REPRO_WORKERS``) with bit-identical rows.
+Everything is deterministic for a fixed ``seed``: the traces, the per-task
+Monte Carlo streams, and therefore every row.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence
 
+from ..api import (
+    ExperimentSpec,
+    ParamSpec,
+    register_experiment,
+    run_legacy_config,
+    warn_deprecated_config,
+)
+from ..api.session import RunContext
 from ..exceptions import ExperimentError
 from ..metrics.pareto import ParetoPoint, pareto_frontier
-from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec
 from ..store.traces import get_or_build_trace
 from ..workloads import DEFAULT_REGISTRY, ScenarioRegistry
 from ..workloads.scenarios import Scenario
 from .base import robustscaler_spec
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..store import ArtifactStore
 
 __all__ = [
     "ScenarioSweepConfig",
@@ -82,39 +88,256 @@ def scenario_sweep_defaults(scenario: Scenario) -> dict:
     return grids
 
 
+def _sweep_registry(params: dict) -> ScenarioRegistry:
+    # Explicit None check: an empty ScenarioRegistry is falsy (len == 0) and
+    # must not silently fall back to the global registry.
+    registry = params["registry"]
+    return DEFAULT_REGISTRY if registry is None else registry
+
+
+def _sweep_names(params: dict, registry: ScenarioRegistry) -> list[str]:
+    """The scenarios to sweep, in sweep order."""
+    if params["scenario_names"] is None:
+        names = registry.names()
+    else:
+        names = list(params["scenario_names"])
+    if not names:
+        raise ExperimentError("scenario sweep requires at least one scenario")
+    return names
+
+
+def _build_tasks(params: dict, ctx: RunContext) -> tuple[list[EvalTask], list[dict]]:
+    """Expand the sweep parameters into runtime tasks.
+
+    Returns ``(tasks, skipped)`` where ``tasks`` is the evaluation batch
+    (grouped by scenario, so executors get good workload-cache locality) and
+    ``skipped`` holds one note row per scenario whose test window is too
+    small to replay at the configured scale.
+    """
+    registry = _sweep_registry(params)
+    names = _sweep_names(params, registry)
+
+    tasks: list[EvalTask] = []
+    skipped: list[dict] = []
+    for name in names:
+        scenario = registry.get(name)
+        trace = get_or_build_trace(
+            scenario, scale=params["scale"], seed=params["seed"], store=ctx.store
+        )
+        _, test = trace.split(scenario.train_fraction)
+        if test.n_queries < params["min_test_queries"]:
+            skipped.append(
+                {
+                    "scenario": scenario.name,
+                    "scaler": "-",
+                    "note": (
+                        f"skipped: only {test.n_queries} test queries "
+                        f"at scale {params['scale']:g}"
+                    ),
+                }
+            )
+            continue
+
+        prep = PrepSpec(
+            train_fraction=scenario.train_fraction,
+            bin_seconds=scenario.bin_seconds,
+            pending_time=scenario.pending_time,
+            engine=ctx.engine,
+        )
+        if params["registry"] is None:
+            workload = WorkloadSpec(
+                scenario=scenario.name,
+                scale=params["scale"],
+                seed=params["seed"],
+                prep=prep,
+            )
+        else:
+            # Custom registries are not importable inside pool workers, so
+            # ship the concrete trace instead of the scenario name.
+            workload = WorkloadSpec(trace=trace, prep=prep)
+
+        grids = scenario_sweep_defaults(scenario)
+        hp_targets = (
+            grids["hp_targets"]
+            if params["hp_targets"] is None
+            else params["hp_targets"]
+        )
+        rt_budgets = params["rt_budgets"]
+        if rt_budgets is None:
+            rt_budgets = [
+                scenario.pending_time * f for f in grids["rt_budget_fractions"]
+            ]
+        cost_budgets = params["cost_budgets"]
+        if cost_budgets is None:
+            mean_gap = 1.0 / max(test.mean_qps, 1e-9)
+            cost_budgets = [mean_gap * f for f in grids["cost_budget_fractions"]]
+
+        extra = (("scenario", scenario.name),)
+        specs: list[ScalerSpec] = [ScalerSpec("reactive")]
+        specs += [ScalerSpec("bp", int(size)) for size in params["pool_sizes"]]
+        specs += [ScalerSpec("adapbp", float(f)) for f in params["adaptive_factors"]]
+        specs += [robustscaler_spec(params, "rs-hp", t) for t in hp_targets]
+        if params["include_rt_variant"]:
+            specs += [
+                robustscaler_spec(params, "rs-rt", b)
+                for b in sorted(rt_budgets, reverse=True)
+            ]
+        if params["include_cost_variant"]:
+            specs += [
+                robustscaler_spec(params, "rs-cost", b) for b in sorted(cost_budgets)
+            ]
+        tasks += [EvalTask(workload, spec, extra=extra) for spec in specs]
+    return tasks, skipped
+
+
+def _run_scenario_sweep(params: dict, ctx: RunContext) -> list[dict]:
+    """Run the autoscaler comparison on every configured scenario.
+
+    Returns one row per (scenario, scaler, parameter) combination with the
+    usual summary metrics plus ``on_frontier`` marking the scenario's
+    cost/hit-rate Pareto frontier.
+    """
+    tasks, skipped = _build_tasks(params, ctx)
+    evaluated = ctx.run_rows(tasks, base_seed=params["seed"])
+
+    by_scenario: dict[str, list[dict]] = {}
+    for row in evaluated:
+        by_scenario.setdefault(row["scenario"], []).append(row)
+    for scenario_rows in by_scenario.values():
+        _mark_frontier(scenario_rows)
+
+    # Interleave evaluated and skipped scenarios back into sweep order.
+    registry = _sweep_registry(params)
+    notes = {row["scenario"]: row for row in skipped}
+    rows: list[dict] = []
+    for name in _sweep_names(params, registry):
+        canonical = registry.get(name).name
+        if canonical in by_scenario:
+            rows.extend(by_scenario.pop(canonical))
+        elif canonical in notes:
+            rows.append(notes.pop(canonical))
+    return rows
+
+
+register_experiment(
+    ExperimentSpec(
+        name="scenario-sweep",
+        title="autoscaler comparison across the whole scenario registry",
+        params=(
+            ParamSpec(
+                "scenario_names",
+                "str",
+                None,
+                sequence=True,
+                cli_flag="--scenario",
+                help="restrict to this scenario (default: whole registry)",
+            ),
+            ParamSpec("scale", "float", 0.1, help="trace size factor"),
+            ParamSpec("seed", "int", 7, help="trace-generation and Monte Carlo seed"),
+            ParamSpec(
+                "planning_interval", "float", 10.0, help="RobustScaler Delta (seconds)"
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                120,
+                cli_flag="--mc-samples",
+                help="Monte Carlo sample size R",
+            ),
+            ParamSpec(
+                "hp_targets",
+                "float",
+                None,
+                sequence=True,
+                cli_flag="--hp-target",
+                help="RobustScaler-HP targets (default: per-scenario grids)",
+            ),
+            ParamSpec(
+                "rt_budgets",
+                "float",
+                None,
+                sequence=True,
+                cli_flag="--rt-budget",
+                help="RobustScaler-RT waiting budgets in seconds "
+                "(default: per-scenario fractions of the pending time)",
+            ),
+            ParamSpec(
+                "cost_budgets",
+                "float",
+                None,
+                sequence=True,
+                cli_flag="--cost-budget",
+                help="RobustScaler-cost idle budgets in seconds "
+                "(default: per-scenario fractions of the mean gap)",
+            ),
+            ParamSpec(
+                "include_rt_variant",
+                "bool",
+                True,
+                cli_flag="--rt-variant",
+                help="sweep the RT-constrained RobustScaler",
+            ),
+            ParamSpec(
+                "include_cost_variant",
+                "bool",
+                True,
+                cli_flag="--cost-variant",
+                help="sweep the cost-constrained RobustScaler",
+            ),
+            ParamSpec(
+                "pool_sizes",
+                "int",
+                (1, 4),
+                sequence=True,
+                cli_flag="--pool-size",
+                help="Backup Pool sizes",
+            ),
+            ParamSpec(
+                "adaptive_factors",
+                "float",
+                (10.0,),
+                sequence=True,
+                cli_flag="--adaptive-factor",
+                help="Adaptive Backup Pool rate factors",
+            ),
+            ParamSpec(
+                "min_test_queries",
+                "int",
+                8,
+                help="skip scenarios whose test window is smaller than this",
+            ),
+            ParamSpec(
+                "registry",
+                "object",
+                None,
+                help="explicit ScenarioRegistry (default: the global one)",
+            ),
+        ),
+        run=_run_scenario_sweep,
+        result_columns=(
+            "scenario",
+            "scaler",
+            "pool_size",
+            "rate_factor",
+            "target_hp",
+            "n_queries",
+            "hit_rate",
+            "rt_avg",
+            "relative_cost",
+            "on_frontier",
+            "note",
+        ),
+        scenario_param="scenario_names",
+    )
+)
+
+
 @dataclass
 class ScenarioSweepConfig:
-    """Parameters of the scenario sweep.
+    """Deprecated parameter object of the ``"scenario-sweep"`` experiment.
 
-    Attributes
-    ----------
-    scenario_names:
-        Which scenarios to run; ``None`` sweeps the whole registry.
-    scale:
-        Trace size factor applied to every scenario (1.0 = full size).
-    seed:
-        Seed for trace generation and per-task Monte Carlo streams.
-    planning_interval, monte_carlo_samples:
-        RobustScaler planner settings.
-    hp_targets:
-        Target hit probabilities for the RobustScaler-HP sweep; ``None``
-        uses the per-scenario defaults of :func:`scenario_sweep_defaults`.
-    rt_budgets, cost_budgets:
-        Explicit RT/cost constraint grids (seconds); ``None`` derives them
-        from the per-scenario default fractions.
-    include_rt_variant, include_cost_variant:
-        Allow dropping the RT-/cost-constrained RobustScaler sweeps for
-        faster runs.
-    pool_sizes, adaptive_factors:
-        Baseline sweep grids (Backup Pool sizes, AdapBP rate factors).
-    min_test_queries:
-        Scenarios whose test window holds fewer queries than this are
-        reported with a ``note`` instead of being replayed.
-    registry:
-        Scenario registry to sweep; defaults to the global one.
-    workers:
-        Process count for the evaluation; ``None`` consults the
-        ``REPRO_WORKERS`` environment variable and defaults to serial.
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
     """
 
     scenario_names: Sequence[str] | None = None
@@ -132,153 +355,49 @@ class ScenarioSweepConfig:
     min_test_queries: int = 8
     registry: ScenarioRegistry | None = None
     workers: int | None = None
-    #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
-    #: Disk artifact store: prepared workloads and generated traces persist
-    #: across CLI invocations, and ``run_id`` journaling becomes available.
-    store: "ArtifactStore | None" = None
-    #: Journal per-task completions under this id (resumable runs).
+    store: object = None
     run_id: str | None = None
 
-
-def _sweep_registry(config: ScenarioSweepConfig) -> ScenarioRegistry:
-    # Explicit None check: an empty ScenarioRegistry is falsy (len == 0) and
-    # must not silently fall back to the global registry.
-    return DEFAULT_REGISTRY if config.registry is None else config.registry
-
-
-def _sweep_names(config: ScenarioSweepConfig, registry: ScenarioRegistry) -> list[str]:
-    """The scenarios to sweep, in sweep order."""
-    if config.scenario_names is None:
-        names = registry.names()
-    else:
-        names = list(config.scenario_names)
-    if not names:
-        raise ExperimentError("scenario sweep requires at least one scenario")
-    return names
-
-
-def build_scenario_sweep_tasks(
-    config: ScenarioSweepConfig | None = None,
-) -> tuple[list[EvalTask], list[dict]]:
-    """Expand the sweep configuration into runtime tasks.
-
-    Returns ``(tasks, skipped)`` where ``tasks`` is the evaluation batch
-    (grouped by scenario, so executors get good workload-cache locality) and
-    ``skipped`` holds one note row per scenario whose test window is too
-    small to replay at the configured scale.
-    """
-    config = config or ScenarioSweepConfig()
-    registry = _sweep_registry(config)
-    names = _sweep_names(config, registry)
-
-    tasks: list[EvalTask] = []
-    skipped: list[dict] = []
-    for name in names:
-        scenario = registry.get(name)
-        trace = get_or_build_trace(
-            scenario, scale=config.scale, seed=config.seed, store=config.store
-        )
-        _, test = trace.split(scenario.train_fraction)
-        if test.n_queries < config.min_test_queries:
-            skipped.append(
-                {
-                    "scenario": scenario.name,
-                    "scaler": "-",
-                    "note": (
-                        f"skipped: only {test.n_queries} test queries "
-                        f"at scale {config.scale:g}"
-                    ),
-                }
-            )
-            continue
-
-        prep = PrepSpec(
-            train_fraction=scenario.train_fraction,
-            bin_seconds=scenario.bin_seconds,
-            pending_time=scenario.pending_time,
-            engine=config.engine,
-        )
-        if config.registry is None:
-            workload = WorkloadSpec(
-                scenario=scenario.name,
-                scale=config.scale,
-                seed=config.seed,
-                prep=prep,
-            )
-        else:
-            # Custom registries are not importable inside pool workers, so
-            # ship the concrete trace instead of the scenario name.
-            workload = WorkloadSpec(trace=trace, prep=prep)
-
-        grids = scenario_sweep_defaults(scenario)
-        hp_targets = (
-            grids["hp_targets"] if config.hp_targets is None else config.hp_targets
-        )
-        rt_budgets = config.rt_budgets
-        if rt_budgets is None:
-            rt_budgets = [
-                scenario.pending_time * f for f in grids["rt_budget_fractions"]
-            ]
-        cost_budgets = config.cost_budgets
-        if cost_budgets is None:
-            mean_gap = 1.0 / max(test.mean_qps, 1e-9)
-            cost_budgets = [mean_gap * f for f in grids["cost_budget_fractions"]]
-
-        extra = (("scenario", scenario.name),)
-        specs: list[ScalerSpec] = [ScalerSpec("reactive")]
-        specs += [ScalerSpec("bp", int(size)) for size in config.pool_sizes]
-        specs += [ScalerSpec("adapbp", float(f)) for f in config.adaptive_factors]
-        specs += [robustscaler_spec(config, "rs-hp", t) for t in hp_targets]
-        if config.include_rt_variant:
-            specs += [
-                robustscaler_spec(config, "rs-rt", b)
-                for b in sorted(rt_budgets, reverse=True)
-            ]
-        if config.include_cost_variant:
-            specs += [
-                robustscaler_spec(config, "rs-cost", b) for b in sorted(cost_budgets)
-            ]
-        tasks += [EvalTask(workload, spec, extra=extra) for spec in specs]
-    return tasks, skipped
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "scenario-sweep")
 
 
 def run_scenario_sweep_experiment(
     config: ScenarioSweepConfig | None = None,
 ) -> list[dict]:
-    """Run the autoscaler comparison on every configured scenario.
+    """Registry-wide autoscaler sweep (deprecated wrapper over the registry)."""
+    return run_legacy_config("scenario-sweep", config)
 
-    Returns one row per (scenario, scaler, parameter) combination with the
-    usual summary metrics plus ``on_frontier`` marking the scenario's
-    cost/hit-rate Pareto frontier.
+
+def build_scenario_sweep_tasks(
+    config: ScenarioSweepConfig | None = None,
+) -> tuple[list[EvalTask], list[dict]]:
+    """Expand a (deprecated) sweep configuration into runtime tasks.
+
+    Kept for callers that schedule the batch themselves (the runtime
+    benchmark); the registry path builds its tasks internally.
     """
-    config = config or ScenarioSweepConfig()
-    tasks, skipped = build_scenario_sweep_tasks(config)
-    evaluated = run_task_rows(
-        tasks,
-        base_seed=config.seed,
-        workers=config.workers,
-        store=config.store,
-        run_id=config.run_id,
-    )
+    from ..api import get_experiment
+    from ..api.session import RunContext
+    from ..simulation.runner import resolve_engine
 
-    by_scenario: dict[str, list[dict]] = {}
-    for row in evaluated:
-        by_scenario.setdefault(row["scenario"], []).append(row)
-    for scenario_rows in by_scenario.values():
-        _mark_frontier(scenario_rows)
-
-    # Interleave evaluated and skipped scenarios back into sweep order.
-    registry = _sweep_registry(config)
-    notes = {row["scenario"]: row for row in skipped}
-    rows: list[dict] = []
-    for name in _sweep_names(config, registry):
-        canonical = registry.get(name).name
-        if canonical in by_scenario:
-            rows.extend(by_scenario.pop(canonical))
-        elif canonical in notes:
-            rows.append(notes.pop(canonical))
-    return rows
+    spec = get_experiment("scenario-sweep")
+    if config is None:
+        params = spec.resolve(None)
+        ctx = RunContext(engine=resolve_engine(None))
+    else:
+        params = spec.resolve(
+            {
+                p.name: getattr(config, p.name)
+                for p in spec.params
+                if hasattr(config, p.name)
+            }
+        )
+        ctx = RunContext(
+            engine=resolve_engine(config.engine), store=config.store
+        )
+    return _build_tasks(params, ctx)
 
 
 def _mark_frontier(rows: list[dict]) -> None:

@@ -6,31 +6,170 @@ are ordered by arrival time, their per-query QoS is averaged over blocks of
 against the overall mean — the construction of Fig. 5(a) (hit rate) and
 Fig. 5(b) (response time).
 
-The sweep is a :mod:`repro.runtime` task batch whose tasks request the
-windowed statistics (``variance_window``), so the single prepared workload
-is shared across every candidate and the replays parallelize with
-``workers`` / ``REPRO_WORKERS``.
+Registered as ``"variance"`` in :mod:`repro.api`; the sweep is a
+:mod:`repro.runtime` task batch whose tasks request the windowed statistics
+(``variance_window``), so the single prepared workload is shared across
+every candidate and the replays parallelize with ``workers`` /
+``REPRO_WORKERS``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import Sequence
 
-from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec, run_task_rows
+from ..api import (
+    ExperimentSpec,
+    ParamSpec,
+    register_experiment,
+    run_legacy_config,
+    warn_deprecated_config,
+)
+from ..api.session import RunContext
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec
 from ..store.traces import get_or_build_trace
 from ..workloads import get_scenario
 from .base import robustscaler_spec, trace_defaults
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..store import ArtifactStore
-
 __all__ = ["VarianceExperimentConfig", "run_variance_experiment"]
+
+
+def _run_variance(params: dict, ctx: RunContext) -> list[dict]:
+    """Measure windowed QoS variance for each autoscaler sweep (Fig. 5)."""
+    defaults = trace_defaults(params["trace_name"])
+    trace = get_or_build_trace(
+        get_scenario(params["trace_name"]),
+        scale=params["scale"],
+        seed=params["seed"],
+        store=ctx.store,
+    )
+    _, test = trace.split(defaults["train_fraction"])
+    mean_gap = 1.0 / max(test.mean_qps, 1e-9)
+
+    workload = WorkloadSpec(
+        scenario=params["trace_name"],
+        scale=params["scale"],
+        seed=params["seed"],
+        prep=PrepSpec(
+            train_fraction=defaults["train_fraction"],
+            bin_seconds=defaults["bin_seconds"],
+            engine=ctx.engine,
+        ),
+    )
+
+    def rs_spec(kind: str, target: float) -> ScalerSpec:
+        return robustscaler_spec(params, kind, target, parameter_name="parameter")
+
+    candidates: list[tuple[str, ScalerSpec]] = []
+    for size in params["pool_sizes"]:
+        candidates.append(
+            ("BP", ScalerSpec("bp", int(size), parameter_name="parameter"))
+        )
+    for factor in params["adaptive_factors"]:
+        candidates.append(
+            ("AdapBP", ScalerSpec("adapbp", float(factor), parameter_name="parameter"))
+        )
+    for target in params["hp_targets"]:
+        candidates.append(("RobustScaler-HP", rs_spec("rs-hp", target)))
+    for fraction in params["cost_budget_fractions"]:
+        candidates.append(
+            ("RobustScaler-cost", rs_spec("rs-cost", mean_gap * fraction))
+        )
+
+    tasks = [
+        EvalTask(
+            workload,
+            spec,
+            extra=(("family", family),),
+            variance_window=params["window"],
+        )
+        for family, spec in candidates
+    ]
+    return ctx.run_rows(tasks, base_seed=params["seed"])
+
+
+register_experiment(
+    ExperimentSpec(
+        name="variance",
+        title="windowed QoS variance of each autoscaler sweep",
+        artifact="Fig. 5",
+        params=(
+            ParamSpec(
+                "trace_name",
+                "str",
+                "crs",
+                cli_flag="--trace",
+                help="trace / workload scenario",
+            ),
+            ParamSpec("scale", "float", 0.25, help="trace size factor"),
+            ParamSpec("seed", "int", 7, help="trace-generation and Monte Carlo seed"),
+            ParamSpec("window", "int", 50, help="queries per QoS averaging block"),
+            ParamSpec(
+                "planning_interval", "float", 2.0, help="RobustScaler Delta (seconds)"
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                400,
+                cli_flag="--mc-samples",
+                help="Monte Carlo sample size R",
+            ),
+            ParamSpec(
+                "hp_targets",
+                "float",
+                (0.3, 0.6, 0.9),
+                sequence=True,
+                cli_flag="--hp-target",
+                help="RobustScaler-HP targets",
+            ),
+            ParamSpec(
+                "cost_budget_fractions",
+                "float",
+                (0.02, 0.1, 0.3),
+                sequence=True,
+                cli_flag="--cost-budget-fraction",
+                help="idle budgets as fractions of the mean inter-arrival gap",
+            ),
+            ParamSpec(
+                "pool_sizes",
+                "int",
+                (1, 2, 4),
+                sequence=True,
+                cli_flag="--pool-size",
+                help="Backup Pool sizes",
+            ),
+            ParamSpec(
+                "adaptive_factors",
+                "float",
+                (25.0, 50.0, 100.0),
+                sequence=True,
+                cli_flag="--adaptive-factor",
+                help="Adaptive Backup Pool rate factors",
+            ),
+        ),
+        run=_run_variance,
+        result_columns=(
+            "trace",
+            "scaler",
+            "family",
+            "parameter",
+            "hit_rate_mean",
+            "hit_rate_variance",
+            "rt_mean",
+            "rt_variance",
+        ),
+        scenario_param="trace_name",
+    )
+)
 
 
 @dataclass
 class VarianceExperimentConfig:
-    """Parameters of the QoS-variance experiment (Fig. 5)."""
+    """Deprecated parameter object of the ``"variance"`` experiment.
+
+    Retained for one release as a shim over the registry schema;
+    construction emits a :class:`DeprecationWarning`.
+    """
 
     trace_name: str = "crs"
     scale: float = 0.25
@@ -43,67 +182,16 @@ class VarianceExperimentConfig:
     pool_sizes: Sequence[int] = (1, 2, 4)
     adaptive_factors: Sequence[float] = (25.0, 50.0, 100.0)
     workers: int | None = None
-    #: Replay engine ("reference" / "batched"); both give identical rows.
     engine: str | None = None
-    #: Disk artifact store: prepared workloads and generated traces persist
-    #: across CLI invocations, and ``run_id`` journaling becomes available.
-    store: "ArtifactStore | None" = None
-    #: Journal per-task completions under this id (resumable runs).
+    store: object = None
     run_id: str | None = None
 
+    def __post_init__(self) -> None:
+        warn_deprecated_config(self, "variance")
 
-def run_variance_experiment(config: VarianceExperimentConfig | None = None) -> list[dict]:
-    """Measure windowed QoS variance for each autoscaler sweep (Fig. 5)."""
-    config = config or VarianceExperimentConfig()
-    defaults = trace_defaults(config.trace_name)
-    trace = get_or_build_trace(
-        get_scenario(config.trace_name),
-        scale=config.scale,
-        seed=config.seed,
-        store=config.store,
-    )
-    _, test = trace.split(defaults["train_fraction"])
-    mean_gap = 1.0 / max(test.mean_qps, 1e-9)
 
-    workload = WorkloadSpec(
-        scenario=config.trace_name,
-        scale=config.scale,
-        seed=config.seed,
-        prep=PrepSpec(
-            train_fraction=defaults["train_fraction"],
-            bin_seconds=defaults["bin_seconds"],
-            engine=config.engine,
-        ),
-    )
-
-    def rs_spec(kind: str, target: float) -> ScalerSpec:
-        return robustscaler_spec(config, kind, target, parameter_name="parameter")
-
-    candidates: list[tuple[str, ScalerSpec]] = []
-    for size in config.pool_sizes:
-        candidates.append(("BP", ScalerSpec("bp", int(size), parameter_name="parameter")))
-    for factor in config.adaptive_factors:
-        candidates.append(
-            ("AdapBP", ScalerSpec("adapbp", float(factor), parameter_name="parameter"))
-        )
-    for target in config.hp_targets:
-        candidates.append(("RobustScaler-HP", rs_spec("rs-hp", target)))
-    for fraction in config.cost_budget_fractions:
-        candidates.append(("RobustScaler-cost", rs_spec("rs-cost", mean_gap * fraction)))
-
-    tasks = [
-        EvalTask(
-            workload,
-            spec,
-            extra=(("family", family),),
-            variance_window=config.window,
-        )
-        for family, spec in candidates
-    ]
-    return run_task_rows(
-        tasks,
-        base_seed=config.seed,
-        workers=config.workers,
-        store=config.store,
-        run_id=config.run_id,
-    )
+def run_variance_experiment(
+    config: VarianceExperimentConfig | None = None,
+) -> list[dict]:
+    """Fig. 5 windowed QoS variance (deprecated wrapper over the registry)."""
+    return run_legacy_config("variance", config)

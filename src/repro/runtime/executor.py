@@ -303,6 +303,10 @@ def run_tasks(
     results: dict[int, EvalResult] = {}
     if journal is not None:
         results = _load_journaled(journal, tasks)
+        # Register the run (task total + recovered count) in the store's
+        # results-namespace index so `repro store ls --runs` can group
+        # journaled artifacts by run id with per-run completion counts.
+        journal.publish_index(len(tasks))
         if on_result is not None:
             for index in sorted(results):
                 on_result(results[index])

@@ -109,7 +109,9 @@ class PrepSpec:
         engine = resolved["engine"]
         if engine is None:
             simulation = resolved["simulation"]
-            engine = simulation.engine if simulation is not None else "reference"
+            engine = (
+                simulation.engine if simulation is not None else None
+            ) or "reference"
         return (
             resolved["train_fraction"],
             resolved["bin_seconds"],

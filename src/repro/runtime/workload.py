@@ -29,7 +29,7 @@ from ..nhpp.model import NHPPModel
 from ..pending import DeterministicPendingTime, PendingTimeModel
 from ..scaling.backup_pool import ReactiveScaler
 from ..scaling.base import Autoscaler
-from ..simulation.runner import replay
+from ..simulation.runner import _LEGACY_ENGINE, replay
 from ..types import ArrivalTrace, SimulationResult
 
 __all__ = ["EXTRA_METRICS", "PreparedWorkload", "prepare_workload", "evaluate_prepared"]
@@ -136,7 +136,10 @@ def prepare_workload(
         Explicit period (in bins) to use instead of running detection.
     engine:
         Replay engine override (``"reference"`` / ``"batched"``); ``None``
-        keeps whatever ``simulation`` selects.  Both engines produce
+        keeps whatever ``simulation`` selects, falling back to the legacy
+        ``"reference"`` engine when the simulation config is silent too
+        (:class:`repro.api.Session` and the CLI always pass an explicit
+        engine, defaulting to ``"batched"``).  Both engines produce
         identical results, so this only changes replay speed.
     """
     train, test = trace.split(train_fraction)
@@ -145,8 +148,9 @@ def prepare_workload(
     forecast = model.forecast()
     pending_model = DeterministicPendingTime(pending_time)
     sim_config = simulation or SimulationConfig(pending_time=pending_time)
-    if engine is not None and engine != sim_config.engine:
-        sim_config = replace(sim_config, engine=engine)
+    effective_engine = engine or sim_config.engine or _LEGACY_ENGINE
+    if effective_engine != sim_config.engine:
+        sim_config = replace(sim_config, engine=effective_engine)
     reference = replay(test, ReactiveScaler(), sim_config)
     return PreparedWorkload(
         name=trace.name,

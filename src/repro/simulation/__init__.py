@@ -2,14 +2,22 @@
 
 from .engine import ScalingPerQuerySimulator
 from .fastengine import BatchedEventSimulator
-from .runner import create_simulator, evaluate_scaler, replay
+from .runner import (
+    DEFAULT_ENGINE,
+    create_simulator,
+    evaluate_scaler,
+    replay,
+    resolve_engine,
+)
 from .realenv import real_environment_config
 
 __all__ = [
+    "DEFAULT_ENGINE",
     "ScalingPerQuerySimulator",
     "BatchedEventSimulator",
     "create_simulator",
     "replay",
     "evaluate_scaler",
     "real_environment_config",
+    "resolve_engine",
 ]

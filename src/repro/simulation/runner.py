@@ -1,6 +1,23 @@
-"""Convenience wrappers around the simulator for experiments and examples."""
+"""Convenience wrappers around the simulator for experiments and examples.
+
+Engine selection lives here.  The **API-layer default** is the batched
+engine (:data:`DEFAULT_ENGINE`): :class:`repro.api.Session`, the registry
+runners and the generated CLI all resolve an unspecified engine to
+``"batched"`` through :func:`resolve_engine` (``"reference"`` remains the
+escape hatch; the two produce bit-identical results, enforced by
+``tests/test_engine_parity.py``).
+
+The **legacy implicit path** — :func:`create_simulator` with a
+:class:`~repro.config.SimulationConfig` that never chose an engine — keeps
+instantiating the reference engine for one release so downstream users of
+:class:`~repro.simulation.engine.ScalingPerQuerySimulator` internals are
+not switched silently, but it now emits a :class:`DeprecationWarning`
+asking for an explicit choice.
+"""
 
 from __future__ import annotations
+
+import warnings
 
 from ..config import SimulationConfig
 from ..exceptions import ConfigurationError
@@ -11,13 +28,42 @@ from ..types import ArrivalTrace, SimulationResult
 from .engine import ScalingPerQuerySimulator
 from .fastengine import BatchedEventSimulator
 
-__all__ = ["create_simulator", "replay", "evaluate_scaler"]
+__all__ = [
+    "DEFAULT_ENGINE",
+    "create_simulator",
+    "replay",
+    "evaluate_scaler",
+    "resolve_engine",
+]
+
+#: The engine an unspecified choice resolves to at the ``repro.api`` layer.
+DEFAULT_ENGINE = "batched"
+
+#: What the legacy implicit ``create_simulator`` path instantiates (kept for
+#: one deprecation release; the semantics-defining per-query event loop).
+_LEGACY_ENGINE = "reference"
 
 #: Engine name -> simulator class; both expose ``replay(trace, scaler)``.
 _ENGINES = {
     "reference": ScalingPerQuerySimulator,
     "batched": BatchedEventSimulator,
 }
+
+
+def resolve_engine(engine: str | None) -> str:
+    """The concrete engine an API-layer selection denotes.
+
+    ``None`` (unspecified) resolves to :data:`DEFAULT_ENGINE`; explicit
+    names are validated and passed through.
+    """
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in _ENGINES:
+        raise ConfigurationError(
+            f"unknown simulation engine {engine!r}; expected one of "
+            f"{sorted(_ENGINES)}"
+        )
+    return engine
 
 
 def create_simulator(
@@ -27,21 +73,44 @@ def create_simulator(
 ):
     """Instantiate the replay engine selected by ``config.engine``.
 
-    ``"reference"`` (the default) is the per-query event loop of
+    ``"reference"`` is the per-query event loop of
     :class:`~repro.simulation.engine.ScalingPerQuerySimulator`, whose
     semantics define Algorithm 1; ``"batched"`` is the vectorized
     :class:`~repro.simulation.fastengine.BatchedEventSimulator`, which
     produces bit-identical results at a fraction of the cost on large
     traces.
+
+    A config that never chose an engine (``engine=None``) instantiates the
+    reference engine for backwards compatibility, with a
+    :class:`DeprecationWarning`: the API layer (:class:`repro.api.Session`,
+    the registry, the CLI) now defaults to ``"batched"``, and the implicit
+    reference default here will follow once the deprecation window closes.
     """
     config = config or SimulationConfig()
+    engine = config.engine
+    if engine is None:
+        warnings.warn(
+            "create_simulator() without an explicit engine is deprecated: "
+            "the repro.api layer now defaults to engine='batched' while this "
+            "legacy path still instantiates the 'reference' engine. Pass "
+            "SimulationConfig(engine='reference') to keep the event-loop "
+            "engine explicitly, or engine='batched' for the (bit-identical) "
+            "vectorized engine.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        engine = _LEGACY_ENGINE
     try:
-        engine_cls = _ENGINES[config.engine]
+        engine_cls = _ENGINES[engine]
     except KeyError:  # pragma: no cover - SimulationConfig validates first
         raise ConfigurationError(
-            f"unknown simulation engine {config.engine!r}; "
+            f"unknown simulation engine {engine!r}; "
             f"expected one of {sorted(_ENGINES)}"
         ) from None
+    if engine_cls is ScalingPerQuerySimulator:
+        return ScalingPerQuerySimulator(
+            config, pending_model=pending_model, _from_factory=True
+        )
     return engine_cls(config, pending_model=pending_model)
 
 

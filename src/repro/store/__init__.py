@@ -36,7 +36,7 @@ from .artifacts import (
     StoreStats,
     key_digest,
 )
-from .runs import RunJournal
+from .runs import RunJournal, list_runs
 from .traces import get_or_build_trace, trace_cache_key
 
 __all__ = [
@@ -50,6 +50,7 @@ __all__ = [
     "default_store_dir",
     "get_or_build_trace",
     "key_digest",
+    "list_runs",
     "resolve_store",
     "trace_cache_key",
 ]

@@ -95,12 +95,17 @@ class ArtifactEntry:
 
 @dataclass(frozen=True)
 class GCReport:
-    """Outcome of one :meth:`ArtifactStore.gc` pass."""
+    """Outcome of one :meth:`ArtifactStore.gc` pass.
+
+    ``pinned`` counts artifacts a pin prefix exempted from eviction (they
+    are also included in ``kept`` / ``kept_bytes``).
+    """
 
     removed: int
     freed_bytes: int
     kept: int
     kept_bytes: int
+    pinned: int = 0
 
 
 class ArtifactStore:
@@ -288,21 +293,40 @@ class ArtifactStore:
             except OSError:
                 continue
 
+    @staticmethod
+    def _is_pinned(entry: ArtifactEntry, pins: tuple[str, ...]) -> bool:
+        """Whether a pin prefix protects ``entry`` from eviction.
+
+        A pin matches either the bare key digest (as printed by
+        ``repro store ls``) or the ``namespace/digest`` qualified form, so
+        ``--pin workloads/`` protects a whole namespace (e.g. golden
+        workloads) and ``--pin workloads/ab12`` one artifact.
+        """
+        qualified = f"{entry.namespace}/{entry.digest}"
+        return any(
+            entry.digest.startswith(pin) or qualified.startswith(pin)
+            for pin in pins
+        )
+
     def gc(
         self,
         *,
         max_bytes: int | None = None,
         max_age_seconds: float | None = None,
         now: float | None = None,
+        pins: tuple[str, ...] | list[str] = (),
     ) -> GCReport:
         """Evict artifacts beyond the age bound, then the size bound.
 
         Eviction is oldest-first (modification time approximates least
         recently written); with both bounds ``None`` this is a no-op that
         just reports the store's size.  Every artifact is regenerable, so
-        eviction is always safe.  Stale temp files abandoned by killed
-        writers are reclaimed as part of every pass (they are not artifacts
-        and are not counted in the report).
+        eviction is always safe.  ``pins`` are key-digest prefixes (bare or
+        ``namespace/``-qualified) whose artifacts survive both bounds —
+        which is how golden workloads outlive an aggressive size cap.
+        Stale temp files abandoned by killed writers are reclaimed as part
+        of every pass (they are not artifacts and are not counted in the
+        report).
         """
         if max_bytes is not None and max_bytes < 0:
             raise ValidationError(f"max_bytes must be >= 0, got {max_bytes}")
@@ -310,18 +334,23 @@ class ArtifactStore:
             raise ValidationError(
                 f"max_age_seconds must be >= 0, got {max_age_seconds}"
             )
+        pins = tuple(str(pin) for pin in pins if str(pin))
         now = time.time() if now is None else float(now)
         self._reap_tmp_files(older_than_seconds=600.0, now=now)
-        entries = self.entries()
+        pinned: list[ArtifactEntry] = []
         keep: list[ArtifactEntry] = []
         evict: list[ArtifactEntry] = []
-        for entry in entries:
-            if max_age_seconds is not None and now - entry.mtime > max_age_seconds:
+        for entry in self.entries():
+            if self._is_pinned(entry, pins):
+                pinned.append(entry)
+            elif max_age_seconds is not None and now - entry.mtime > max_age_seconds:
                 evict.append(entry)
             else:
                 keep.append(entry)
         if max_bytes is not None:
-            kept_bytes = sum(entry.size_bytes for entry in keep)
+            kept_bytes = sum(entry.size_bytes for entry in keep) + sum(
+                entry.size_bytes for entry in pinned
+            )
             while keep and kept_bytes > max_bytes:
                 oldest = keep.pop(0)
                 kept_bytes -= oldest.size_bytes
@@ -335,11 +364,13 @@ class ArtifactStore:
                 continue
             removed += 1
             freed += entry.size_bytes
+        kept_entries = keep + pinned
         return GCReport(
             removed=removed,
             freed_bytes=freed,
-            kept=len(keep),
-            kept_bytes=sum(entry.size_bytes for entry in keep),
+            kept=len(kept_entries),
+            kept_bytes=sum(entry.size_bytes for entry in kept_entries),
+            pinned=len(pinned),
         )
 
     def clear(self) -> int:

@@ -12,16 +12,37 @@ execution metadata), not executor types, so :mod:`repro.store` stays free
 of :mod:`repro.runtime` imports; the executor converts records back into
 ``EvalResult`` objects.  Rows round-trip through pickle, which preserves
 floats bit-exactly — the property the resumability guarantee rests on.
+
+Because per-task records are content-addressed (their file names are key
+digests), they cannot be grouped back into runs by listing the directory.
+The journal therefore also maintains a **run index** in the same
+``results`` namespace: one small meta artifact per run (completion count,
+task total, base seed, last update) plus a catalog naming every journaled
+run — which is what ``repro store ls --runs`` and :func:`list_runs` read.
+The index is advisory (the per-task records alone are sufficient for
+resumption); the per-run meta is only written by the process that owns the
+run, while the shared catalog is merged best-effort (membership is
+re-asserted on every completion, so a concurrent-registration race heals
+within one task).
 """
 
 from __future__ import annotations
 
+import time
+
 from .artifacts import ArtifactStore
 
-__all__ = ["RunJournal"]
+__all__ = ["RunJournal", "list_runs"]
 
 #: Namespace run records live in.
 _NAMESPACE = "results"
+
+#: Key of the catalog artifact naming every journaled run.
+_CATALOG_KEY = ("run-catalog",)
+
+
+def _meta_key(run_id: str) -> tuple:
+    return ("run-meta", str(run_id))
 
 
 class RunJournal:
@@ -31,6 +52,10 @@ class RunJournal:
         self.store = store
         self.run_id = str(run_id)
         self.base_seed = int(base_seed)
+        #: Tasks known complete (recovered at load time or recorded since);
+        #: mirrored into the run-index meta artifact.
+        self.completed = 0
+        self.total: int | None = None
 
     def _key(self, index: int, task_digest: str) -> tuple:
         return ("run", self.run_id, self.base_seed, int(index), task_digest)
@@ -44,8 +69,77 @@ class RunJournal:
         payload = self.store.get(_NAMESPACE, self._key(index, task_digest))
         if not isinstance(payload, dict) or "row" not in payload:
             return None
+        self.completed += 1
         return payload
 
     def record(self, index: int, task_digest: str, payload: dict) -> None:
         """Persist ``payload`` as the completion record of task ``index``."""
         self.store.put(_NAMESPACE, self._key(index, task_digest), payload)
+        self.completed += 1
+        self._write_meta()
+
+    # ------------------------------------------------------------ run index
+
+    def publish_index(self, total: int) -> None:
+        """Register the run (task total + current completion) in the index.
+
+        Called by the executor once the batch size is known — after journal
+        recovery, so a fully journaled rerun still refreshes its counts.
+        """
+        self.total = int(total)
+        self._write_meta()
+
+    def _write_meta(self) -> None:
+        self.store.put(
+            _NAMESPACE,
+            _meta_key(self.run_id),
+            {
+                "run_id": self.run_id,
+                "base_seed": self.base_seed,
+                "total": self.total,
+                "completed": self.completed,
+                "updated_at": time.time(),
+            },
+        )
+        # The shared catalog is a read-modify-write of one artifact, so two
+        # runs registering simultaneously can race and drop each other's
+        # entry (the store has no locks by design).  Rewriting it on every
+        # meta write — i.e. after every task completion — makes a lost entry
+        # self-heal within one task, and keeps the catalog's mtime as fresh
+        # as the run records so oldest-first gc cannot evict the index
+        # before the records it indexes.  The index stays advisory: the
+        # per-task records alone carry the resumption guarantee.
+        catalog = self.store.get(_NAMESPACE, _CATALOG_KEY)
+        if not isinstance(catalog, dict):
+            catalog = {}
+        catalog[self.run_id] = True
+        self.store.put(_NAMESPACE, _CATALOG_KEY, catalog)
+
+
+def list_runs(store: ArtifactStore) -> list[dict]:
+    """Every journaled run with its per-run completion counts, newest first.
+
+    Each row carries ``run_id``, ``base_seed``, ``completed``, ``total``
+    (``None`` for runs journaled before the index existed) and
+    ``updated_at``.  Runs whose meta artifact was evicted by ``gc`` are
+    reported with zeroed counts rather than dropped, so the catalog stays
+    honest about what once ran.
+    """
+    catalog = store.get(_NAMESPACE, _CATALOG_KEY)
+    if not isinstance(catalog, dict):
+        return []
+    rows: list[dict] = []
+    for run_id in catalog:
+        meta = store.get(_NAMESPACE, _meta_key(run_id))
+        if not isinstance(meta, dict):
+            meta = {}
+        rows.append(
+            {
+                "run_id": run_id,
+                "base_seed": meta.get("base_seed"),
+                "completed": int(meta.get("completed", 0)),
+                "total": meta.get("total"),
+                "updated_at": float(meta.get("updated_at", 0.0)),
+            }
+        )
+    return sorted(rows, key=lambda row: row["updated_at"], reverse=True)

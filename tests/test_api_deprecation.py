@@ -1,0 +1,166 @@
+"""Tests for the deprecation shims of the ``repro.api`` redesign.
+
+Three guarantees, per the one-release compatibility window:
+
+* every legacy ``*ExperimentConfig`` dataclass still constructs and runs,
+  emitting exactly one :class:`DeprecationWarning` per construction;
+* the legacy implicit engine paths (``create_simulator`` with no engine
+  chosen, direct ``ScalingPerQuerySimulator`` construction) warn exactly
+  once while preserving their historical behavior — and the escape hatch
+  ``engine="reference"`` stays warning-free;
+* rows produced through a legacy config are bit-identical to the new
+  ``Session`` path (and the engines themselves are bit-identical, so the
+  registry's batched default changes no numbers).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.config import SimulationConfig
+from repro.experiments.ablation import (
+    KappaAblationConfig,
+    MCSampleAblationConfig,
+    RegularizationSensitivityConfig,
+    run_kappa_ablation,
+    run_mc_sample_ablation,
+)
+from repro.experiments.control_accuracy import (
+    ControlAccuracyExperimentConfig,
+    PlanningFrequencyExperimentConfig,
+)
+from repro.experiments.pareto import ParetoExperimentConfig
+from repro.experiments.perturbation import PerturbationExperimentConfig
+from repro.experiments.realenv import RealEnvExperimentConfig
+from repro.experiments.regularization import (
+    RegularizationExperimentConfig,
+    run_regularization_experiment,
+)
+from repro.experiments.robustness import RobustnessExperimentConfig
+from repro.experiments.scalability import (
+    MCAccuracyExperimentConfig,
+    ScalabilityExperimentConfig,
+)
+from repro.experiments.scenario_sweep import ScenarioSweepConfig
+from repro.experiments.variance import VarianceExperimentConfig
+from repro.runtime import strip_timing
+from repro.simulation import (
+    BatchedEventSimulator,
+    ScalingPerQuerySimulator,
+    create_simulator,
+)
+from repro.scaling.backup_pool import BackupPoolScaler
+from repro.types import ArrivalTrace
+
+#: Every legacy config dataclass the redesign deprecated.
+ALL_CONFIGS = [
+    ParetoExperimentConfig,
+    VarianceExperimentConfig,
+    PerturbationExperimentConfig,
+    RobustnessExperimentConfig,
+    ControlAccuracyExperimentConfig,
+    PlanningFrequencyExperimentConfig,
+    ScenarioSweepConfig,
+    ScalabilityExperimentConfig,
+    MCAccuracyExperimentConfig,
+    RegularizationExperimentConfig,
+    RealEnvExperimentConfig,
+    KappaAblationConfig,
+    MCSampleAblationConfig,
+    RegularizationSensitivityConfig,
+]
+
+
+def _deprecations(record) -> list[warnings.WarningMessage]:
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+class TestConfigDeprecation:
+    @pytest.mark.parametrize("config_cls", ALL_CONFIGS, ids=lambda c: c.__name__)
+    def test_construction_warns_exactly_once(self, config_cls):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            config_cls()
+        deprecations = _deprecations(record)
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert config_cls.__name__ in message
+        assert "repro.api.Session" in message
+
+
+class TestEngineDeprecation:
+    def test_create_simulator_without_engine_warns_once(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            simulator = create_simulator(SimulationConfig(pending_time=5.0))
+        assert len(_deprecations(record)) == 1
+        # Legacy behavior preserved: the implicit path stays on the
+        # reference engine for the deprecation window.
+        assert isinstance(simulator, ScalingPerQuerySimulator)
+
+    def test_explicit_engines_do_not_warn(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            reference = create_simulator(SimulationConfig(engine="reference"))
+            batched = create_simulator(SimulationConfig(engine="batched"))
+        assert _deprecations(record) == []
+        assert isinstance(reference, ScalingPerQuerySimulator)
+        assert isinstance(batched, BatchedEventSimulator)
+
+    def test_direct_construction_warns_once(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            ScalingPerQuerySimulator(SimulationConfig(pending_time=5.0))
+        assert len(_deprecations(record)) == 1
+
+    def test_implicit_engine_rows_match_the_session_default_engine(self):
+        """The legacy reference path and the new batched default agree bitwise."""
+        trace = ArrivalTrace([1.0, 2.0, 8.0, 30.0], 3.0, horizon=120.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            legacy = create_simulator(SimulationConfig(pending_time=5.0)).replay(
+                trace, BackupPoolScaler(1)
+            )
+        batched = create_simulator(
+            SimulationConfig(pending_time=5.0, engine="batched")
+        ).replay(trace, BackupPoolScaler(1))
+        np.testing.assert_array_equal(legacy.hits, batched.hits)
+        np.testing.assert_array_equal(legacy.response_times, batched.response_times)
+        assert legacy.total_cost == batched.total_cost
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+class TestLegacyRowsBitIdentical:
+    """Legacy config entry points produce rows bit-identical to Session."""
+
+    def test_regularization_config_matches_session(self):
+        kwargs = dict(
+            period_seconds=1800.0, n_periods=3, bin_seconds=60.0, max_iterations=80
+        )
+        old = run_regularization_experiment(RegularizationExperimentConfig(**kwargs))
+        new = Session(store=None).experiment("table3").run(**kwargs)
+        assert old == new.rows
+
+    def test_mc_sample_config_matches_session(self):
+        kwargs = dict(sample_sizes=(50,), n_trials=3)
+        old = run_mc_sample_ablation(MCSampleAblationConfig(**kwargs))
+        new = Session(store=None).experiment("mc-sample-ablation").run(**kwargs)
+        assert strip_timing(old) == strip_timing(new.rows)
+
+    def test_kappa_config_matches_session_across_engines(self):
+        """The old driver replayed on the reference engine; the session
+        resolves batched by default — rows must still match bit-for-bit."""
+        kwargs = dict(horizon_seconds=900.0, monte_carlo_samples=200)
+        old = run_kappa_ablation(KappaAblationConfig(**kwargs))
+        new = Session(store=None).experiment("kappa-ablation").run(**kwargs)
+        reference = (
+            Session(store=None, engine="reference")
+            .experiment("kappa-ablation")
+            .run(**kwargs)
+        )
+        assert old == new.rows == reference.rows
+        assert new.provenance.engine == "batched"

@@ -172,6 +172,48 @@ class TestGC:
         assert store.clear() == 2
         assert store.info()["total_entries"] == 0
 
+    def test_pinned_namespace_survives_size_eviction(self, store):
+        now = 1_000_000.0
+        golden = self._put_aged(store, "workloads", ("golden",), "g" * 500, 900, now)
+        other = self._put_aged(store, "traces", ("t",), "x" * 500, 100, now)
+        report = store.gc(max_bytes=0, now=now, pins=("workloads/",))
+        assert golden.exists() and not other.exists()
+        assert report.pinned == 1
+        assert report.kept == 1
+        assert report.removed == 1
+
+    def test_pinned_digest_prefix_survives_age_eviction(self, store):
+        now = 1_000_000.0
+        pinned_path = self._put_aged(store, "traces", ("keep",), "k" * 100, 7200, now)
+        doomed = self._put_aged(store, "traces", ("drop",), "d" * 100, 7200, now)
+        digest = key_digest(("keep",))
+        report = store.gc(max_age_seconds=3600, now=now, pins=(digest[:12],))
+        assert pinned_path.exists() and not doomed.exists()
+        assert report.pinned == 1 and report.removed == 1
+
+    def test_cli_gc_pin_flag(self, store, capsys):
+        from repro.cli import main
+
+        now = 1_000_000.0
+        golden = self._put_aged(store, "workloads", ("golden",), "g" * 500, 900, now)
+        self._put_aged(store, "traces", ("t",), "x" * 500, 100, now)
+        code = main(
+            [
+                "store",
+                "gc",
+                "--max-bytes",
+                "0",
+                "--pin",
+                "workloads/",
+                "--store-dir",
+                str(store.root),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 pinned" in out
+        assert golden.exists()
+
 
 def _hammer_store(args: tuple) -> bool:
     """Concurrently write and read back one shared key (pool worker)."""

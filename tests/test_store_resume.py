@@ -22,7 +22,7 @@ from repro.runtime import (
     run_tasks,
     strip_timing,
 )
-from repro.store import ArtifactStore
+from repro.store import ArtifactStore, list_runs
 
 pytestmark = pytest.mark.filterwarnings("ignore")
 
@@ -79,12 +79,19 @@ class TestResume:
             run_tasks(
                 tasks, base_seed=7, store=store, run_id="r1", on_result=interrupt
             )
-        journaled = len(store.entries("results"))
+        # The results namespace holds the per-task records plus the run
+        # index (meta + catalog); the index's completion count is the
+        # number of journaled task records.
+        [run] = list_runs(store)
+        journaled = run["completed"]
+        assert run["run_id"] == "r1" and run["total"] == len(tasks)
         assert 0 < journaled < len(tasks)
 
         resumed = run_tasks(tasks, base_seed=7, store=store, run_id="r1")
         n_recovered = sum(result.resumed for result in resumed)
         assert n_recovered == journaled
+        [run] = list_runs(store)
+        assert run["completed"] == run["total"] == len(tasks)
         assert [r.row for r in resumed] and strip_timing(
             [r.row for r in resumed]
         ) == strip_timing(baseline)
