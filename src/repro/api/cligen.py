@@ -128,7 +128,16 @@ def add_session_arguments(
         parser.add_argument(
             "--quiet",
             action="store_true",
-            help="disable the live progress line",
+            help="disable the live progress line and store summaries",
+        )
+        parser.add_argument(
+            "--telemetry",
+            action="store_true",
+            help=(
+                "collect run telemetry (metrics + spans); with the store "
+                "and a --run-id the snapshot persists for "
+                "'repro telemetry show/diff'"
+            ),
         )
 
 
@@ -152,6 +161,7 @@ def collect_session_kwargs(args: argparse.Namespace, spec: ExperimentSpec) -> di
     if spec.runtime:
         kwargs["workers"] = getattr(args, "workers", None)
         kwargs["run_id"] = getattr(args, "run_id", None)
+        kwargs["telemetry"] = bool(getattr(args, "telemetry", False))
     return kwargs
 
 
@@ -166,7 +176,16 @@ def _session_flags(spec: ExperimentSpec) -> set[str]:
     if spec.engine_aware:
         flags.add("--engine")
     if spec.runtime:
-        flags.update({"--workers", "--run-id", "--store-dir", "--no-store", "--quiet"})
+        flags.update(
+            {
+                "--workers",
+                "--run-id",
+                "--store-dir",
+                "--no-store",
+                "--quiet",
+                "--telemetry",
+            }
+        )
     return flags
 
 

@@ -26,14 +26,19 @@ reachable without touching driver code.
 
 from __future__ import annotations
 
+import csv
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ..exceptions import ValidationError
 from ..runtime.executor import run_task_rows
 from ..simulation.runner import resolve_engine
+from ..telemetry import Recorder, build_snapshot, persist_snapshot
+from ..telemetry import use as telemetry_use
 from .registry import ExperimentSpec, get_experiment, list_experiments
 
 __all__ = [
@@ -83,6 +88,9 @@ class RunContext:
     run_id: str | None = None
     progress: ProgressHook | None = None
     on_result: Callable | None = None
+    #: Run-level telemetry recorder (``None`` → telemetry disabled; the
+    #: ambient no-op recorder applies everywhere).
+    recorder: Recorder | None = None
     #: Filled by :meth:`run_rows`: workload identities and task count, used
     #: for provenance.
     workload_keys: list = field(default_factory=list)
@@ -117,6 +125,7 @@ class RunContext:
             store=self.store,
             run_id=self.run_id,
             on_result=_on_result,
+            recorder=self.recorder,
         )
 
 
@@ -144,11 +153,22 @@ class Provenance:
 
 
 class ResultSet:
-    """Typed result of one experiment run: rows, columnar access, provenance."""
+    """Typed result of one experiment run: rows, columnar access, provenance.
 
-    def __init__(self, rows: list[dict], provenance: Provenance) -> None:
+    ``telemetry`` holds the run's telemetry snapshot (the same plain dict
+    persisted to the store's ``telemetry`` namespace) when the session ran
+    with ``telemetry=True``, else ``None``.
+    """
+
+    def __init__(
+        self,
+        rows: list[dict],
+        provenance: Provenance,
+        telemetry: dict | None = None,
+    ) -> None:
         self.rows = rows
         self.provenance = provenance
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------ sequence
 
@@ -194,6 +214,25 @@ class ResultSet:
             self.rows, title=title or f"Experiment: {self.provenance.experiment}"
         )
 
+    # -------------------------------------------------------------- export
+
+    def to_dicts(self) -> list[dict]:
+        """Independent copies of the rows (safe to mutate)."""
+        return [dict(row) for row in self.rows]
+
+    def to_csv(self, path: str | os.PathLike) -> Path:
+        """Write the rows as CSV (header = :attr:`columns`) and return the path.
+
+        Rows missing a column write an empty cell, so ragged row sets (e.g.
+        sweeps mixing metric columns) stay loadable by any CSV reader.
+        """
+        target = Path(path)
+        with open(target, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.columns, restval="")
+            writer.writeheader()
+            writer.writerows(self.rows)
+        return target
+
 
 def _scenario_digest(workload_keys: Sequence) -> str | None:
     if not workload_keys:
@@ -230,8 +269,16 @@ def _execute(
     if seed is not None and any(p.name == "seed" for p in spec.params):
         resolved["seed"] = spec.param("seed").coerce(seed)
     started = time.perf_counter()
+    recorder = ctx.recorder
+    activation = telemetry_use(recorder) if recorder is not None else nullcontext()
+    outer_span = (
+        recorder.span(f"experiment.{spec.name}")
+        if recorder is not None
+        else nullcontext()
+    )
     try:
-        rows = spec.run(resolved, ctx)
+        with activation, outer_span:
+            rows = spec.run(resolved, ctx)
     finally:
         if ctx.progress is not None:
             ctx.progress.finish()
@@ -255,7 +302,27 @@ def _execute(
         n_resumed=ctx.n_resumed,
         duration_seconds=time.perf_counter() - started,
     )
-    return ResultSet(rows, provenance)
+    telemetry_snapshot = None
+    if recorder is not None:
+        telemetry_snapshot = build_snapshot(
+            recorder,
+            run_id=ctx.run_id,
+            provenance={
+                "experiment": provenance.experiment,
+                "seed": provenance.seed,
+                "engine": provenance.engine,
+                "workers": provenance.workers,
+                "run_id": provenance.run_id,
+                "package_version": provenance.package_version,
+                "scenario_digest": provenance.scenario_digest,
+                "n_tasks": provenance.n_tasks,
+                "n_resumed": provenance.n_resumed,
+                "duration_seconds": provenance.duration_seconds,
+            },
+        )
+        if ctx.store is not None and ctx.run_id is not None:
+            persist_snapshot(ctx.store, telemetry_snapshot)
+    return ResultSet(rows, provenance, telemetry=telemetry_snapshot)
 
 
 class ExperimentHandle:
@@ -333,6 +400,13 @@ class Session:
         interrupted runs resume bit-identically.
     progress:
         Optional :class:`ProgressHook` streaming per-task completions.
+    telemetry:
+        When ``True``, every run collects metrics and spans into a fresh
+        :class:`~repro.telemetry.Recorder`: the :class:`ResultSet` carries
+        the snapshot (``result.telemetry``), and with a store *and* a
+        ``run_id`` the snapshot is persisted to the store's ``telemetry``
+        namespace for ``repro telemetry show/diff``.  Off by default — the
+        disabled path records nothing.
     """
 
     def __init__(
@@ -344,6 +418,7 @@ class Session:
         seed: int | None = None,
         run_id: str | None = None,
         progress: ProgressHook | None = None,
+        telemetry: bool = False,
     ) -> None:
         self.store = _resolve_store(store)
         self.workers = workers
@@ -351,6 +426,7 @@ class Session:
         self.seed = seed
         self.run_id = run_id
         self.progress = progress
+        self.telemetry = bool(telemetry)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         root = getattr(self.store, "root", None)
@@ -375,6 +451,7 @@ class Session:
             store=self.store,
             run_id=self.run_id,
             progress=self.progress,
+            recorder=Recorder() if self.telemetry else None,
         )
 
     def _run(self, spec: ExperimentSpec, params: Mapping[str, Any]) -> ResultSet:
@@ -397,13 +474,16 @@ def run_experiment(
     seed: int | None = None,
     progress: ProgressHook | None = None,
     on_result: Callable | None = None,
+    telemetry: bool = False,
 ) -> list[dict]:
     """Functional one-shot runner returning plain rows.
 
     This is what the deprecated ``run_*_experiment`` wrappers delegate to;
     unlike :class:`Session` (whose store defaults to ``"auto"``) the store
     is disabled unless passed explicitly, matching the historical driver
-    behavior.
+    behavior.  With ``telemetry=True`` plus a store and ``run_id``, the
+    run's snapshot is persisted for ``repro telemetry show`` even though
+    only the rows are returned here.
     """
     spec = get_experiment(name)
     store = _resolve_store(store)
@@ -414,5 +494,6 @@ def run_experiment(
         run_id=run_id if spec.runtime else None,
         progress=progress,
         on_result=on_result,
+        recorder=Recorder() if telemetry else None,
     )
     return _execute(spec, params, ctx, seed=seed).rows

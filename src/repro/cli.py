@@ -14,6 +14,9 @@ Usage examples::
     repro store info                         # artifact-store footprint
     repro store ls --runs                    # journaled runs with completion
     repro store gc --max-bytes 500000000 --pin workloads/
+    repro experiment pareto --telemetry --run-id r1   # collect a snapshot
+    repro telemetry show r1                  # metrics + slowest spans
+    repro telemetry diff r1 r2               # compare two runs
 
 The ``experiment`` and ``workloads sweep`` subcommands are **generated from
 the experiment registry** (:mod:`repro.api`): each experiment's options come
@@ -33,7 +36,14 @@ relocates it, ``--no-store`` disables it, ``--run-id`` journals per-task
 completions so an interrupted sweep resumes where it left off, and the
 ``store`` command group (``info`` / ``ls`` / ``gc`` / ``clear``) manages
 the store's footprint.  Long runs print a live ``N/M tasks, ~Xs left``
-progress line on stderr (``--quiet`` disables it).
+progress line on stderr; ``--quiet`` suppresses it together with every
+other stderr status line (the ``[store]`` summaries included) through the
+shared :class:`repro.telemetry.Console` emitter.
+
+Observability: ``--telemetry`` on any runtime-backed command collects
+metrics and spans (:mod:`repro.telemetry`); with ``--run-id`` the snapshot
+persists in the store's ``telemetry`` namespace, where ``repro telemetry
+show <run-id>`` and ``repro telemetry diff <a> <b>`` read it back.
 """
 
 from __future__ import annotations
@@ -43,12 +53,20 @@ import sys
 import time
 from typing import Sequence
 
-from .api import ProgressHook, Session, get_experiment, list_experiments
+from .api import Session, get_experiment, list_experiments
 from .api.cligen import (
     add_param_arguments,
     add_session_arguments,
     collect_params,
     collect_session_kwargs,
+)
+from .telemetry import (
+    Console,
+    diff_snapshots,
+    gc_orphan_snapshots,
+    load_snapshot,
+    span_rows,
+    summarize_snapshot,
 )
 from .exceptions import (
     ConfigurationError,
@@ -77,63 +95,6 @@ __all__ = ["main", "build_parser"]
 #: Presentation-only flags the workloads sweep adds on top of the generated
 #: schema options (whitelisted by the registry-generation audit).
 SWEEP_EXTRA_FLAGS = frozenset({"--summary-only", "--hp-only"})
-
-
-class _ProgressLine(ProgressHook):
-    """Live ``N/M tasks, ~Xs left`` line on stderr, driven by ``on_result``.
-
-    On a terminal the line redraws in place; elsewhere (CI logs, pipes) it
-    prints at most ~10 newline-terminated snapshots so logs stay readable.
-    The ETA extrapolates from live completions only — journal-recovered
-    tasks arrive instantly and would otherwise skew the rate.
-    """
-
-    def __init__(self, stream) -> None:
-        self.stream = stream
-        self.total = 0
-        self.done = 0
-        self.live_done = 0
-        self.started = time.perf_counter()
-        self._live_started: float | None = None
-        self._dirty = False
-        self._isatty = bool(getattr(stream, "isatty", lambda: False)())
-
-    def begin(self, total: int) -> None:
-        self.total = total
-
-    def _eta_text(self) -> str:
-        remaining = max(self.total - self.done, 0)
-        if remaining == 0:
-            return "done"
-        if self.live_done == 0 or self._live_started is None:
-            return "estimating time left"
-        rate = (time.perf_counter() - self._live_started) / self.live_done
-        return f"~{max(rate * remaining, 0.0):.0f}s left"
-
-    def update(self, result) -> None:
-        self.done += 1
-        if not getattr(result, "resumed", False):
-            if self._live_started is None:
-                # Rate starts at the first live completion's *start*, which
-                # we approximate by the line's construction time; resumed
-                # records recovered before it do not distort the estimate.
-                self._live_started = self.started
-            self.live_done += 1
-        text = f"[progress] {self.done}/{self.total} tasks, {self._eta_text()}"
-        if self._isatty:
-            self.stream.write("\r" + text.ljust(48))
-            self.stream.flush()
-            self._dirty = True
-        else:
-            step = max(1, self.total // 10)
-            if self.done % step == 0 or self.done == self.total:
-                self.stream.write(text + "\n")
-
-    def finish(self) -> None:
-        if self._dirty:
-            self.stream.write("\n")
-            self.stream.flush()
-            self._dirty = False
 
 
 def _add_store_dir_flag(parser: argparse.ArgumentParser) -> None:
@@ -208,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the disk artifact store for this invocation",
     )
+    simulate.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress stderr status lines (the [store] summary)",
+    )
 
     experiment = subparsers.add_parser(
         "experiment",
@@ -276,7 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
     store_ls.add_argument(
         "--namespace",
         default=None,
-        help="restrict to one namespace (workloads, traces, results)",
+        help="restrict to one namespace (workloads, traces, results, telemetry)",
     )
     store_ls.add_argument(
         "--limit", type=int, default=50, help="maximum entries to list (default: 50)"
@@ -316,6 +282,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_clear = store_sub.add_parser("clear", help="remove every artifact")
     for sub in (store_info, store_ls, store_gc, store_clear):
+        _add_store_dir_flag(sub)
+
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="inspect per-run telemetry snapshots (collected with --telemetry)",
+    )
+    telemetry_sub = telemetry.add_subparsers(dest="telemetry_command", required=True)
+    telemetry_show = telemetry_sub.add_parser(
+        "show", help="metrics and slowest spans of one run's snapshot"
+    )
+    telemetry_show.add_argument("run_id", help="run id the snapshot was persisted under")
+    telemetry_show.add_argument(
+        "--spans",
+        type=int,
+        default=15,
+        help="how many of the slowest spans to list (default: 15)",
+    )
+    telemetry_diff = telemetry_sub.add_parser(
+        "diff", help="compare the metrics of two runs' snapshots"
+    )
+    telemetry_diff.add_argument("run_a", help="baseline run id")
+    telemetry_diff.add_argument("run_b", help="comparison run id")
+    for sub in (telemetry_show, telemetry_diff):
         _add_store_dir_flag(sub)
 
     return parser
@@ -389,10 +378,10 @@ def _command_simulate(args: argparse.Namespace) -> int:
     print(format_table(rows, title=f"{scaler.name} on {workload.name}"))
     if store is not None:
         stats = cache.stats()
-        print(
+        console = Console(quiet=args.quiet)
+        console.emit(
             f"[store] {stats.disk_hits} disk hits, {stats.misses} fits "
-            f"({store.root})",
-            file=sys.stderr,
+            f"({store.root})"
         )
     return 0
 
@@ -445,36 +434,39 @@ def _command_workloads_generate(args: argparse.Namespace) -> int:
 def _run_registry_experiment(args: argparse.Namespace, name: str):
     """Shared execution path of ``experiment`` and ``workloads sweep``.
 
-    Returns ``(result, store)`` where ``result`` is the Session's ResultSet.
+    Returns ``(result, store, console)`` where ``result`` is the Session's
+    ResultSet and ``console`` is the invocation's status emitter (quiet
+    suppresses both the progress line and the ``[store]`` summaries there).
     """
     spec = get_experiment(name)
     params = collect_params(args, spec)
     session_kwargs = collect_session_kwargs(args, spec)
+    console = Console(quiet=bool(getattr(args, "quiet", False)))
     store = None
     progress = None
     if spec.runtime:
         store = resolve_store(args.store_dir, enabled=not args.no_store)
-        if not args.quiet:
-            progress = _ProgressLine(sys.stderr)
+        progress = console.progress()
     session = Session(
         store=store,
         workers=session_kwargs.get("workers"),
         engine=session_kwargs.get("engine"),
         run_id=session_kwargs.get("run_id"),
         progress=progress,
+        telemetry=session_kwargs.get("telemetry", False),
     )
-    return session.experiment(name).run(**params), store
+    return session.experiment(name).run(**params), store, console
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
     try:
-        result, store = _run_registry_experiment(args, args.name)
+        result, store, console = _run_registry_experiment(args, args.name)
     except (ExperimentError, ValidationError, WorkloadError, ConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_table(result.rows, title=f"Experiment: {args.name}"))
     if store is not None:
-        print(_store_summary(store), file=sys.stderr)
+        console.emit(_store_summary(store))
     return 0
 
 
@@ -482,10 +474,10 @@ def _command_workloads_sweep(args: argparse.Namespace) -> int:
     if args.hp_only:
         args.rt_variant = False
         args.cost_variant = False
-    result, store = _run_registry_experiment(args, "scenario-sweep")
+    result, store, console = _run_registry_experiment(args, "scenario-sweep")
     rows = result.rows
     if store is not None:
-        print(_store_summary(store), file=sys.stderr)
+        console.emit(_store_summary(store))
     if not args.summary_only:
         columns = [
             "scenario",
@@ -586,6 +578,10 @@ def _command_store(args: argparse.Namespace) -> int:
         max_age = (
             None if args.max_age_days is None else args.max_age_days * 86_400.0
         )
+        # Telemetry snapshots are addressed by run id; once the run journal
+        # is gone they are unreachable, so reap them before the generic
+        # age/size eviction.
+        orphans, orphan_bytes = gc_orphan_snapshots(store)
         try:
             report = store.gc(
                 max_bytes=args.max_bytes,
@@ -600,10 +596,71 @@ def _command_store(args: argparse.Namespace) -> int:
             f"removed {report.removed} artifacts ({report.freed_bytes} bytes); "
             f"kept {report.kept} ({report.kept_bytes} bytes{pinned})"
         )
+        if orphans:
+            print(
+                f"reaped {orphans} orphaned telemetry snapshots "
+                f"({orphan_bytes} bytes)"
+            )
         return 0
     if args.store_command == "clear":
         removed = store.clear()
         print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    return 2  # pragma: no cover - subparser is required
+
+
+def _command_telemetry(args: argparse.Namespace) -> int:
+    store = resolve_store(args.store_dir)
+    if args.telemetry_command == "show":
+        snapshot = load_snapshot(store, args.run_id)
+        if snapshot is None:
+            print(
+                f"error: no telemetry snapshot for run {args.run_id!r} in "
+                f"{store.root} (run with --telemetry and --run-id to record one)",
+                file=sys.stderr,
+            )
+            return 2
+        provenance = snapshot.get("provenance") or {}
+        header = [
+            {"field": key, "value": value}
+            for key, value in provenance.items()
+            if value is not None
+        ]
+        if header:
+            print(format_table(header, title=f"Run {args.run_id}: provenance"))
+            print()
+        print(
+            format_table(
+                summarize_snapshot(snapshot), title=f"Run {args.run_id}: metrics"
+            )
+        )
+        spans = span_rows(snapshot, limit=max(args.spans, 0))
+        if spans:
+            print()
+            print(
+                format_table(
+                    spans, title=f"Run {args.run_id}: slowest spans"
+                )
+            )
+        return 0
+    if args.telemetry_command == "diff":
+        snapshots = {}
+        for run_id in (args.run_a, args.run_b):
+            snapshot = load_snapshot(store, run_id)
+            if snapshot is None:
+                print(
+                    f"error: no telemetry snapshot for run {run_id!r} in "
+                    f"{store.root}",
+                    file=sys.stderr,
+                )
+                return 2
+            snapshots[run_id] = snapshot
+        rows = diff_snapshots(snapshots[args.run_a], snapshots[args.run_b])
+        print(
+            format_table(
+                rows, title=f"Telemetry diff: {args.run_a} vs {args.run_b}"
+            )
+        )
         return 0
     return 2  # pragma: no cover - subparser is required
 
@@ -622,6 +679,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_workloads(args)
     if args.command == "store":
         return _command_store(args)
+    if args.command == "telemetry":
+        return _command_telemetry(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

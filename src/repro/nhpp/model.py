@@ -20,6 +20,7 @@ import numpy as np
 from ..config import NHPPConfig, PeriodicityConfig, WorkloadModelConfig
 from ..exceptions import ModelNotFittedError, PeriodicityDetectionError, ValidationError
 from ..periodicity.detector import PeriodicityDetector, PeriodicityResult
+from ..telemetry import get_recorder
 from ..types import ArrivalTrace, QPSSeries
 from .admm import ADMMResult, fit_log_intensity
 from .extrapolation import extrapolate_intensity
@@ -140,7 +141,8 @@ class NHPPModel:
             beta_period=self.config.beta_period,
             period_bins=period_bins or None,
         )
-        admm_result = fit_log_intensity(objective, self.config.admm)
+        with get_recorder().span("fit.admm"):
+            admm_result = fit_log_intensity(objective, self.config.admm)
         intensity = np.maximum(np.exp(admm_result.log_intensity), self.config.min_intensity)
 
         self._fit_result = NHPPFitResult(

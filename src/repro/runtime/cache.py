@@ -20,9 +20,11 @@ model fits this process performed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..telemetry import get_recorder
 from .spec import WorkloadSpec
 from .workload import PreparedWorkload
 
@@ -77,19 +79,28 @@ class WorkloadCache:
         A hit from either tier reports ``True``; only a genuine preparation
         (one model fit) reports ``False``.
         """
+        recorder = get_recorder()
         key = spec.cache_key()
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
+            if recorder.enabled:
+                recorder.inc("cache.memory_hits")
             return cached, True
         if self.store is not None:
             stored = self.store.get(WORKLOADS_NAMESPACE, key)
             if isinstance(stored, PreparedWorkload):
                 self.disk_hits += 1
+                if recorder.enabled:
+                    recorder.inc("cache.disk_hits")
                 self._entries[key] = stored
                 return stored, True
+        started = time.perf_counter()
         workload = spec.prepare(store=self.store)
         self.misses += 1
+        if recorder.enabled:
+            recorder.inc("cache.misses")
+            recorder.observe("cache.fit_seconds", time.perf_counter() - started)
         self._entries[key] = workload
         if self.store is not None:
             self.store.put(WORKLOADS_NAMESPACE, key, workload)

@@ -46,11 +46,13 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..exceptions import ValidationError
+from ..telemetry import Recorder, get_recorder, use as telemetry_use
 from .cache import WorkloadCache
 from .spec import EvalResult, EvalTask, FunctionTask, derive_task_seeds
 from .workload import evaluate_prepared
@@ -124,24 +126,25 @@ def execute_task(
     seeds as explicit kwargs, so the per-task seed is unused for them.
     """
     start = time.perf_counter()
-    if isinstance(task, FunctionTask):
-        row = task.call()
-        return EvalResult(
-            index=index, row=row, wall_seconds=time.perf_counter() - start
+    with get_recorder().span("task.execute"):
+        if isinstance(task, FunctionTask):
+            row = task.call()
+            return EvalResult(
+                index=index, row=row, wall_seconds=time.perf_counter() - start
+            )
+        if cache is None:
+            workload, hit = task.workload.prepare(), False
+        else:
+            workload, hit = cache.get_or_prepare(task.workload)
+        random_state = None if seed is None else np.random.default_rng(seed)
+        scaler = task.scaler.build(workload, random_state=random_state)
+        row = evaluate_prepared(
+            workload,
+            scaler,
+            extra=task.row_annotations(),
+            variance_window=task.variance_window,
+            metrics=task.metrics,
         )
-    if cache is None:
-        workload, hit = task.workload.prepare(), False
-    else:
-        workload, hit = cache.get_or_prepare(task.workload)
-    random_state = None if seed is None else np.random.default_rng(seed)
-    scaler = task.scaler.build(workload, random_state=random_state)
-    row = evaluate_prepared(
-        workload,
-        scaler,
-        extra=task.row_annotations(),
-        variance_window=task.variance_window,
-        metrics=task.metrics,
-    )
     return EvalResult(
         index=index,
         row=row,
@@ -201,22 +204,48 @@ _WORKER_CACHES: dict[str | None, WorkloadCache] = {}
 def _pool_execute_chunk(
     payloads: Sequence[tuple[int, EvalTask | FunctionTask, np.random.SeedSequence]],
     store: "ArtifactStore | None" = None,
-) -> list[EvalResult]:
+    telemetry: bool = False,
+    submitted_at: float | None = None,
+) -> tuple[list[EvalResult], dict | None]:
     """Top-level (picklable) pool entry point using the worker-local cache.
 
     The cache is keyed by the store root so one worker process can serve
     batches against different stores; with a store attached, a workload
     group split across workers re-fits only when the halves race on a cold
     store — a later worker reads the earlier worker's published artifact.
+
+    When ``telemetry`` is on, the chunk runs under a fresh worker-local
+    :class:`~repro.telemetry.Recorder` and the second element of the return
+    value is its plain-dict snapshot, which the parent folds into the
+    run-level recorder via
+    :meth:`~repro.telemetry.Recorder.merge_snapshot`.  ``submitted_at`` is
+    a ``time.time()`` wall-clock stamp taken at submission, turned into the
+    ``runtime.queue_wait_seconds`` histogram (cross-process, so the
+    monotonic clock cannot be used).
     """
     cache_key = None if store is None else str(store.root)
     cache = _WORKER_CACHES.get(cache_key)
     if cache is None:
         cache = _WORKER_CACHES.setdefault(cache_key, WorkloadCache(store=store))
-    return [
-        execute_task(task, seed=seed, cache=cache, index=index)
-        for index, task, seed in payloads
-    ]
+    if not telemetry:
+        results = [
+            execute_task(task, seed=seed, cache=cache, index=index)
+            for index, task, seed in payloads
+        ]
+        return results, None
+    recorder = Recorder()
+    results = []
+    with telemetry_use(recorder):
+        if submitted_at is not None:
+            recorder.observe(
+                "runtime.queue_wait_seconds", max(0.0, time.time() - submitted_at)
+            )
+        for index, task, seed in payloads:
+            result = execute_task(task, seed=seed, cache=cache, index=index)
+            recorder.inc("runtime.tasks")
+            recorder.observe("runtime.task_seconds", result.wall_seconds)
+            results.append(result)
+    return results, recorder.snapshot()
 
 
 def _schedule_chunks(
@@ -258,6 +287,7 @@ def run_tasks(
     store: "ArtifactStore | None" = None,
     run_id: str | None = None,
     on_result: Callable[[EvalResult], None] | None = None,
+    recorder: Recorder | None = None,
 ) -> list[EvalResult]:
     """Evaluate ``tasks`` and return their results in task order.
 
@@ -294,6 +324,12 @@ def run_tasks(
         Callback invoked once per task as its result becomes available
         (recovered tasks first, then live completions, not necessarily in
         task order) — the incremental-progress hook.
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder` activated for the
+        duration of the batch.  The serial path records into it directly;
+        pool workers each run a fresh recorder and their snapshots are
+        merged back here, so the caller sees one run-level view either
+        way.  Omitted → the ambient recorder (a no-op by default) applies.
     """
     tasks = list(tasks)
     if run_id is not None and store is None:
@@ -307,6 +343,8 @@ def run_tasks(
         # results-namespace index so `repro store ls --runs` can group
         # journaled artifacts by run id with per-run completion counts.
         journal.publish_index(len(tasks))
+        if recorder is not None and results:
+            recorder.inc("runtime.resume_hits", len(results))
         if on_result is not None:
             for index in sorted(results):
                 on_result(results[index])
@@ -325,22 +363,37 @@ def run_tasks(
             on_result(result)
 
     n_workers = min(resolve_workers(workers), max(len(pending), 1))
+    if recorder is not None:
+        recorder.inc("runtime.batches")
+        recorder.set_gauge("runtime.workers", n_workers)
     if n_workers <= 1:
         cache = WorkloadCache(store=store) if cache is None else cache
-        for index, task, seed in pending:
-            finish(task, execute_task(task, seed=seed, cache=cache, index=index))
+        activation = telemetry_use(recorder) if recorder is not None else nullcontext()
+        with activation:
+            for index, task, seed in pending:
+                result = execute_task(task, seed=seed, cache=cache, index=index)
+                if recorder is not None:
+                    recorder.inc("runtime.tasks")
+                    recorder.observe("runtime.task_seconds", result.wall_seconds)
+                finish(task, result)
     else:
         chunks = _schedule_chunks(pending, n_workers)
+        telemetry = recorder is not None
+        submitted_at = time.time() if telemetry else None
         with ProcessPoolExecutor(max_workers=min(n_workers, len(chunks))) as pool:
             futures = {
-                pool.submit(_pool_execute_chunk, chunk, store) for chunk in chunks
+                pool.submit(_pool_execute_chunk, chunk, store, telemetry, submitted_at)
+                for chunk in chunks
             }
             # Drain completions as they land so journaling and progress
             # streaming happen the moment a chunk finishes, not at the end.
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
-                    for result in future.result():
+                    chunk_results, snapshot = future.result()
+                    if snapshot is not None and recorder is not None:
+                        recorder.merge_snapshot(snapshot)
+                    for result in chunk_results:
                         finish(tasks[result.index], result)
     return [results[index] for index in range(len(tasks))]
 
@@ -354,6 +407,7 @@ def run_task_rows(
     store: "ArtifactStore | None" = None,
     run_id: str | None = None,
     on_result: Callable[[EvalResult], None] | None = None,
+    recorder: Recorder | None = None,
 ) -> list[dict]:
     """Like :func:`run_tasks` but return just the report rows, in task order."""
     return [
@@ -366,5 +420,6 @@ def run_task_rows(
             store=store,
             run_id=run_id,
             on_result=on_result,
+            recorder=recorder,
         )
     ]

@@ -30,6 +30,7 @@ from ..pending import DeterministicPendingTime, PendingTimeModel
 from ..scaling.backup_pool import ReactiveScaler
 from ..scaling.base import Autoscaler
 from ..simulation.runner import _LEGACY_ENGINE, replay
+from ..telemetry import get_recorder
 from ..types import ArrivalTrace, SimulationResult
 
 __all__ = ["EXTRA_METRICS", "PreparedWorkload", "prepare_workload", "evaluate_prepared"]
@@ -142,16 +143,19 @@ def prepare_workload(
         engine, defaulting to ``"batched"``).  Both engines produce
         identical results, so this only changes replay speed.
     """
+    recorder = get_recorder()
     train, test = trace.split(train_fraction)
     model = NHPPModel(nhpp_config, bin_seconds=bin_seconds)
-    model.fit(train, period_bins=period_bins)
+    with recorder.span("prepare.fit"):
+        model.fit(train, period_bins=period_bins)
     forecast = model.forecast()
     pending_model = DeterministicPendingTime(pending_time)
     sim_config = simulation or SimulationConfig(pending_time=pending_time)
     effective_engine = engine or sim_config.engine or _LEGACY_ENGINE
     if effective_engine != sim_config.engine:
         sim_config = replace(sim_config, engine=effective_engine)
-    reference = replay(test, ReactiveScaler(), sim_config)
+    with recorder.span("prepare.reference_replay"):
+        reference = replay(test, ReactiveScaler(), sim_config)
     return PreparedWorkload(
         name=trace.name,
         train=train,

@@ -34,6 +34,7 @@ from ..exceptions import SimulationError
 from ..pending import PendingTimeModel, default_pending_model
 from ..rng import ensure_rng
 from ..scaling.base import Autoscaler, PlanningContext, ScalingResponse
+from ..telemetry import get_recorder
 from ..types import (
     ArrivalTrace,
     InstanceRecord,
@@ -115,6 +116,12 @@ class ScalingPerQuerySimulator:
     def replay(self, trace: ArrivalTrace, scaler: Autoscaler) -> SimulationResult:
         """Replay ``trace`` under ``scaler`` and return the per-query outcomes."""
         scaler.reset()
+        # Telemetry contract: no recorder calls inside the per-query loop —
+        # tick counts accumulate in a local and everything is emitted once
+        # after the replay (the no-op recorder path stays free).
+        recorder = get_recorder()
+        replay_started = _time.perf_counter()
+        n_ticks = 0
         rng = ensure_rng(self.config.seed)
         arrivals = np.asarray(trace.arrival_times, dtype=float)
         processing_times = np.asarray(trace.processing_times, dtype=float)
@@ -232,6 +239,7 @@ class ScalingPerQuerySimulator:
                     )
                     apply_response(response, next_tick, latency)
                     next_tick += interval
+                    n_ticks += 1
 
             materialize_scheduled(arrival_time)
 
@@ -256,6 +264,18 @@ class ScalingPerQuerySimulator:
         horizon = max(trace.horizon, arrivals[-1] if arrivals.size else 0.0)
         for _, _, instance in sorted(available):
             unused_cost += max(0.0, horizon - instance.creation_time)
+
+        if recorder.enabled:
+            recorder.inc("engine.reference.replays")
+            recorder.inc("engine.reference.queries", int(arrivals.size))
+            recorder.inc("engine.reference.planning_ticks", n_ticks)
+            # The reference engine dispatches the arrival hook per query,
+            # passive or not — that is exactly what makes it slow.
+            recorder.inc("engine.reference.hook_arrivals", int(arrivals.size))
+            recorder.observe(
+                "engine.reference.replay_seconds",
+                _time.perf_counter() - replay_started,
+            )
 
         return SimulationResult(
             scaler_name=scaler.name,

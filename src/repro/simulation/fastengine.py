@@ -48,11 +48,15 @@ from ..config import SimulationConfig
 from ..pending import PendingTimeModel, default_pending_model
 from ..rng import ensure_rng
 from ..scaling.base import Autoscaler, PlanningContext, ScalingResponse
+from ..telemetry import get_recorder
 from ..types import ArrivalTrace, SimulationResult
 
 __all__ = ["BatchedEventSimulator"]
 
 _INF = math.inf
+
+#: Histogram buckets for per-chunk query counts (powers of ten).
+_CHUNK_BUCKETS = (1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
 
 
 class BatchedEventSimulator:
@@ -89,6 +93,14 @@ class BatchedEventSimulator:
     def replay(self, trace: ArrivalTrace, scaler: Autoscaler) -> SimulationResult:
         """Replay ``trace`` under ``scaler`` and return the per-query outcomes."""
         scaler.reset()
+        # Telemetry contract: with the no-op recorder active, this method
+        # performs no recorder calls inside the per-query/per-chunk loops —
+        # counters accumulate in locals and are emitted once at the end
+        # (chunk sizes are gathered only when a real recorder is active).
+        recorder = get_recorder()
+        replay_started = _time.perf_counter()
+        chunk_sizes: list[int] | None = [] if recorder.enabled else None
+        n_ticks = 0
         rng = ensure_rng(self.config.seed)
         sample = self.pending_model.sample
         latency_const = self.config.scheduling_latency
@@ -281,6 +293,7 @@ class BatchedEventSimulator:
                     )
                     apply_response(response, next_tick, latency)
                     next_tick += interval
+                    n_ticks += 1
 
             if passive:
                 if next_tick is None:
@@ -293,6 +306,8 @@ class BatchedEventSimulator:
                 # The reference engine still times the (no-op) arrival hook;
                 # keep the planning-time counts aligned.
                 planning_times.extend([0.0] * (chunk_end - index))
+                if chunk_sizes is not None:
+                    chunk_sizes.append(chunk_end - index)
                 index = chunk_end
             else:
                 materialize(arrival)
@@ -309,6 +324,25 @@ class BatchedEventSimulator:
         horizon = max(trace.horizon, arrivals[-1] if n else 0.0)
         for entry in pool:
             unused_cost += max(0.0, horizon - entry[2])
+
+        if recorder.enabled:
+            recorder.inc("engine.batched.replays")
+            recorder.inc("engine.batched.queries", n)
+            recorder.inc("engine.batched.planning_ticks", n_ticks)
+            if passive:
+                recorder.inc("engine.batched.passive_arrivals", n)
+                recorder.inc("engine.batched.chunks", len(chunk_sizes))
+                chunk_hist = recorder.histogram(
+                    "engine.batched.chunk_queries", _CHUNK_BUCKETS
+                )
+                for size in chunk_sizes:
+                    chunk_hist.observe(size)
+            else:
+                recorder.inc("engine.batched.hook_arrivals", n)
+            recorder.observe(
+                "engine.batched.replay_seconds",
+                _time.perf_counter() - replay_started,
+            )
 
         return SimulationResult.from_columns(
             scaler.name,

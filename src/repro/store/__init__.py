@@ -8,9 +8,10 @@ per-process.  This package adds the disk tier underneath:
 * :class:`~repro.store.artifacts.ArtifactStore` — a content-addressed,
   schema-versioned store with atomic write-then-rename publication and
   integrity-hashed reads (corruption reads as a miss, never a crash);
-* typed namespaces for the three artifact kinds the repository produces:
+* typed namespaces for the four artifact kinds the repository produces:
   prepared workloads (fitted model + reference replay), generated traces,
-  and completed evaluation-task result rows;
+  completed evaluation-task result rows, and per-run telemetry snapshots
+  (:mod:`repro.telemetry`);
 * :class:`~repro.store.runs.RunJournal` — per-task completion records that
   make ``run_tasks(..., run_id=...)`` resumable with bit-identical rows;
 * :func:`resolve_store` — the one place the CLI and the drivers decide

@@ -40,6 +40,7 @@ from pathlib import Path
 
 from .. import __version__ as _PACKAGE_VERSION
 from ..exceptions import ValidationError
+from ..telemetry import get_recorder
 
 __all__ = [
     "ArtifactEntry",
@@ -51,7 +52,7 @@ __all__ = [
 ]
 
 #: The typed namespaces used by the repository (free-form names also work).
-NAMESPACES = ("workloads", "traces", "results")
+NAMESPACES = ("workloads", "traces", "results", "telemetry")
 
 #: File suffix of store entries.
 _SUFFIX = ".art"
@@ -187,6 +188,10 @@ class ArtifactStore:
                 pass
             raise
         self.writes += 1
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.inc("store.writes")
+            recorder.inc("store.write_bytes", len(payload))
         return path
 
     def get(self, namespace: str, key: object, default: object = None) -> object:
@@ -197,20 +202,29 @@ class ArtifactStore:
         regenerates and overwrites them.
         """
         path = self.path_for(namespace, key)
+        recorder = get_recorder()
         try:
             data = path.read_bytes()
         except OSError:
             self.misses += 1
+            if recorder.enabled:
+                recorder.inc("store.misses")
             return default
         try:
-            return self._decode(data)
+            obj = self._decode(data)
         except Exception:
             self.corrupt += 1
+            if recorder.enabled:
+                recorder.inc("store.corrupt")
             try:
                 path.unlink()
             except OSError:
                 pass
             return default
+        if recorder.enabled:
+            recorder.inc("store.hits")
+            recorder.inc("store.read_bytes", len(data))
+        return obj
 
     def _decode(self, data: bytes) -> object:
         newline = data.index(b"\n")
@@ -231,6 +245,20 @@ class ArtifactStore:
     def contains(self, namespace: str, key: object) -> bool:
         """Whether an entry exists on disk (without verifying its payload)."""
         return self.path_for(namespace, key).exists()
+
+    def read_entry(self, entry: "ArtifactEntry") -> object:
+        """Decode one listed artifact by its on-disk entry, ``None`` on failure.
+
+        Keys are content-addressed, so a directory listing alone cannot
+        recover them; maintenance passes that need to *inspect* artifacts
+        (e.g. reaping orphaned telemetry snapshots) read the listed files
+        directly.  Failures are not treated as corruption here — the entry
+        is left in place for a regular ``get`` to verify and reap.
+        """
+        try:
+            return self._decode(entry.path.read_bytes())
+        except Exception:
+            return None
 
     # ---------------------------------------------------------- maintenance
 
@@ -364,6 +392,10 @@ class ArtifactStore:
                 continue
             removed += 1
             freed += entry.size_bytes
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.inc("store.gc_removed", removed)
+            recorder.inc("store.gc_freed_bytes", freed)
         kept_entries = keep + pinned
         return GCReport(
             removed=removed,

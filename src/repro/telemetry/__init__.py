@@ -1,0 +1,79 @@
+"""Unified telemetry layer: metrics, spans and per-run snapshots.
+
+``repro.telemetry`` is the zero-dependency observability substrate of the
+reproduction.  It has three pieces:
+
+* a **metrics registry** (:mod:`repro.telemetry.metrics`) — counters,
+  gauges and fixed-bucket histograms with merge-safe semantics, so the
+  per-worker recorders of the process pool fold into one run-level view;
+* **spans** (:class:`Recorder.span`) — lightweight ``perf_counter``
+  intervals with parent/child nesting, serializable as a flat JSONL trace;
+* **per-run snapshots** (:mod:`repro.telemetry.snapshot`) — the merged
+  metrics + top spans + provenance of one run, persisted in the artifact
+  store's ``telemetry/`` namespace and surfaced by ``repro telemetry
+  show`` / ``repro telemetry diff``.
+
+The default ambient recorder is the no-op :data:`NULL_RECORDER`:
+instrumented code (both simulation engines, the artifact store, the
+workload cache, the task runtime) checks ``get_recorder().enabled`` outside
+its per-query hot loops, so disabled telemetry costs nothing and engine
+parity is untouched.  Enable it per run via
+:class:`repro.api.Session(telemetry=True) <repro.api.Session>` or the
+``--telemetry`` CLI flag, or activate a recorder directly::
+
+    from repro import telemetry
+
+    recorder = telemetry.Recorder()
+    with telemetry.use(recorder):
+        ...  # instrumented code records into it
+    recorder.snapshot()
+"""
+
+from __future__ import annotations
+
+from .console import Console, ProgressLine
+from .metrics import Counter, DEFAULT_BUCKETS, Gauge, Histogram, MetricsRegistry
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    set_recorder,
+    use,
+)
+from .snapshot import (
+    TELEMETRY_NAMESPACE,
+    build_snapshot,
+    diff_snapshots,
+    gc_orphan_snapshots,
+    load_snapshot,
+    persist_snapshot,
+    snapshot_key,
+    span_rows,
+    summarize_snapshot,
+)
+
+__all__ = [
+    "Console",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "ProgressLine",
+    "Recorder",
+    "TELEMETRY_NAMESPACE",
+    "build_snapshot",
+    "diff_snapshots",
+    "gc_orphan_snapshots",
+    "get_recorder",
+    "load_snapshot",
+    "persist_snapshot",
+    "set_recorder",
+    "snapshot_key",
+    "span_rows",
+    "summarize_snapshot",
+    "use",
+]

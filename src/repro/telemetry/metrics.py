@@ -1,0 +1,215 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Three metric shapes cover everything the reproduction wants to observe:
+
+* :class:`Counter` — a monotonically increasing total (queries simulated,
+  store hits, bytes written).  Merging adds.
+* :class:`Gauge` — a last-written level (worker count, pool size).  Merging
+  keeps the maximum, which is the useful semantics when per-worker
+  snapshots of the same knob are combined into one run-level view.
+* :class:`Histogram` — a fixed-bucket distribution with ``sum`` / ``count``
+  / ``min`` / ``max`` side totals (task seconds, chunk sizes, fit times).
+  Buckets are chosen at creation and never rebinned, so two histograms of
+  the same metric merge by adding bucket counts.
+
+All updates are plain attribute mutations executed under the GIL — safe for
+the in-process case — and cross-process aggregation goes through
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.merge`: each pool
+worker records into its own registry and ships a plain-dict snapshot back
+to the parent, which merges it into the run-level registry.  Snapshots are
+pure built-in containers (JSON- and pickle-friendly), which is what the
+store's ``telemetry/`` namespace persists.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Mapping
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram buckets: upper bounds in seconds, spanning sub-ms
+#: policy hooks through multi-minute model fits.  Values above the last
+#: bound land in the implicit overflow bucket.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+    300.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total; merging adds."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def to_value(self) -> int | float:
+        return self.value
+
+    def merge_value(self, value: int | float) -> None:
+        self.value += value
+
+
+class Gauge:
+    """A last-written level; merging keeps the maximum."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: int | float | None = None
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def to_value(self) -> int | float | None:
+        return self.value
+
+    def merge_value(self, value: int | float | None) -> None:
+        if value is None:
+            return
+        if self.value is None or value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A fixed-bucket distribution with sum/count/min/max side totals.
+
+    ``buckets`` are inclusive upper bounds; one extra overflow bucket
+    catches everything beyond the last bound, so ``counts`` has
+    ``len(buckets) + 1`` cells and every observation lands somewhere.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValidationError(
+                f"histogram buckets must be strictly increasing, got {buckets!r}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def to_value(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge_value(self, value: Mapping) -> None:
+        if tuple(value.get("buckets", ())) != self.buckets:
+            raise ValidationError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        for index, count in enumerate(value.get("counts", ())):
+            self.counts[index] += count
+        self.sum += float(value.get("sum", 0.0))
+        self.count += int(value.get("count", 0))
+        other_min = value.get("min")
+        other_max = value.get("max")
+        if other_min is not None and other_min < self.min:
+            self.min = other_min
+        if other_max is not None and other_max > self.max:
+            self.max = other_max
+
+
+#: Snapshot section name per metric kind.
+_SECTIONS = {"counter": "counters", "gauge": "gauges", "histogram": "histograms"}
+
+
+class MetricsRegistry:
+    """Name → metric mapping with get-or-create accessors and merge."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif metric.kind != kind:
+            raise ValidationError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, "gauge")
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        factory = Histogram if buckets is None else (lambda: Histogram(buckets))
+        return self._get_or_create(name, factory, "histogram")
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""
+        sections: dict[str, dict] = {name: {} for name in _SECTIONS.values()}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            sections[_SECTIONS[metric.kind]][name] = metric.to_value()
+        return sections
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold another registry's :meth:`snapshot` into this one."""
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).merge_value(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).merge_value(value)
+        for name, value in (snapshot.get("histograms") or {}).items():
+            buckets = tuple(value.get("buckets", ()))
+            self.histogram(name, buckets or None).merge_value(value)

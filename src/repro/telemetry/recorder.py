@@ -1,0 +1,273 @@
+"""The :class:`Recorder`: one object collecting a run's metrics and spans.
+
+A recorder bundles a :class:`~repro.telemetry.metrics.MetricsRegistry` with
+a lightweight span collector.  Spans are ``time.perf_counter`` intervals
+with parent/child nesting::
+
+    with recorder.span("fit.admm"):
+        ...
+
+Each closed span becomes one flat record (``id`` / ``parent`` / ``name`` /
+``start`` / ``duration_seconds`` / ``depth``), so the whole trace serializes
+as JSONL (:meth:`Recorder.trace_jsonl`) and the snapshot artifact keeps the
+top-N slowest spans without reconstructing a tree.
+
+**Activation.**  Instrumented code (the engines, the store, the workload
+cache) does not take a recorder argument — it asks for the ambient one via
+:func:`get_recorder`, which defaults to the :data:`NULL_RECORDER`.  The null
+recorder's ``enabled`` flag is ``False`` and every method is a no-op, so
+the disabled path costs one attribute check at the instrumentation sites
+(which are themselves placed outside per-query hot loops).  Callers that
+want telemetry activate a real recorder for a dynamic extent::
+
+    with telemetry.use(recorder):
+        run_tasks(...)
+
+Activation is process-global (one ambient recorder per process, matching
+the one-run-at-a-time execution model); each pool worker activates its own
+recorder for the duration of a chunk and ships the snapshot back to the
+parent, which folds it in via :meth:`Recorder.merge_snapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "get_recorder",
+    "set_recorder",
+    "use",
+]
+
+#: Spans kept per recorder before further spans are counted but dropped
+#: (a runaway instrumentation loop must not exhaust memory).
+MAX_SPANS = 100_000
+
+
+class _Span:
+    """One ``with``-scoped measurement; created by :meth:`Recorder.span`."""
+
+    __slots__ = ("_recorder", "name", "_id", "_parent", "_started")
+
+    def __init__(self, recorder: "Recorder", name: str) -> None:
+        self._recorder = recorder
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        recorder = self._recorder
+        self._id = recorder._next_span_id
+        recorder._next_span_id += 1
+        stack = recorder._span_stack
+        self._parent = stack[-1] if stack else None
+        stack.append(self._id)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        ended = time.perf_counter()
+        recorder = self._recorder
+        recorder._span_stack.pop()
+        if len(recorder.spans) >= MAX_SPANS:
+            recorder.dropped_spans += 1
+            return
+        recorder.spans.append(
+            {
+                "id": self._id,
+                "parent": self._parent,
+                "name": self.name,
+                "start": self._started - recorder._t0,
+                "duration_seconds": ended - self._started,
+                "depth": len(recorder._span_stack),
+            }
+        )
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+class _NullMetric:
+    """No-op counter/gauge/histogram stand-in."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_METRIC = _NullMetric()
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a no-op.
+
+    Instrumentation sites guard their work with ``if recorder.enabled`` so
+    the disabled path performs no bookkeeping at all; the methods below
+    exist so unguarded convenience calls (spans, one-off counters) remain
+    legal without allocating anything.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, buckets=None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: int | float) -> None:
+        pass
+
+    def observe(self, name: str, value: int | float) -> None:
+        pass
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+
+#: The process-wide disabled recorder (also the default ambient recorder).
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder:
+    """Collects one run's metrics and spans; merge-safe across processes."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.spans: list[dict] = []
+        self.dropped_spans = 0
+        self._span_stack: list[int] = []
+        self._next_span_id = 0
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------- metrics
+
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, buckets=None):
+        return self.metrics.histogram(name, buckets)
+
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: int | float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: int | float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    # --------------------------------------------------------------- spans
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def trace_jsonl(self) -> str:
+        """The span trace as JSON-lines text (one flat record per span)."""
+        return "\n".join(json.dumps(record) for record in self.spans)
+
+    def write_trace(self, path) -> None:
+        """Write the JSONL span trace to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            trace = self.trace_jsonl()
+            if trace:
+                handle.write(trace + "\n")
+
+    # ----------------------------------------------------------- snapshots
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of everything recorded so far (JSON/pickle-safe)."""
+        snapshot = self.metrics.snapshot()
+        snapshot["spans"] = [dict(record) for record in self.spans]
+        snapshot["n_spans"] = len(self.spans) + self.dropped_spans
+        snapshot["dropped_spans"] = self.dropped_spans
+        return snapshot
+
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """Fold a worker's snapshot into this recorder.
+
+        Metrics merge per kind (counters add, gauges take the max,
+        histograms add bucket counts).  Spans are appended with their ids
+        rebased past this recorder's id space, so parent links stay
+        consistent within each merged trace and never collide across
+        processes.
+        """
+        self.metrics.merge(snapshot)
+        offset = self._next_span_id
+        max_seen = -1
+        for record in snapshot.get("spans", ()):
+            record = dict(record)
+            span_id = int(record["id"])
+            max_seen = max(max_seen, span_id)
+            record["id"] = span_id + offset
+            if record.get("parent") is not None:
+                record["parent"] = int(record["parent"]) + offset
+            if len(self.spans) >= MAX_SPANS:
+                self.dropped_spans += 1
+                continue
+            self.spans.append(record)
+        if max_seen >= 0:
+            self._next_span_id = offset + max_seen + 1
+        self.dropped_spans += int(snapshot.get("dropped_spans", 0))
+
+
+# ----------------------------------------------------------------- ambient
+
+_ACTIVE: NullRecorder | Recorder = NULL_RECORDER
+
+
+def get_recorder() -> NullRecorder | Recorder:
+    """The ambient recorder (the null recorder unless one is activated)."""
+    return _ACTIVE
+
+
+def set_recorder(recorder: NullRecorder | Recorder | None) -> None:
+    """Install ``recorder`` as the ambient recorder (``None`` deactivates)."""
+    global _ACTIVE
+    _ACTIVE = NULL_RECORDER if recorder is None else recorder
+
+
+@contextmanager
+def use(recorder: NullRecorder | Recorder | None) -> Iterator[NullRecorder | Recorder]:
+    """Activate ``recorder`` for a dynamic extent, restoring the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = NULL_RECORDER if recorder is None else recorder
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,311 @@
+"""Unit tests for :mod:`repro.telemetry`: metrics, recorder, console, snapshots."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.store import ArtifactStore, RunJournal
+from repro.telemetry import (
+    Console,
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_RECORDER,
+    NullRecorder,
+    ProgressLine,
+    Recorder,
+    TELEMETRY_NAMESPACE,
+    build_snapshot,
+    diff_snapshots,
+    gc_orphan_snapshots,
+    get_recorder,
+    load_snapshot,
+    persist_snapshot,
+    set_recorder,
+    snapshot_key,
+    span_rows,
+    summarize_snapshot,
+    use,
+)
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.recorder import MAX_SPANS
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.snapshot()["counters"]["a"] == 5
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3)
+        registry.gauge("g").set(2)
+        assert registry.snapshot()["gauges"]["g"] == 2
+
+    def test_histogram_buckets_and_stats(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        payload = histogram.to_value()
+        assert payload["counts"] == [1, 1, 1]  # <=1, <=10, overflow
+        assert payload["count"] == 3
+        assert payload["sum"] == pytest.approx(55.5)
+        assert payload["min"] == 0.5
+        assert payload["max"] == 50.0
+
+    def test_histogram_rejects_non_increasing_buckets(self):
+        with pytest.raises(ValidationError):
+            Histogram(buckets=(5.0, 1.0))
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValidationError):
+            registry.gauge("x")
+
+    def test_merge_per_kind_semantics(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.gauge("g").set(1)
+        b.gauge("g").set(7)
+        a.histogram("h").observe(0.5)
+        b.histogram("h").observe(2.0)
+        a.merge(b.snapshot())
+        merged = a.snapshot()
+        assert merged["counters"]["c"] == 5  # counters add
+        assert merged["gauges"]["g"] == 7  # gauges keep the max
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merged["histograms"]["h"]["sum"] == pytest.approx(2.5)
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", buckets=(1.0, 2.0, 3.0)).observe(0.5)
+        with pytest.raises(ValidationError):
+            a.merge(b.snapshot())
+
+
+class TestRecorder:
+    def test_convenience_helpers(self):
+        recorder = Recorder()
+        recorder.inc("jobs", 2)
+        recorder.set_gauge("level", 4)
+        recorder.observe("latency", 0.25)
+        snapshot = recorder.snapshot()
+        assert snapshot["counters"]["jobs"] == 2
+        assert snapshot["gauges"]["level"] == 4
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+    def test_span_nesting_parent_links(self):
+        recorder = Recorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        inner, outer = recorder.spans  # children close first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["id"]
+        assert inner["depth"] == 1
+        assert outer["parent"] is None
+        assert outer["depth"] == 0
+        assert outer["duration_seconds"] >= inner["duration_seconds"]
+
+    def test_trace_jsonl_round_trips(self, tmp_path):
+        recorder = Recorder()
+        with recorder.span("a"):
+            pass
+        records = [json.loads(line) for line in recorder.trace_jsonl().splitlines()]
+        assert [record["name"] for record in records] == ["a"]
+        path = tmp_path / "trace.jsonl"
+        recorder.write_trace(path)
+        assert path.read_text().strip() == recorder.trace_jsonl()
+
+    def test_span_cap_counts_drops(self):
+        recorder = Recorder()
+        recorder.spans = [{} for _ in range(MAX_SPANS)]
+        with recorder.span("over"):
+            pass
+        assert len(recorder.spans) == MAX_SPANS
+        assert recorder.dropped_spans == 1
+        assert recorder.snapshot()["n_spans"] == MAX_SPANS + 1
+
+    def test_merge_snapshot_rebases_span_ids(self):
+        parent = Recorder()
+        with parent.span("local"):
+            pass
+        worker = Recorder()
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        parent.merge_snapshot(worker.snapshot())
+        ids = [record["id"] for record in parent.spans]
+        assert len(set(ids)) == len(ids)
+        merged_inner = next(r for r in parent.spans if r["name"] == "inner")
+        merged_outer = next(r for r in parent.spans if r["name"] == "outer")
+        assert merged_inner["parent"] == merged_outer["id"]
+        # A second merge must not collide either.
+        parent.merge_snapshot(worker.snapshot())
+        ids = [record["id"] for record in parent.spans]
+        assert len(set(ids)) == len(ids)
+
+
+class TestAmbientRecorder:
+    def test_default_is_null(self):
+        assert get_recorder() is NULL_RECORDER
+        assert not get_recorder().enabled
+
+    def test_use_restores_previous(self):
+        recorder = Recorder()
+        with use(recorder):
+            assert get_recorder() is recorder
+            nested = Recorder()
+            with use(nested):
+                assert get_recorder() is nested
+            assert get_recorder() is recorder
+        assert get_recorder() is NULL_RECORDER
+
+    def test_set_recorder_none_deactivates(self):
+        recorder = Recorder()
+        set_recorder(recorder)
+        try:
+            assert get_recorder() is recorder
+        finally:
+            set_recorder(None)
+        assert get_recorder() is NULL_RECORDER
+
+    def test_null_recorder_is_inert(self):
+        null = NullRecorder()
+        null.inc("x")
+        null.set_gauge("y", 1)
+        null.observe("z", 2.0)
+        with null.span("nothing"):
+            pass
+        assert null.counter("x") is null.gauge("y")
+
+
+class TestConsole:
+    def test_emit_writes_unless_quiet(self):
+        loud = io.StringIO()
+        Console(loud).emit("hello")
+        assert loud.getvalue() == "hello\n"
+        muted = io.StringIO()
+        Console(muted, quiet=True).emit("hello")
+        assert muted.getvalue() == ""
+
+    def test_progress_none_when_quiet(self):
+        assert Console(io.StringIO(), quiet=True).progress() is None
+        progress = Console(io.StringIO()).progress()
+        assert isinstance(progress, ProgressLine)
+
+
+class _FakeResult:
+    resumed = False
+
+
+class TestProgressLine:
+    def test_non_tty_prints_bounded_snapshots(self):
+        stream = io.StringIO()
+        line = ProgressLine(stream)
+        line.begin(100)
+        for _ in range(100):
+            line.update(_FakeResult())
+        line.finish()
+        printed = stream.getvalue().splitlines()
+        assert 1 <= len(printed) <= 11
+        assert printed[-1].startswith("[progress] 100/100")
+
+
+def _store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestSnapshots:
+    def test_build_ranks_and_truncates_spans(self):
+        recorder = Recorder()
+        recorder.inc("n")
+        for index in range(5):
+            with recorder.span(f"s{index}"):
+                pass
+        snapshot = build_snapshot(recorder, run_id="r", top_spans=2)
+        assert snapshot["run_id"] == "r"
+        assert len(snapshot["spans"]) == 2
+        assert snapshot["n_spans"] == 5
+        durations = [record["duration_seconds"] for record in snapshot["spans"]]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_persist_requires_run_id(self, tmp_path):
+        snapshot = build_snapshot(Recorder())
+        with pytest.raises(ValueError):
+            persist_snapshot(_store(tmp_path), snapshot)
+
+    def test_persist_load_round_trip(self, tmp_path):
+        store = _store(tmp_path)
+        recorder = Recorder()
+        recorder.inc("events", 3)
+        persist_snapshot(store, build_snapshot(recorder, run_id="run-1"))
+        loaded = load_snapshot(store, "run-1")
+        assert loaded is not None
+        assert loaded["counters"]["events"] == 3
+        assert load_snapshot(store, "missing") is None
+        assert store.get(TELEMETRY_NAMESPACE, snapshot_key("run-1")) is not None
+
+    def test_summarize_and_span_rows(self):
+        recorder = Recorder()
+        recorder.inc("hits", 2)
+        recorder.set_gauge("workers", 4)
+        recorder.observe("wait", 0.5)
+        with recorder.span("slow"):
+            pass
+        snapshot = build_snapshot(recorder, run_id="r")
+        rows = {row["metric"]: row["value"] for row in summarize_snapshot(snapshot)}
+        assert rows["hits"] == 2
+        assert rows["workers"] == 4
+        assert rows["wait"].startswith("n=1")
+        spans = span_rows(snapshot, limit=5)
+        assert spans[0]["span"] == "slow"
+
+    def test_diff_reports_delta_and_ratio(self):
+        a = Recorder()
+        b = Recorder()
+        a.inc("queries", 10)
+        b.inc("queries", 30)
+        b.inc("only_b")
+        a.observe("latency", 1.0)
+        b.observe("latency", 2.0)
+        rows = {
+            row["metric"]: row
+            for row in diff_snapshots(
+                build_snapshot(a, run_id="a"), build_snapshot(b, run_id="b")
+            )
+        }
+        assert rows["queries"]["delta"] == 20
+        assert rows["queries"]["ratio"] == pytest.approx(3.0)
+        assert rows["only_b"]["a"] is None
+        assert rows["latency.mean"]["ratio"] == pytest.approx(2.0)
+
+    def test_gc_reaps_only_orphans(self, tmp_path):
+        store = _store(tmp_path)
+        journal = RunJournal(store, "alive", 0)
+        journal.publish_index(1)
+        for run_id in ("alive", "dead"):
+            recorder = Recorder()
+            recorder.inc("n")
+            persist_snapshot(store, build_snapshot(recorder, run_id=run_id))
+        removed, freed = gc_orphan_snapshots(store)
+        assert removed == 1
+        assert freed > 0
+        assert load_snapshot(store, "alive") is not None
+        assert load_snapshot(store, "dead") is None
+
+
+class TestDefaultBuckets:
+    def test_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
