@@ -1,19 +1,26 @@
-"""Benchmark: reference vs batched replay engine on large traces.
+"""Benchmark: reference vs batched vs kernel replay engine on large traces.
 
 For each trace size (10^4 / 10^5 / 10^6 queries) and each policy family the
-same trace is replayed under the reference per-query engine and the batched
-event-kernel engine, recording
+same trace is replayed under the reference per-query engine, the batched
+event-kernel engine, and the kernelized engine (``engine="kernel"``),
+recording
 
-* wall-clock seconds per engine and the resulting speedup, and
-* the number of **divergent rows** between the two results — every per-query
-  outcome column is compared bit-for-bit, so the reported speedup is only
+* wall-clock seconds per engine and the resulting speedups, and
+* the number of **divergent rows** across the engines — every per-query
+  outcome column is compared bit-for-bit, so the reported speedups are only
   meaningful when the divergence column reads 0.
+
+The policy grid covers both dispatch regimes: passive-arrival policies
+(Reactive, TickFleet) where the batched engine already wins, and hook
+policies (BP, AdapBP) that the kernel tier vectorizes.  Results are also
+written to ``BENCH_engine.json`` at the repo root so the perf trajectory is
+recorded alongside the code.
 
 Runs standalone for CI smoke jobs (10^4 queries only)::
 
     python benchmarks/bench_engine.py --smoke
 
-or in full (the 10^6-query rows substantiate the >=10x claim)::
+or in full (the 10^6-query rows substantiate the >=20x hook-policy claim)::
 
     python benchmarks/bench_engine.py
 
@@ -23,17 +30,21 @@ or under pytest-benchmark (``pytest benchmarks/bench_engine.py``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.config import SimulationConfig
 from repro.nhpp.sampling import sample_homogeneous_arrivals
+from repro.scaling.adaptive_backup_pool import AdaptiveBackupPoolScaler
 from repro.scaling.backup_pool import BackupPoolScaler, ReactiveScaler
 from repro.scaling.base import Autoscaler, ScalingResponse
 from repro.simulation import create_simulator
+from repro.simulation.kernels import NUMBA_AVAILABLE, scalar_backend
 from repro.types import ArrivalTrace, ScalingAction
 
 from conftest import print_artifact
@@ -51,6 +62,12 @@ _COLUMNS = (
 
 #: Constant arrival rate (queries/second); the horizon scales with the size.
 _RATE = 100.0
+
+#: Engines timed per cell, in reporting order.
+_ENGINE_NAMES = ("reference", "batched", "kernel")
+
+#: Where the machine-readable results land (repo root).
+_DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 class TickFleetScaler(Autoscaler):
@@ -83,12 +100,18 @@ class TickFleetScaler(Autoscaler):
         return ScalingResponse(actions=actions)
 
 
-def _scaler_families() -> list[tuple[str, type | None]]:
+def _scaler_families() -> list[tuple[str, object]]:
     return [
         ("Reactive", lambda: ReactiveScaler()),
         ("BP(B=4)", lambda: BackupPoolScaler(4)),
+        ("AdapBP(f=2)", lambda: AdaptiveBackupPoolScaler(2.0)),
         ("TickFleet", lambda: TickFleetScaler()),
     ]
+
+
+#: Families whose arrival hook is active — the kernel tier's target; these
+#: must clear the >=20x bar over the reference engine at 10^6 queries.
+_HOOK_FAMILIES = ("BP(B=4)", "AdapBP(f=2)")
 
 
 def make_trace(n_queries: int, seed: int = 7) -> ArrivalTrace:
@@ -100,49 +123,72 @@ def make_trace(n_queries: int, seed: int = 7) -> ArrivalTrace:
     )
 
 
-def count_divergent_rows(reference, batched) -> int:
+def count_divergent_rows(reference, other) -> int:
     """Rows where any outcome column differs bit-for-bit (0 = full parity)."""
-    if reference.n_queries != batched.n_queries:
-        return max(reference.n_queries, batched.n_queries)
+    if reference.n_queries != other.n_queries:
+        return max(reference.n_queries, other.n_queries)
     divergent = np.zeros(reference.n_queries, dtype=bool)
     for column in _COLUMNS:
-        divergent |= getattr(reference, column) != getattr(batched, column)
+        divergent |= getattr(reference, column) != getattr(other, column)
     mismatch = int(divergent.sum())
-    if reference.unused_instance_cost != batched.unused_instance_cost:
+    if reference.unused_instance_cost != other.unused_instance_cost:
         mismatch += 1
-    if len(reference.planning_times) != len(batched.planning_times):
+    if len(reference.planning_times) != len(other.planning_times):
         mismatch += 1
     return mismatch
 
 
 def run_engine_comparison(sizes: tuple[int, ...], seed: int = 7) -> list[dict]:
-    """Time both engines on each (size, scaler) cell and check divergence."""
+    """Time every engine on each (size, scaler) cell and check divergence."""
     rows: list[dict] = []
-    reference_config = SimulationConfig(pending_time=0.2, seed=seed, engine="reference")
-    batched_config = SimulationConfig(pending_time=0.2, seed=seed, engine="batched")
+    configs = {
+        name: SimulationConfig(pending_time=0.2, seed=seed, engine=name)
+        for name in _ENGINE_NAMES
+    }
     for n_queries in sizes:
         trace = make_trace(n_queries, seed=seed)
         for label, factory in _scaler_families():
-            started = time.perf_counter()
-            reference = create_simulator(reference_config).replay(trace, factory())
-            reference_seconds = time.perf_counter() - started
-
-            started = time.perf_counter()
-            batched = create_simulator(batched_config).replay(trace, factory())
-            batched_seconds = time.perf_counter() - started
-
+            results = {}
+            seconds = {}
+            for name in _ENGINE_NAMES:
+                started = time.perf_counter()
+                results[name] = create_simulator(configs[name]).replay(
+                    trace, factory()
+                )
+                seconds[name] = time.perf_counter() - started
+            reference = results["reference"]
+            divergent = max(
+                count_divergent_rows(reference, results[name])
+                for name in _ENGINE_NAMES[1:]
+            )
             rows.append(
                 {
                     "n_queries": trace.n_queries,
                     "scaler": label,
-                    "reference_seconds": reference_seconds,
-                    "batched_seconds": batched_seconds,
-                    "speedup": reference_seconds / max(batched_seconds, 1e-12),
-                    "divergent_rows": count_divergent_rows(reference, batched),
-                    "hit_rate": batched.hit_rate,
+                    "reference_seconds": seconds["reference"],
+                    "batched_seconds": seconds["batched"],
+                    "kernel_seconds": seconds["kernel"],
+                    "batched_speedup": seconds["reference"]
+                    / max(seconds["batched"], 1e-12),
+                    "kernel_speedup": seconds["reference"]
+                    / max(seconds["kernel"], 1e-12),
+                    "divergent_rows": divergent,
+                    "hit_rate": results["kernel"].hit_rate,
                 }
             )
     return rows
+
+
+def write_results(rows: list[dict], path: Path) -> None:
+    """Persist the comparison as JSON so the perf trajectory is tracked."""
+    payload = {
+        "benchmark": "engine-comparison",
+        "engines": list(_ENGINE_NAMES),
+        "scalar_backend": scalar_backend(),
+        "numba_available": NUMBA_AVAILABLE,
+        "rows": rows,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 # --------------------------------------------------------------- pytest mode
@@ -166,36 +212,64 @@ def main(argv=None) -> int:
         help="run the 10^4-query sizes only (CI tier-2)",
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=_DEFAULT_OUTPUT,
+        help="where to write the JSON results (default: BENCH_engine.json "
+        "at the repo root)",
+    )
     args = parser.parse_args(argv)
 
     sizes = (10_000,) if args.smoke else (10_000, 100_000, 1_000_000)
     rows = run_engine_comparison(sizes, seed=args.seed)
     print_artifact(
-        "Reference vs batched engine",
+        "Reference vs batched vs kernel engine",
         rows,
         columns=[
             "n_queries",
             "scaler",
             "reference_seconds",
             "batched_seconds",
-            "speedup",
+            "kernel_seconds",
+            "batched_speedup",
+            "kernel_speedup",
             "divergent_rows",
             "hit_rate",
         ],
     )
+    write_results(rows, args.output)
+    print(f"\n[bench] results written to {args.output}")
+    print(f"[bench] scalar kernel backend: {scalar_backend()}")
 
     divergent = [row for row in rows if row["divergent_rows"]]
     if divergent:
         print(f"\nFAIL: {len(divergent)} cells produced divergent rows")
         return 1
-    print("\nAll cells bit-identical between engines.")
+    print("\nAll cells bit-identical across engines.")
     if not args.smoke:
         headline = max(
-            row["speedup"] for row in rows if row["n_queries"] >= 500_000
+            row["batched_speedup"] for row in rows if row["n_queries"] >= 500_000
         )
-        print(f"Headline speedup at 10^6 queries: {headline:.1f}x")
+        print(f"Headline batched speedup at 10^6 queries: {headline:.1f}x")
         if headline < 10.0:
-            print("FAIL: expected >=10x speedup on the 10^6-query trace")
+            print("FAIL: expected >=10x batched speedup on the 10^6-query trace")
+            return 1
+        failures = 0
+        for row in rows:
+            if row["n_queries"] < 500_000 or row["scaler"] not in _HOOK_FAMILIES:
+                continue
+            print(
+                f"Kernel speedup at 10^6 queries [{row['scaler']}]: "
+                f"{row['kernel_speedup']:.1f}x"
+            )
+            if row["kernel_speedup"] < 20.0:
+                print(
+                    f"FAIL: expected >=20x kernel speedup for {row['scaler']} "
+                    "on the 10^6-query trace"
+                )
+                failures += 1
+        if failures:
             return 1
     return 0
 

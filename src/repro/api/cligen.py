@@ -87,11 +87,13 @@ def add_session_arguments(
     if spec.engine_aware:
         parser.add_argument(
             "--engine",
-            choices=["reference", "batched"],
+            choices=["reference", "batched", "kernel"],
             default=None,
             help=(
-                "replay engine (default: batched; both engines produce "
-                "bit-identical rows, 'reference' is the per-query event loop)"
+                "replay engine (default: batched; all engines produce "
+                "bit-identical rows, 'reference' is the per-query event "
+                "loop, 'kernel' adds the vectorized per-arrival tier for "
+                "BP/AdapBP)"
             ),
         )
     if spec.runtime:

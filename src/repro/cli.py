@@ -156,11 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=7)
     simulate.add_argument(
         "--engine",
-        choices=["reference", "batched"],
+        choices=["reference", "batched", "kernel"],
         default=None,
         help=(
             "replay engine (default: batched; identical results, 'reference' "
-            "is the per-query event loop)"
+            "is the per-query event loop, 'kernel' adds the vectorized "
+            "per-arrival tier for BP/AdapBP)"
         ),
     )
     _add_store_dir_flag(simulate)

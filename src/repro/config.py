@@ -202,7 +202,11 @@ class SimulationConfig:
         per-query event loop whose semantics define the model,
         ``"batched"`` is the vectorized engine of
         :mod:`repro.simulation.fastengine` that produces identical results
-        (same RNG draw order, same tiebreaks) at a fraction of the cost.
+        (same RNG draw order, same tiebreaks) at a fraction of the cost,
+        and ``"kernel"`` is the batched engine with the kernelized
+        per-arrival dispatch tier that additionally vectorizes hook
+        policies declaring an arrival kernel (BP, AdapBP) — still
+        bit-identical.
         ``None`` (the default) leaves the choice to the consuming layer:
         :mod:`repro.api` and the CLI resolve it to ``"batched"``, while the
         legacy :func:`repro.simulation.create_simulator` path keeps the
@@ -219,7 +223,7 @@ class SimulationConfig:
     engine: Optional[str] = None
 
     #: Recognized values of :attr:`engine` (besides ``None`` = unspecified).
-    ENGINES = ("reference", "batched")
+    ENGINES = ("reference", "batched", "kernel")
 
     def __post_init__(self) -> None:
         if self.engine is not None and self.engine not in self.ENGINES:

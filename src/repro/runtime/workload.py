@@ -136,12 +136,13 @@ def prepare_workload(
     period_bins:
         Explicit period (in bins) to use instead of running detection.
     engine:
-        Replay engine override (``"reference"`` / ``"batched"``); ``None``
-        keeps whatever ``simulation`` selects, falling back to the legacy
-        ``"reference"`` engine when the simulation config is silent too
-        (:class:`repro.api.Session` and the CLI always pass an explicit
-        engine, defaulting to ``"batched"``).  Both engines produce
-        identical results, so this only changes replay speed.
+        Replay engine override (``"reference"`` / ``"batched"`` /
+        ``"kernel"``); ``None`` keeps whatever ``simulation`` selects,
+        falling back to the legacy ``"reference"`` engine when the
+        simulation config is silent too (:class:`repro.api.Session` and the
+        CLI always pass an explicit engine, defaulting to ``"batched"``).
+        All engines produce identical results, so this only changes replay
+        speed.
     """
     recorder = get_recorder()
     train, test = trace.split(train_fraction)

@@ -72,6 +72,13 @@ class AdaptiveBackupPoolScaler(Autoscaler):
         """Replenish the pool to the current target after each arrival."""
         return self._rebalance(context, allow_scale_in=False)
 
+    def arrival_kernel(self):
+        """AdapBP's arrival hook is a pool top-up; the target only moves at
+        planning ticks, so reading it once per chunk is exact."""
+        from ..simulation.kernels import PoolTopUpKernel
+
+        return PoolTopUpKernel(lambda: self._target)
+
     def _rebalance(self, context: PlanningContext, *, allow_scale_in: bool = True) -> ScalingResponse:
         deficit = self._target - context.outstanding_instances
         if deficit > 0:

@@ -40,6 +40,12 @@ class BackupPoolScaler(Autoscaler):
             return ScalingResponse.empty()
         return ScalingResponse.create_now(context.time, deficit)
 
+    def arrival_kernel(self):
+        """BP's arrival hook is a pool top-up with a constant target."""
+        from ..simulation.kernels import PoolTopUpKernel
+
+        return PoolTopUpKernel(lambda: self.pool_size)
+
 
 class ReactiveScaler(BackupPoolScaler):
     """Purely reactive scaling: no pool, every query cold-starts an instance.

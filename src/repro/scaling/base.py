@@ -144,8 +144,30 @@ class Autoscaler(abc.ABC):
         return ScalingResponse.empty()
 
     def on_query_arrival(self, context: PlanningContext) -> ScalingResponse:
-        """Called after each query arrival has been matched to an instance."""
+        """Called after each query arrival has been matched to an instance.
+
+        The context is only valid for the duration of the call: fast engines
+        may reuse one mutable snapshot across arrivals, so policies must not
+        stash it for later inspection (read what you need, then return).
+        """
         return ScalingResponse.empty()
+
+    def arrival_kernel(self):
+        """Optional array-program equivalent of :meth:`on_query_arrival`.
+
+        Policies whose per-arrival decision can be expressed over flat
+        numpy arrays may return a
+        :class:`repro.simulation.kernels.ArrivalKernel`; kernel-enabled
+        engines then serve whole chunks of arrivals (everything between two
+        planning ticks) through it instead of dispatching the hook per
+        query, with bit-identical results.  Returning a kernel is a
+        *promise of equivalence*: the kernel must reproduce the hook's
+        decisions exactly (see :class:`~repro.simulation.kernels.ArrivalKernel`
+        for the contract).  The default is ``None`` — no kernel, per-query
+        hook dispatch.  The reference engine ignores kernels entirely, so
+        declaring one never changes simulation outcomes.
+        """
+        return None
 
     def on_planning_tick(self, context: PlanningContext) -> ScalingResponse:
         """Called every :attr:`planning_interval` seconds (if not ``None``)."""

@@ -26,17 +26,26 @@ restructuring the work so million-query traces are feasible:
   and returned via :meth:`~repro.types.SimulationResult.from_columns`;
   ``QueryOutcome`` objects are only materialized if somebody asks.
 
+:class:`KernelEventSimulator` (``engine="kernel"``) adds a third dispatch
+tier between the passive chunk and the per-query fallback: policies that
+declare an :meth:`~repro.scaling.base.Autoscaler.arrival_kernel` (BP,
+AdapBP) have whole chunks of arrivals served through their array kernel
+(see :mod:`repro.simulation.kernels`) — pending-time draws are bulk-sampled
+with the exact count the reference engine would consume, so rows stay
+bit-identical.  Arrivals the kernel cannot take (scheduled creations in
+flight, charged decision latency, a policy without a kernel) silently fall
+back to the per-query hook path.
+
 Parity notes.  The tiebreak counter is advanced in exactly the reference
 order (scheduled pushes consume ids too, materialization assigns fresh ids
-in pop order), floating-point expressions reproduce the reference's
-operation order (e.g. ``(arrival + latency) + pending``), and cost
-accumulation follows the same element order, so results match bitwise, not
-just approximately.
+in pop order, kernel chunks advance it by their exact creation count),
+floating-point expressions reproduce the reference's operation order
+(e.g. ``(arrival + latency) + pending``), and cost accumulation follows
+the same element order, so results match bitwise, not just approximately.
 """
 
 from __future__ import annotations
 
-import itertools
 import math
 import time as _time
 from bisect import bisect_right, insort
@@ -45,18 +54,22 @@ from typing import Callable
 import numpy as np
 
 from ..config import SimulationConfig
-from ..pending import PendingTimeModel, default_pending_model
+from ..pending import DeterministicPendingTime, PendingTimeModel, default_pending_model
 from ..rng import ensure_rng
 from ..scaling.base import Autoscaler, PlanningContext, ScalingResponse
 from ..telemetry import get_recorder
 from ..types import ArrivalTrace, SimulationResult
+from .kernels import KernelState
 
-__all__ = ["BatchedEventSimulator"]
+__all__ = ["BatchedEventSimulator", "KernelEventSimulator"]
 
 _INF = math.inf
 
 #: Histogram buckets for per-chunk query counts (powers of ten).
 _CHUNK_BUCKETS = (1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
+
+#: Shared zero-length draw array for kernel chunks that sample nothing.
+_EMPTY_DRAWS = np.empty(0, dtype=float)
 
 
 class BatchedEventSimulator:
@@ -73,6 +86,10 @@ class BatchedEventSimulator:
         the same values as ``k`` successive ``sample(1)`` calls (true for all
         built-in models, which draw through numpy generators).
     """
+
+    #: Enable the kernel-chunk dispatch tier for policies that declare an
+    #: arrival kernel; :class:`KernelEventSimulator` flips this to True.
+    use_kernels: bool = False
 
     def __init__(
         self,
@@ -115,7 +132,9 @@ class BatchedEventSimulator:
         pool: list[tuple[float, int, float, float]] = []
         # Scheduled creations: flat sorted list of (creation, tie).
         sched: list[tuple[float, int]] = []
-        tiebreak = itertools.count()
+        # Next tiebreak id; a plain int so kernel chunks can advance it by
+        # their whole creation count in one step.
+        tiebreak = 0
         planning_times: list[float] = []
         unused_cost = 0.0
 
@@ -154,6 +173,7 @@ class BatchedEventSimulator:
 
         def materialize(now: float) -> None:
             """Turn due scheduled creations into pool instances (batched draws)."""
+            nonlocal tiebreak
             count = bisect_right(sched, (now, _INF))
             if not count:
                 return
@@ -163,10 +183,11 @@ class BatchedEventSimulator:
             for (creation_time, _), pending in zip(due, draws):
                 pending = float(pending)
                 ready = creation_time + latency_const + pending
-                insort(pool, (ready, next(tiebreak), creation_time, pending))
+                insort(pool, (ready, tiebreak, creation_time, pending))
+                tiebreak += 1
 
         def apply_response(response: ScalingResponse, now: float, latency: float) -> None:
-            nonlocal unused_cost
+            nonlocal unused_cost, tiebreak
             effective_now = now + latency if charge else now
             cancels = min(response.cancel_scheduled, len(sched))
             if cancels > 0:
@@ -182,9 +203,10 @@ class BatchedEventSimulator:
                 if creation_time <= now:
                     pending = float(sample(1, rng)[0])
                     ready = creation_time + latency_const + pending
-                    insort(pool, (ready, next(tiebreak), creation_time, pending))
+                    insort(pool, (ready, tiebreak, creation_time, pending))
                 else:
-                    insort(sched, (creation_time, next(tiebreak)))
+                    insort(sched, (creation_time, tiebreak))
+                tiebreak += 1
 
         def serve_one(index: int, arrival: float) -> None:
             """Serve a single query (the reference's ``_serve_query``)."""
@@ -272,6 +294,75 @@ class BatchedEventSimulator:
                     serve_one(pos, arrival)
                     pos += 1
 
+        # The per-arrival hook path reuses one mutable context snapshot
+        # instead of allocating a frozen dataclass per arrival (hooks read
+        # it synchronously and may not stash it; ticks and initialize keep
+        # fresh contexts, which policies may legitimately retain).
+        arrival_context = make_context(0.0, 0)
+        _ctx_set = object.__setattr__
+
+        def update_context(now: float, n_arrivals: int) -> PlanningContext:
+            _ctx_set(arrival_context, "time", now)
+            _ctx_set(arrival_context, "n_arrivals", n_arrivals)
+            _ctx_set(arrival_context, "arrival_history", arrivals[:n_arrivals])
+            _ctx_set(arrival_context, "created_unassigned", len(pool))
+            _ctx_set(arrival_context, "ready_unassigned", bisect_right(pool, (now, _INF)))
+            _ctx_set(arrival_context, "scheduled_creations", len(sched))
+            return arrival_context
+
+        def serve_kernel_chunk(begin: int, end: int, params) -> None:
+            """Serve arrivals[begin:end] through the policy's arrival kernel.
+
+            The kernel plans the chunk's exact pending-draw count from the
+            pool *size* alone, the draws are bulk-sampled (stream-prefix
+            stability keeps them bitwise equal to the reference engine's
+            one-at-a-time draws), and the tiebreak counter advances by the
+            exact creation count, so the surviving pool is indistinguishable
+            from one produced by per-query hook dispatch.
+            """
+            nonlocal tiebreak
+            m = end - begin
+            s0 = len(pool)
+            n_draws, n_created = kernel.plan(s0, m, params)
+            if n_draws:
+                draws = np.asarray(sample(n_draws, rng), dtype=float)
+            else:
+                draws = _EMPTY_DRAWS
+            state = KernelState(
+                pool_ready=np.array([e[0] for e in pool], dtype=float),
+                pool_creation=np.array([e[2] for e in pool], dtype=float),
+                pool_pending=np.array([e[3] for e in pool], dtype=float),
+                latency=latency_const,
+                fifo_pool=fifo_pool,
+                begin=begin,
+                hit=hit_col,
+                waiting=waiting_col,
+                creation=creation_col,
+                ready=ready_col,
+                start=start_col,
+                pending=pending_col,
+                proactive=proactive_col,
+            )
+            surv_ready, surv_creation, surv_pending, surv_order = kernel.run_chunk(
+                state, arrivals[begin:end], draws, params
+            )
+            tie_base = tiebreak
+            tiebreak += n_created
+            # Survivors with order < s0 are pre-chunk pool entries (keep the
+            # original tuple, preserving its tiebreak); the rest were created
+            # during the chunk and take fresh ids in creation order.
+            pool[:] = [
+                pool[o]
+                if o < s0
+                else (r, tie_base + (o - s0), c, p)
+                for r, c, p, o in zip(
+                    surv_ready.tolist(),
+                    surv_creation.tolist(),
+                    surv_pending.tolist(),
+                    surv_order.tolist(),
+                )
+            ]
+
         # -------------------------------------------------------- main loop
 
         response, latency = call_policy(scaler.initialize, make_context(0.0, 0))
@@ -280,6 +371,21 @@ class BatchedEventSimulator:
         interval = scaler.planning_interval
         next_tick = interval if interval else None
         passive = scaler.arrival_hook_is_passive
+
+        # Kernel tier: only for active arrival hooks, and only when decision
+        # latency is not charged (charged latency turns "create now" into a
+        # scheduled creation, which kernels do not model).
+        kernel = None
+        fifo_pool = False
+        if self.use_kernels and not passive and not charge:
+            kernel = scaler.arrival_kernel()
+            fifo_pool = isinstance(self.pending_model, DeterministicPendingTime)
+        n_kernel_chunks = 0
+        kernel_arrivals = 0
+        n_hook = 0
+        kernel_chunk_sizes: list[int] | None = (
+            [] if (recorder.enabled and kernel is not None) else None
+        )
 
         index = 0
         while index < n:
@@ -309,14 +415,37 @@ class BatchedEventSimulator:
                 if chunk_sizes is not None:
                     chunk_sizes.append(chunk_end - index)
                 index = chunk_end
-            else:
-                materialize(arrival)
-                serve_one(index, arrival)
-                response, latency = call_policy(
-                    scaler.on_query_arrival, make_context(arrival, index + 1)
-                )
-                apply_response(response, arrival, latency)
-                index += 1
+                continue
+
+            if kernel is not None and not sched:
+                params = kernel.begin_chunk()
+                if params is not None:
+                    if next_tick is None:
+                        chunk_end = n
+                    else:
+                        chunk_end = index + int(
+                            np.searchsorted(arrivals[index:], next_tick, side="left")
+                        )
+                    serve_kernel_chunk(index, chunk_end, params)
+                    # Hook timing parity with the reference (see above).
+                    planning_times.extend([0.0] * (chunk_end - index))
+                    n_kernel_chunks += 1
+                    kernel_arrivals += chunk_end - index
+                    if kernel_chunk_sizes is not None:
+                        kernel_chunk_sizes.append(chunk_end - index)
+                    index = chunk_end
+                    continue
+
+            # Per-query hook fallback; the kernel (if any) is offered the
+            # remaining arrivals again once the scheduled queue drains.
+            materialize(arrival)
+            serve_one(index, arrival)
+            response, latency = call_policy(
+                scaler.on_query_arrival, update_context(arrival, index + 1)
+            )
+            apply_response(response, arrival, latency)
+            n_hook += 1
+            index += 1
 
         # Instances created but never consumed cost until the end of the
         # trace; the pool is already sorted, so the accumulation order equals
@@ -338,7 +467,19 @@ class BatchedEventSimulator:
                 for size in chunk_sizes:
                     chunk_hist.observe(size)
             else:
-                recorder.inc("engine.batched.hook_arrivals", n)
+                recorder.inc("engine.batched.hook_arrivals", n_hook)
+                if self.use_kernels:
+                    # Kernel-tier attribution: how many arrivals the kernel
+                    # served chunk-at-a-time vs. fell back to hook dispatch.
+                    recorder.inc("engine.kernel.chunks", n_kernel_chunks)
+                    recorder.inc("engine.kernel.arrivals", kernel_arrivals)
+                    recorder.inc("engine.kernel.fallback_arrivals", n_hook)
+                    if kernel_chunk_sizes is not None:
+                        kernel_hist = recorder.histogram(
+                            "engine.kernel.chunk_size", _CHUNK_BUCKETS
+                        )
+                        for size in kernel_chunk_sizes:
+                            kernel_hist.observe(size)
             recorder.observe(
                 "engine.batched.replay_seconds",
                 _time.perf_counter() - replay_started,
@@ -360,3 +501,17 @@ class BatchedEventSimulator:
             planning_times=planning_times,
             n_unused_instances=len(pool),
         )
+
+
+class KernelEventSimulator(BatchedEventSimulator):
+    """Batched engine with the kernelized per-arrival dispatch tier enabled.
+
+    Identical to :class:`BatchedEventSimulator` except that policies
+    declaring an :meth:`~repro.scaling.base.Autoscaler.arrival_kernel`
+    (BP, AdapBP) are served chunk-at-a-time through their array kernel —
+    the dispatch order is passive-chunk → kernel-chunk → per-query hook
+    fallback.  Results are bit-identical on every tier; only the speed
+    changes.  Select with ``engine="kernel"``.
+    """
+
+    use_kernels = True

@@ -26,7 +26,7 @@ from ..pending import PendingTimeModel
 from ..scaling.base import Autoscaler
 from ..types import ArrivalTrace, SimulationResult
 from .engine import ScalingPerQuerySimulator
-from .fastengine import BatchedEventSimulator
+from .fastengine import BatchedEventSimulator, KernelEventSimulator
 
 __all__ = [
     "DEFAULT_ENGINE",
@@ -43,10 +43,11 @@ DEFAULT_ENGINE = "batched"
 #: one deprecation release; the semantics-defining per-query event loop).
 _LEGACY_ENGINE = "reference"
 
-#: Engine name -> simulator class; both expose ``replay(trace, scaler)``.
+#: Engine name -> simulator class; all expose ``replay(trace, scaler)``.
 _ENGINES = {
     "reference": ScalingPerQuerySimulator,
     "batched": BatchedEventSimulator,
+    "kernel": KernelEventSimulator,
 }
 
 
@@ -78,7 +79,11 @@ def create_simulator(
     semantics define Algorithm 1; ``"batched"`` is the vectorized
     :class:`~repro.simulation.fastengine.BatchedEventSimulator`, which
     produces bit-identical results at a fraction of the cost on large
-    traces.
+    traces; ``"kernel"`` is the batched engine with the kernelized
+    per-arrival dispatch tier enabled
+    (:class:`~repro.simulation.fastengine.KernelEventSimulator`), which
+    additionally vectorizes hook policies that declare an arrival kernel
+    (BP, AdapBP) — still bit-identical.
 
     A config that never chose an engine (``engine=None``) instantiates the
     reference engine for backwards compatibility, with a

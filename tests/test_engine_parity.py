@@ -1,12 +1,14 @@
-"""Differential tests: the batched engine must be bit-compatible with the reference.
+"""Differential tests: the fast engines must be bit-compatible with the reference.
 
 Every assertion here compares full :class:`~repro.types.SimulationResult`
 rows — hit flags, waiting times, instance lifecycles, pending draws, unused
 cost and planning-call counts — between
 :class:`~repro.simulation.engine.ScalingPerQuerySimulator` (the semantics)
-and :class:`~repro.simulation.fastengine.BatchedEventSimulator` (the speed).
-Any future engine (compiled kernel, async backend) is expected to pass this
-suite unchanged.
+and each fast engine:
+:class:`~repro.simulation.fastengine.BatchedEventSimulator` and
+:class:`~repro.simulation.fastengine.KernelEventSimulator` (the kernelized
+per-arrival tier).  Any future engine (async backend, compiled whole-trace
+kernel) is expected to pass this suite unchanged.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ from repro.scaling.base import Autoscaler, ScalingResponse
 from repro.scaling.robustscaler import RobustScaler, RobustScalerObjective
 from repro.simulation import (
     BatchedEventSimulator,
+    KernelEventSimulator,
     ScalingPerQuerySimulator,
     create_simulator,
 )
@@ -56,26 +59,33 @@ _COLUMNS = (
 )
 
 
+#: The fast engines differentially tested against the reference; every
+#: scenario/config cell in this suite runs through all of them.
+_FAST_ENGINES = (BatchedEventSimulator, KernelEventSimulator)
+
+
 def assert_engine_parity(trace, scaler_factory, config, *, pending_model=None):
-    """Replay under both engines and assert bit-identical results."""
+    """Replay under every engine and assert bit-identical results."""
     reference = ScalingPerQuerySimulator(config, pending_model=pending_model).replay(
         trace, scaler_factory()
     )
-    batched = BatchedEventSimulator(config, pending_model=pending_model).replay(
-        trace, scaler_factory()
-    )
-    for column in _COLUMNS:
-        np.testing.assert_array_equal(
-            getattr(reference, column),
-            getattr(batched, column),
-            err_msg=f"column {column!r} diverged",
+    fast = None
+    for engine_cls in _FAST_ENGINES:
+        fast = engine_cls(config, pending_model=pending_model).replay(
+            trace, scaler_factory()
         )
-    assert reference.unused_instance_cost == batched.unused_instance_cost
-    assert reference.n_unused_instances == batched.n_unused_instances
-    assert len(reference.planning_times) == len(batched.planning_times)
-    assert reference.n_queries == batched.n_queries
-    assert reference.total_cost == batched.total_cost
-    return reference, batched
+        for column in _COLUMNS:
+            np.testing.assert_array_equal(
+                getattr(reference, column),
+                getattr(fast, column),
+                err_msg=f"column {column!r} diverged on {engine_cls.__name__}",
+            )
+        assert reference.unused_instance_cost == fast.unused_instance_cost
+        assert reference.n_unused_instances == fast.n_unused_instances
+        assert len(reference.planning_times) == len(fast.planning_times)
+        assert reference.n_queries == fast.n_queries
+        assert reference.total_cost == fast.total_cost
+    return reference, fast
 
 
 class SchedulingScaler(Autoscaler):
@@ -276,6 +286,120 @@ class TestRobustScalerParity:
         assert_engine_parity(workload.test, factory, config)
 
 
+class BurstyHookScaler(Autoscaler):
+    """Active arrival hook with no kernel: every 5th arrival adds an instance.
+
+    Forces :class:`KernelEventSimulator` onto the per-query fallback path
+    for the whole replay (``arrival_kernel()`` returns the base ``None``).
+    """
+
+    name = "BurstyHook"
+
+    def on_query_arrival(self, context) -> ScalingResponse:
+        if context.n_arrivals % 5 == 0:
+            return ScalingResponse.create_now(context.time, 1)
+        return ScalingResponse.empty()
+
+
+class ScheduledTopUpScaler(BackupPoolScaler):
+    """BP's top-up hook plus ticks that schedule *future* creations.
+
+    While a scheduled creation is outstanding the kernel tier's empty-queue
+    precondition fails, so arrivals fall back to per-query hook dispatch;
+    once the creation materializes the kernel resumes.  Exercises the
+    interleaving of all three dispatch outcomes within one replay.
+    """
+
+    name = "ScheduledTopUp"
+
+    @property
+    def planning_interval(self) -> float:
+        return 120.0
+
+    def on_planning_tick(self, context) -> ScalingResponse:
+        return ScalingResponse(
+            actions=[
+                ScalingAction(
+                    creation_time=context.time + 30.0, planned_at=context.time
+                )
+            ]
+        )
+
+
+class TestKernelDispatch:
+    """The kernel tier's dispatch decisions and its fallback behavior."""
+
+    def test_policy_without_kernel_falls_back_silently(self):
+        """A hook policy with no kernel must replay identically (hook path)."""
+        trace = _poisson_trace(rate=0.5, horizon=1500.0, seed=8)
+        config = SimulationConfig(pending_time=7.0, seed=8)
+        assert_engine_parity(trace, BurstyHookScaler, config)
+
+    def test_fallback_is_counted(self):
+        from repro.telemetry import Recorder, use
+
+        trace = _poisson_trace(rate=0.5, horizon=900.0, seed=8)
+        config = SimulationConfig(pending_time=7.0, seed=8)
+        with use(Recorder()) as recorder:
+            KernelEventSimulator(config).replay(trace, BurstyHookScaler())
+        counters = recorder.snapshot()["counters"]
+        assert counters["engine.kernel.chunks"] == 0
+        assert counters["engine.kernel.fallback_arrivals"] == trace.n_queries
+        assert counters["engine.batched.hook_arrivals"] == trace.n_queries
+
+    def test_scheduled_creations_interleave_with_kernel_chunks(self):
+        """Kernel chunks must pause while scheduled creations are in flight."""
+        trace = _poisson_trace(rate=0.5, horizon=2400.0, seed=12)
+        for jitter in (0.0, 2.0):
+            config = SimulationConfig(
+                pending_time=6.0, pending_time_jitter=jitter, seed=12
+            )
+            assert_engine_parity(trace, lambda: ScheduledTopUpScaler(2), config)
+
+    def test_mixed_dispatch_counters_partition_arrivals(self):
+        from repro.telemetry import Recorder, use
+
+        trace = _poisson_trace(rate=0.5, horizon=2400.0, seed=12)
+        config = SimulationConfig(pending_time=6.0, seed=12)
+        with use(Recorder()) as recorder:
+            KernelEventSimulator(config).replay(trace, ScheduledTopUpScaler(2))
+        counters = recorder.snapshot()["counters"]
+        assert counters["engine.kernel.chunks"] >= 1
+        assert counters["engine.kernel.fallback_arrivals"] >= 1
+        assert (
+            counters["engine.kernel.arrivals"]
+            + counters["engine.kernel.fallback_arrivals"]
+            == trace.n_queries
+        )
+
+    def test_charged_latency_disables_the_kernel_tier(self):
+        """Charged decision latency turns create-now into scheduled creations,
+        which kernels do not model — the tier must switch off entirely."""
+        from repro.telemetry import Recorder, use
+
+        trace = _poisson_trace(rate=0.4, horizon=600.0, seed=3)
+        config = SimulationConfig(
+            pending_time=6.0, charge_decision_latency=True, seed=3
+        )
+        with use(Recorder()) as recorder:
+            KernelEventSimulator(config).replay(trace, BackupPoolScaler(2))
+        counters = recorder.snapshot()["counters"]
+        assert counters["engine.kernel.chunks"] == 0
+        assert counters["engine.kernel.fallback_arrivals"] == trace.n_queries
+
+    def test_passive_tier_outranks_the_kernel(self):
+        """Reactive inherits BP's kernel but is passive: no kernel chunks."""
+        from repro.telemetry import Recorder, use
+
+        trace = _poisson_trace(rate=0.4, horizon=600.0, seed=3)
+        config = SimulationConfig(pending_time=6.0, seed=3)
+        with use(Recorder()) as recorder:
+            KernelEventSimulator(config).replay(trace, ReactiveScaler())
+        counters = recorder.snapshot()["counters"]
+        assert "engine.kernel.chunks" not in counters
+        assert counters["engine.batched.passive_arrivals"] == trace.n_queries
+
+
 class TestEngineSelection:
     """Engine plumbing: config, factory, runtime specs, executors."""
 
@@ -293,7 +417,15 @@ class TestEngineSelection:
         assert isinstance(
             create_simulator(SimulationConfig(engine="batched")), BatchedEventSimulator
         )
+        kernel = create_simulator(SimulationConfig(engine="kernel"))
+        assert isinstance(kernel, KernelEventSimulator)
+        assert kernel.use_kernels
         assert isinstance(create_simulator(), ScalingPerQuerySimulator)
+
+    def test_resolve_engine_accepts_kernel(self):
+        from repro.simulation import resolve_engine
+
+        assert resolve_engine("kernel") == "kernel"
 
     def test_prepare_workload_engine_override(self):
         trace = _poisson_trace(rate=0.2, horizon=1200.0)
@@ -324,4 +456,4 @@ class TestEngineSelection:
             ]
             return strip_timing(run_task_rows(tasks, base_seed=3))
 
-        assert rows_for("reference") == rows_for("batched")
+        assert rows_for("reference") == rows_for("batched") == rows_for("kernel")

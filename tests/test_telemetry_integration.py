@@ -259,6 +259,21 @@ class TestTelemetryCLI:
         assert "ratio" in out
         assert "engine.batched.queries" in out
 
+    def test_show_surfaces_kernel_counters(self):
+        """A kernel-engine run records the kernel-tier counters and the
+        chunk-size histogram, and ``telemetry show`` renders them so
+        ``telemetry diff`` can attribute engine speedups."""
+        code, _, _ = _invoke(
+            _SWEEP_ARGS
+            + ["--engine", "kernel", "--telemetry", "--run-id", "cli-kernel", "--quiet"]
+        )
+        assert code == 0
+        code, out, _ = _invoke(["telemetry", "show", "cli-kernel"])
+        assert code == 0
+        assert "engine.kernel.chunks" in out
+        assert "engine.kernel.arrivals" in out
+        assert "engine.kernel.chunk_size" in out
+
     def test_show_missing_run_errors(self):
         code, _, err = _invoke(["telemetry", "show", "no-such-run"])
         assert code == 2
