@@ -1,0 +1,130 @@
+"""Tier-2 smoke for the adversarial scenario suite and its search harness.
+
+End-to-end assertions matching the suite's acceptance criteria:
+
+1. **One recipe per scaler family, cold store** — the ``adversarial``
+   experiment runs through :class:`repro.api.Session` against a freshly
+   created artifact store (journaled under a ``run_id``), and on every
+   recipe's worst-case candidate the *targeted* policy records strictly
+   more QoS violations per dollar than at least one panel alternative on
+   the same trace — i.e. each attack actually lands on its mechanism.
+2. **Journal resume** — a second session with the same store and
+   ``run_id`` recovers every task from the journal and reproduces the
+   rows bit-identically.
+
+Run standalone::
+
+    python benchmarks/bench_adversarial.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import Session
+from repro.experiments import summarize_adversarial
+from repro.runtime import strip_timing
+
+from conftest import print_artifact
+
+#: One recipe per scaler family — the six mechanisms the smoke exercises.
+RECIPES_PER_FAMILY = (
+    "hp-offgrid-period",  # rs-hp
+    "rt-subpending-spikes",  # rs-rt
+    "cost-forecast-inversion",  # rs-cost
+    "reactive-cold-start-storm",  # reactive
+    "bp-pool-drain",  # bp
+    "adapbp-estimator-lag",  # adapbp
+)
+
+
+def check_suite_defeats_each_family(scale: float) -> list[dict]:
+    """Run one attack per family on a cold store; assert each one lands."""
+    with tempfile.TemporaryDirectory(prefix="repro-adversarial-smoke-") as tmp:
+        store_dir = Path(tmp) / "store"
+        params = dict(
+            scenario_names=RECIPES_PER_FAMILY,
+            n_candidates=1,
+            scale=scale,
+            monte_carlo_samples=120,
+        )
+
+        started = time.perf_counter()
+        cold = (
+            Session(store=store_dir, run_id="adversarial-smoke")
+            .experiment("adversarial")
+            .run(**params)
+        )
+        cold_seconds = time.perf_counter() - started
+        assert cold.rows, "adversarial smoke produced no rows"
+        assert cold.provenance.n_resumed == 0
+
+        summary = summarize_adversarial(cold.rows)
+        assert len(summary) == len(RECIPES_PER_FAMILY), (
+            f"expected one summary row per recipe, got {len(summary)}"
+        )
+        not_defeated = [row["recipe"] for row in summary if not row["defeated"]]
+        assert not not_defeated, (
+            f"recipes whose target was NOT defeated on the worst case: "
+            f"{not_defeated}"
+        )
+
+        started = time.perf_counter()
+        warm = (
+            Session(store=store_dir, run_id="adversarial-smoke")
+            .experiment("adversarial")
+            .run(**params)
+        )
+        warm_seconds = time.perf_counter() - started
+        assert warm.provenance.n_resumed == warm.provenance.n_tasks, (
+            "warm run should recover every task from the journal"
+        )
+        assert strip_timing(warm.rows) == strip_timing(cold.rows)
+
+    artifact = [
+        {
+            "recipe": row["recipe"],
+            "target": row["target"],
+            "target_vpd": round(row["target_vpd"], 4),
+            "best_panel_vpd": round(row["best_panel_vpd"], 4),
+            "best_panel_scaler": row["best_panel_scaler"],
+            "defeated": row["defeated"],
+        }
+        for row in summary
+    ]
+    artifact.append(
+        {
+            "recipe": "(timing)",
+            "target": f"cold {cold_seconds:.1f}s",
+            "target_vpd": None,
+            "best_panel_vpd": None,
+            "best_panel_scaler": f"warm resume {warm_seconds:.1f}s",
+            "defeated": True,
+        }
+    )
+    return artifact
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--scale", type=float, default=None)
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else (0.1 if args.smoke else 0.25)
+
+    rows = check_suite_defeats_each_family(scale=scale)
+    print_artifact(
+        "Adversarial suite: violations-per-dollar, target vs best panel "
+        "alternative (one recipe per family)",
+        rows,
+    )
+    print("\nbench_adversarial: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,7 @@ from .exceptions import (
     ModelNotFittedError,
     PeriodicityDetectionError,
     PlanningError,
+    ReproDeprecationWarning,
     RobustScalerError,
     SimulationError,
     TraceError,
@@ -139,6 +140,7 @@ __all__ = [
     "SimulationError",
     "PlanningError",
     "WorkloadError",
+    "ReproDeprecationWarning",
     # data types
     "ArrivalTrace",
     "QPSSeries",

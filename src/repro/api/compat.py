@@ -15,6 +15,7 @@ from __future__ import annotations
 import warnings
 from typing import Any
 
+from ..exceptions import ReproDeprecationWarning
 from .registry import get_experiment
 from .session import run_experiment
 
@@ -34,7 +35,7 @@ def warn_deprecated_config(config: Any, experiment: str) -> None:
         f"{type(config).__name__} is deprecated; use "
         f'repro.api.Session().experiment("{experiment}").run(...) or '
         f'repro.api.run_experiment("{experiment}", params) instead',
-        DeprecationWarning,
+        ReproDeprecationWarning,
         # warn -> __post_init__ -> dataclass-generated __init__ -> caller.
         stacklevel=4,
     )

@@ -54,6 +54,7 @@ from .scenario_sweep import (
     run_scenario_sweep_experiment,
     summarize_scenario_sweep,
 )
+from .adversarial import summarize_adversarial, violation_per_dollar
 from .ablation import (
     run_kappa_ablation,
     run_mc_sample_ablation,
@@ -79,6 +80,8 @@ __all__ = [
     "ScenarioSweepConfig",
     "run_scenario_sweep_experiment",
     "summarize_scenario_sweep",
+    "summarize_adversarial",
+    "violation_per_dollar",
     "run_kappa_ablation",
     "run_mc_sample_ablation",
     "run_regularization_sensitivity",

@@ -1,0 +1,336 @@
+"""Adversarial search harness — find the workload that breaks a policy.
+
+For each recipe in :mod:`repro.workloads.adversarial` the driver evaluates a
+panel of autoscalers — the recipe's *target* policy plus one representative
+of every other family — on the recipe's default trace and on a set of
+perturbed candidates drawn from the recipe's bounded parameter space (random
+sampling or axis-aligned grid ladders).  The attack metric is **QoS
+violations per dollar**, ``(1 - hit_rate) / relative_cost``: a policy is
+defeated when it buys fewer served queries per unit of spend than the
+alternatives on the *same* trace.  The candidate maximizing the target's
+violations-per-dollar is reported as the recipe's worst case.
+
+Registered as ``"adversarial"`` in :mod:`repro.api`; execution routes
+through :meth:`RunContext.run_rows`, so the harness inherits process-pool
+workers, the artifact store (default traces are store-cached), journaled
+resume, telemetry, and the generated ``repro experiment adversarial`` CLI.
+Everything is deterministic for a fixed ``seed``: candidate parameters come
+from a per-recipe seeded stream, and each evaluation is a normal
+:class:`~repro.runtime.EvalTask`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..api import ExperimentSpec, ParamSpec, register_experiment
+from ..api.session import RunContext
+from ..exceptions import ExperimentError
+from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec
+from ..store.traces import get_or_build_trace
+from ..types import ArrivalTrace
+from ..workloads.adversarial import (
+    ADVERSARIAL_PREFIX,
+    ADVERSARIAL_RECIPES,
+    AdversarialRecipe,
+    get_recipe,
+)
+from ..workloads.registry import DEFAULT_REGISTRY
+from ..workloads.scenarios import Scenario
+from .base import robustscaler_spec
+
+__all__ = ["violation_per_dollar", "summarize_adversarial"]
+
+#: Guard against division by a degenerate reference cost.
+_MIN_RELATIVE_COST = 1e-9
+
+
+def violation_per_dollar(row: dict) -> float:
+    """QoS violations bought per unit of (relative) spend for one row."""
+    misses = 1.0 - float(row["hit_rate"])
+    return misses / max(float(row["relative_cost"]), _MIN_RELATIVE_COST)
+
+
+def _selected_recipes(params: dict) -> list[AdversarialRecipe]:
+    if params["scenario_names"] is None:
+        return list(ADVERSARIAL_RECIPES.values())
+    recipes = [get_recipe(name) for name in params["scenario_names"]]
+    if not recipes:
+        raise ExperimentError("adversarial search requires at least one recipe")
+    return recipes
+
+
+def _candidate_params(
+    recipe: AdversarialRecipe, params: dict, recipe_index: int
+) -> list[dict[str, float]]:
+    """The candidate parameter sets: defaults first, then the search points."""
+    candidates = [recipe.defaults()]
+    if params["search"] == "grid":
+        candidates += recipe.grid_params(params["grid_steps"])
+    else:
+        rng = np.random.default_rng([int(params["seed"]), recipe_index])
+        candidates += [
+            recipe.sample_params(rng) for _ in range(max(0, params["n_candidates"] - 1))
+        ]
+    return candidates
+
+
+def _panel_specs(
+    recipe: AdversarialRecipe, scenario: Scenario, test: ArrivalTrace, params: dict
+) -> list[tuple[str, ScalerSpec]]:
+    """The evaluation panel: one spec per scaler family, target included.
+
+    Returns ``(kind, spec)`` pairs; the spec whose kind equals the recipe's
+    target is the attacked policy, the rest are the comparison panel.
+    """
+    mean_gap = 1.0 / max(test.mean_qps, _MIN_RELATIVE_COST)
+    return [
+        ("reactive", ScalerSpec("reactive")),
+        ("bp", ScalerSpec("bp", int(params["pool_size"]))),
+        ("adapbp", ScalerSpec("adapbp", float(params["adaptive_factor"]))),
+        ("rs-hp", robustscaler_spec(params, "rs-hp", params["hp_target"])),
+        (
+            "rs-rt",
+            robustscaler_spec(
+                params,
+                "rs-rt",
+                scenario.pending_time * params["rt_budget_fraction"],
+            ),
+        ),
+        (
+            "rs-cost",
+            robustscaler_spec(params, "rs-cost", mean_gap * params["cost_budget_fraction"]),
+        ),
+    ]
+
+
+def _format_params(recipe: AdversarialRecipe, values: dict[str, float]) -> str:
+    """Compact ``k=v`` rendering of the *searched* parameters only."""
+    return ", ".join(f"{key}={values[key]:g}" for key in sorted(recipe.bounds))
+
+
+def _build_tasks(params: dict, ctx: RunContext) -> tuple[list[EvalTask], list[dict]]:
+    """Expand the search into runtime tasks (grouped by candidate trace)."""
+    tasks: list[EvalTask] = []
+    skipped: list[dict] = []
+    for recipe_index, recipe in enumerate(_selected_recipes(params)):
+        for candidate, values in enumerate(
+            _candidate_params(recipe, params, recipe_index)
+        ):
+            if candidate == 0:
+                # The default configuration IS the registry scenario, so the
+                # realization is store-cacheable under its registry name.
+                scenario = DEFAULT_REGISTRY.get(recipe.scenario_name)
+                trace = get_or_build_trace(
+                    scenario, scale=params["scale"], seed=params["seed"], store=ctx.store
+                )
+            else:
+                scenario = recipe.scenario(
+                    values, name=f"{ADVERSARIAL_PREFIX}{recipe.name}#{candidate}"
+                )
+                trace = scenario.build_trace(scale=params["scale"], seed=params["seed"])
+            _, test = trace.split(scenario.train_fraction)
+            if test.n_queries < params["min_test_queries"]:
+                skipped.append(
+                    {
+                        "scenario": scenario.name,
+                        "recipe": recipe.name,
+                        "target": recipe.target,
+                        "candidate": candidate,
+                        "scaler": "-",
+                        "note": (
+                            f"skipped: only {test.n_queries} test queries "
+                            f"at scale {params['scale']:g}"
+                        ),
+                    }
+                )
+                continue
+            prep = PrepSpec(
+                train_fraction=scenario.train_fraction,
+                bin_seconds=scenario.bin_seconds,
+                pending_time=scenario.pending_time,
+                engine=ctx.engine,
+            )
+            # Perturbed variants are not registry-importable inside pool
+            # workers, so every candidate ships its concrete trace.
+            workload = WorkloadSpec(trace=trace, prep=prep)
+            for kind, spec in _panel_specs(recipe, scenario, test, params):
+                extra = (
+                    ("scenario", scenario.name),
+                    ("recipe", recipe.name),
+                    ("target", recipe.target),
+                    ("candidate", candidate),
+                    ("params", _format_params(recipe, values)),
+                    ("role", "target" if kind == recipe.target else "panel"),
+                )
+                tasks.append(EvalTask(workload, spec, extra=extra))
+    return tasks, skipped
+
+
+def _mark_worst_cases(rows: list[dict]) -> None:
+    """Annotate ``violation_per_dollar`` and flag each recipe's worst case.
+
+    The worst case is the candidate maximizing the *target* policy's
+    violations-per-dollar; every row of that candidate gets
+    ``worst_case=True`` so the panel comparison travels with it.
+    """
+    for row in rows:
+        row["violation_per_dollar"] = violation_per_dollar(row)
+        row["worst_case"] = False
+    target_scores: dict[str, dict[int, float]] = {}
+    for row in rows:
+        if row["role"] == "target":
+            target_scores.setdefault(row["recipe"], {})[row["candidate"]] = row[
+                "violation_per_dollar"
+            ]
+    for recipe, by_candidate in target_scores.items():
+        worst = max(sorted(by_candidate), key=lambda c: by_candidate[c])
+        for row in rows:
+            if row["recipe"] == recipe and row["candidate"] == worst:
+                row["worst_case"] = True
+
+
+def _run_adversarial(params: dict, ctx: RunContext) -> list[dict]:
+    """Run the adversarial search; one row per (candidate, panel scaler)."""
+    tasks, skipped = _build_tasks(params, ctx)
+    rows = ctx.run_rows(tasks, base_seed=params["seed"])
+    _mark_worst_cases(rows)
+    return rows + skipped
+
+
+register_experiment(
+    ExperimentSpec(
+        name="adversarial",
+        title="policy-targeted worst-case search over the adversarial suite",
+        params=(
+            ParamSpec(
+                "scenario_names",
+                "str",
+                None,
+                sequence=True,
+                cli_flag="--scenario",
+                help="restrict to these adversarial recipes, by recipe or "
+                "registry name (default: the whole suite)",
+            ),
+            ParamSpec(
+                "search",
+                "str",
+                "random",
+                choices=("random", "grid"),
+                help="perturbation strategy over each recipe's parameter box",
+            ),
+            ParamSpec(
+                "n_candidates",
+                "int",
+                3,
+                help="candidates per recipe under random search "
+                "(including the defaults)",
+            ),
+            ParamSpec(
+                "grid_steps",
+                "int",
+                2,
+                help="points per parameter ladder under grid search",
+            ),
+            ParamSpec("scale", "float", 0.1, help="trace size factor"),
+            ParamSpec("seed", "int", 7, help="trace-generation and search seed"),
+            ParamSpec(
+                "planning_interval", "float", 10.0, help="RobustScaler Delta (seconds)"
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                120,
+                cli_flag="--mc-samples",
+                help="Monte Carlo sample size R",
+            ),
+            ParamSpec("hp_target", "float", 0.7, help="panel RobustScaler-HP target"),
+            ParamSpec(
+                "rt_budget_fraction",
+                "float",
+                0.5,
+                help="panel RobustScaler-RT budget as a fraction of the pending time",
+            ),
+            ParamSpec(
+                "cost_budget_fraction",
+                "float",
+                0.15,
+                help="panel RobustScaler-cost budget as a fraction of the mean gap",
+            ),
+            ParamSpec("pool_size", "int", 4, help="panel Backup Pool size"),
+            ParamSpec(
+                "adaptive_factor",
+                "float",
+                10.0,
+                help="panel Adaptive Backup Pool rate factor",
+            ),
+            ParamSpec(
+                "min_test_queries",
+                "int",
+                8,
+                help="skip candidates whose test window is smaller than this",
+            ),
+        ),
+        run=_run_adversarial,
+        result_columns=(
+            "scenario",
+            "recipe",
+            "target",
+            "candidate",
+            "role",
+            "scaler",
+            "params",
+            "n_queries",
+            "hit_rate",
+            "relative_cost",
+            "violation_per_dollar",
+            "worst_case",
+            "note",
+        ),
+        scenario_param="scenario_names",
+    )
+)
+
+
+def summarize_adversarial(rows: list[dict]) -> list[dict]:
+    """One row per recipe: the worst-case candidate and its panel margin.
+
+    ``defeated`` is the acceptance check — whether the target policy's
+    violations-per-dollar on the worst-case trace exceeds that of at least
+    one panel alternative on the same trace.
+    """
+    summary: list[dict] = []
+    by_recipe: dict[str, list[dict]] = {}
+    for row in rows:
+        if "hit_rate" in row:
+            by_recipe.setdefault(row["recipe"], []).append(row)
+    for recipe in sorted(by_recipe):
+        worst = [r for r in by_recipe[recipe] if r["worst_case"]]
+        target_rows = [r for r in worst if r["role"] == "target"]
+        panel_rows = [r for r in worst if r["role"] == "panel"]
+        if not target_rows:
+            continue
+        target = target_rows[0]
+        best_alternative = min(
+            panel_rows, key=lambda r: r["violation_per_dollar"], default=None
+        )
+        summary.append(
+            {
+                "recipe": recipe,
+                "target": target["target"],
+                "params": target["params"],
+                "target_vpd": target["violation_per_dollar"],
+                "best_panel_vpd": (
+                    None
+                    if best_alternative is None
+                    else best_alternative["violation_per_dollar"]
+                ),
+                "best_panel_scaler": (
+                    None if best_alternative is None else best_alternative["scaler"]
+                ),
+                "defeated": best_alternative is not None
+                and target["violation_per_dollar"]
+                > best_alternative["violation_per_dollar"],
+            }
+        )
+    return summary

@@ -30,7 +30,7 @@ from typing import Callable
 import numpy as np
 
 from ..config import SimulationConfig
-from ..exceptions import SimulationError
+from ..exceptions import ReproDeprecationWarning, SimulationError
 from ..pending import PendingTimeModel, default_pending_model
 from ..rng import ensure_rng
 from ..scaling.base import Autoscaler, PlanningContext, ScalingResponse
@@ -100,7 +100,7 @@ class ScalingPerQuerySimulator:
                 "engine='reference')) for this engine, or engine='batched' "
                 "(the repro.api default) for bit-identical results at a "
                 "fraction of the cost",
-                DeprecationWarning,
+                ReproDeprecationWarning,
                 stacklevel=2,
             )
         self.config = config or SimulationConfig()

@@ -20,7 +20,7 @@ from __future__ import annotations
 import warnings
 
 from ..config import SimulationConfig
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ReproDeprecationWarning
 from ..metrics.report import summarize_result
 from ..pending import PendingTimeModel
 from ..scaling.base import Autoscaler
@@ -101,7 +101,7 @@ def create_simulator(
             "SimulationConfig(engine='reference') to keep the event-loop "
             "engine explicitly, or engine='batched' for the (bit-identical) "
             "vectorized engine.",
-            DeprecationWarning,
+            ReproDeprecationWarning,
             stacklevel=2,
         )
         engine = _LEGACY_ENGINE

@@ -19,13 +19,23 @@ __all__ = ["get_or_build_trace", "trace_cache_key"]
 
 
 def trace_cache_key(scenario: Scenario, *, scale: float, seed: int | None) -> tuple:
-    """The store key of one scenario realization."""
-    return (
+    """The store key of one scenario realization.
+
+    Generators that expose a ``cache_token`` (e.g. CSV-backed scenarios,
+    whose token is a content digest of the file) get it appended to the
+    key, so editing the underlying file invalidates the cached realization
+    instead of silently serving the old trace.
+    """
+    key = (
         "scenario-trace",
         scenario.name.lower(),
         float(scale),
         scenario.resolve_seed(seed),
     )
+    token = getattr(scenario.generator, "cache_token", None)
+    if token is not None:
+        key += (str(token),)
+    return key
 
 
 def get_or_build_trace(

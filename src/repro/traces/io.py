@@ -7,11 +7,20 @@ their own systems:
   per query, times in seconds (floats);
 * **QPS CSV** — header ``bin_start,count`` with the bin width recorded in a
   ``# bin_seconds=<value>`` comment on the first line.
+
+Both loaders validate what the downstream consumers assume instead of
+trusting the file: the simulation engines require sorted, finite,
+non-negative arrival times, and the NHPP fitting path requires the QPS bins
+to form a uniform grid starting at zero.  A file that violates either
+contract raises :class:`~repro.exceptions.TraceFormatError` naming the
+offending row, rather than silently corrupting every QoS number computed
+from it.
 """
 
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 
 import numpy as np
@@ -20,6 +29,10 @@ from ..exceptions import TraceFormatError
 from ..types import ArrivalTrace, QPSSeries
 
 __all__ = ["save_trace_csv", "load_trace_csv", "save_qps_csv", "load_qps_csv"]
+
+#: Relative tolerance when checking ``bin_start`` against the uniform grid
+#: (CSV round-trips write 6 decimal places, so exact equality is too strict).
+_BIN_START_RTOL = 1e-6
 
 
 def save_trace_csv(trace: ArrivalTrace, path: str | Path) -> Path:
@@ -36,7 +49,17 @@ def save_trace_csv(trace: ArrivalTrace, path: str | Path) -> Path:
 
 
 def load_trace_csv(path: str | Path, *, name: str | None = None) -> ArrivalTrace:
-    """Read an :class:`~repro.types.ArrivalTrace` from a trace CSV file."""
+    """Read an :class:`~repro.types.ArrivalTrace` from a trace CSV file.
+
+    Raises
+    ------
+    TraceFormatError
+        If the file is missing, a row cannot be parsed, any arrival or
+        processing time is non-finite or negative, or the arrivals are not
+        sorted in ascending order.  The message names the first offending
+        row so the file can be fixed rather than silently feeding garbage
+        to engines that assume sorted arrivals.
+    """
     path = Path(path)
     if not path.exists():
         raise TraceFormatError(f"trace file not found: {path}")
@@ -55,16 +78,43 @@ def load_trace_csv(path: str | Path, *, name: str | None = None) -> ArrivalTrace
                         horizon = float(row[1])
                     except ValueError as exc:
                         raise TraceFormatError(f"invalid horizon in {path}: {row[1]!r}") from exc
+                    if not math.isfinite(horizon):
+                        raise TraceFormatError(
+                            f"invalid horizon in {path}: {horizon!r} (must be finite)"
+                        )
                     if name is None and len(row) >= 3 and row[2]:
                         trace_name = row[2]
                 continue
             if row[0] == "arrival_time":
                 continue
             try:
-                arrivals.append(float(row[0]))
-                processing.append(float(row[1]) if len(row) > 1 else 0.0)
+                arrival = float(row[0])
+                proc = float(row[1]) if len(row) > 1 else 0.0
             except (ValueError, IndexError) as exc:
                 raise TraceFormatError(f"malformed row in {path}: {row!r}") from exc
+            if not math.isfinite(arrival) or arrival < 0:
+                raise TraceFormatError(
+                    f"invalid arrival_time in {path}, row {len(arrivals) + 1}: "
+                    f"{row!r} (must be finite and >= 0)"
+                )
+            if not math.isfinite(proc) or proc < 0:
+                raise TraceFormatError(
+                    f"invalid processing_time in {path}, row {len(arrivals) + 1}: "
+                    f"{row!r} (must be finite and >= 0)"
+                )
+            if arrivals and arrival < arrivals[-1]:
+                raise TraceFormatError(
+                    f"unsorted arrival_time in {path}, row {len(arrivals) + 1}: "
+                    f"{arrival!r} after {arrivals[-1]!r} (arrivals must be "
+                    "sorted in ascending order)"
+                )
+            arrivals.append(arrival)
+            processing.append(proc)
+    if horizon is not None and arrivals and horizon < arrivals[-1]:
+        raise TraceFormatError(
+            f"invalid horizon in {path}: {horizon!r} is earlier than the "
+            f"last arrival ({arrivals[-1]!r})"
+        )
     return ArrivalTrace(arrivals, processing, name=trace_name, horizon=horizon)
 
 
@@ -82,11 +132,22 @@ def save_qps_csv(series: QPSSeries, path: str | Path) -> Path:
 
 
 def load_qps_csv(path: str | Path, *, name: str | None = None) -> QPSSeries:
-    """Read a :class:`~repro.types.QPSSeries` from a QPS CSV file."""
+    """Read a :class:`~repro.types.QPSSeries` from a QPS CSV file.
+
+    Raises
+    ------
+    TraceFormatError
+        If the ``# bin_seconds=`` header is missing, a row cannot be parsed,
+        or any ``bin_start`` deviates from the uniform grid ``i *
+        bin_seconds`` the series model assumes.  Offset or non-uniform bin
+        starts used to be silently discarded — misreading such a file as
+        uniform-from-zero shifts the whole fitted intensity in time.
+    """
     path = Path(path)
     if not path.exists():
         raise TraceFormatError(f"QPS file not found: {path}")
     counts: list[float] = []
+    bin_starts: list[float] = []
     bin_seconds: float | None = None
     series_name = name or path.stem
     with path.open(newline="") as handle:
@@ -109,9 +170,31 @@ def load_qps_csv(path: str | Path, *, name: str | None = None) -> QPSSeries:
             if row[0] == "bin_start":
                 continue
             try:
+                bin_starts.append(float(row[0]))
                 counts.append(float(row[1]))
             except (ValueError, IndexError) as exc:
                 raise TraceFormatError(f"malformed row in {path}: {row!r}") from exc
     if bin_seconds is None:
         raise TraceFormatError(f"missing '# bin_seconds=' header in {path}")
+    if not (math.isfinite(bin_seconds) and bin_seconds > 0):
+        raise TraceFormatError(
+            f"invalid bin_seconds in {path}: {bin_seconds!r} (must be finite "
+            "and positive)"
+        )
+    # QPSSeries models a uniform grid starting at zero; a file whose
+    # bin_start column disagrees (offset origin, shuffled rows, skipped
+    # bins) would be silently misread, shifting the fitted intensity.
+    expected = np.arange(len(bin_starts)) * bin_seconds
+    tolerance = max(_BIN_START_RTOL * bin_seconds, 1e-6)
+    mismatched = np.nonzero(
+        ~np.isclose(np.asarray(bin_starts), expected, rtol=0.0, atol=tolerance)
+    )[0]
+    if mismatched.size:
+        i = int(mismatched[0])
+        raise TraceFormatError(
+            f"non-uniform bin_start in {path}, row {i + 1}: got "
+            f"{bin_starts[i]!r}, expected {expected[i]!r} (bins must form "
+            f"the uniform grid i * bin_seconds starting at 0; offset or "
+            "shuffled bins would silently shift the fitted intensity)"
+        )
     return QPSSeries(counts, bin_seconds, name=series_name)

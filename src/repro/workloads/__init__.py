@@ -16,7 +16,14 @@ catalog of named, parameterized, seed-reproducible workload scenarios:
   experiment, the benchmark) looks scenarios up in;
 * :mod:`repro.workloads.library` — the built-in scenarios (flash crowds,
   diurnal/weekly seasonality, launches, sale events, batch bursts,
-  multi-tenant mixes, outages) plus aliases for the paper traces.
+  multi-tenant mixes, outages) plus aliases for the paper traces;
+* :mod:`repro.workloads.adversarial` — the policy-targeted suite under
+  the ``adversarial/`` prefix: per scaler family, recipes constructed to
+  defeat its specific mechanism, each with a bounded parameter box the
+  ``adversarial`` experiment searches;
+* real recorded traces join the registry through
+  :func:`register_trace_csv`, backed by the validating
+  :mod:`repro.traces.io` loaders.
 
 Quickstart
 ----------
@@ -46,14 +53,25 @@ from .primitives import (
 )
 from .registry import (
     DEFAULT_REGISTRY,
+    CSVTraceGenerator,
     ScenarioRegistry,
     get_scenario,
     list_scenarios,
     register_scenario,
+    register_trace_csv,
+    scenario_from_trace_csv,
     scenario_names,
 )
 from .scenarios import Scenario
 from . import library as _library  # populates DEFAULT_REGISTRY on import
+from . import adversarial as _adversarial  # registers the adversarial/ suite
+from .adversarial import (
+    ADVERSARIAL_RECIPES,
+    AdversarialRecipe,
+    get_recipe,
+    recipes_for_target,
+    register_adversarial_scenarios,
+)
 
 __all__ = [
     # primitives
@@ -81,4 +99,14 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "scenario_names",
+    # real-trace import
+    "CSVTraceGenerator",
+    "scenario_from_trace_csv",
+    "register_trace_csv",
+    # adversarial suite
+    "AdversarialRecipe",
+    "ADVERSARIAL_RECIPES",
+    "get_recipe",
+    "recipes_for_target",
+    "register_adversarial_scenarios",
 ]

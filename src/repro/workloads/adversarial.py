@@ -1,0 +1,676 @@
+"""Policy-targeted adversarial scenarios: workloads designed to break a scaler.
+
+The built-in library covers situations a service *meets*; this module covers
+situations constructed to *defeat* a specific autoscaling policy.  For every
+scaler family in the repository — HP-constrained, RT-constrained and
+cost-constrained RobustScaler, the reactive baseline, Backup Pool, and
+Adaptive Backup Pool — it ships at least two :class:`AdversarialRecipe`\\ s
+built from the intensity-primitive algebra, each documenting the exact
+mechanism it attacks (a period the detector cannot lock onto, bursts
+phase-locked against the planning tick, drift that poisons the NHPP fit,
+clumps that drain a warm pool, square waves anti-phased with the rate
+estimator's update tick).
+
+Recipes are parameterized: each exposes a bounded parameter space so the
+``adversarial`` experiment (:mod:`repro.experiments.adversarial`) can search
+over perturbations for the configuration that maximizes QoS violations per
+dollar against the target policy.  The default configuration of every recipe
+is registered in the scenario registry under an ``adversarial/`` prefix
+(e.g. ``adversarial/bp-pool-drain``), so the whole suite is visible to
+``repro workloads list``, the scenario sweep, and any other experiment.
+
+Attack surfaces, by family
+--------------------------
+``rs-hp``
+    Plans proactive creations from a *periodic* NHPP forecast.  Attacked
+    through the model: periods incommensurate with the fitting grid (phase
+    error accumulates across the test window) and train/test drift (the
+    periodic fit averages the training window and under-predicts the test
+    window).
+``rs-rt``
+    Meets a waiting-time budget from forecast intensity at a coarse
+    planning tick.  Attacked through timing: bursts that slide across tick
+    phases, and spikes shorter than the instance pending time (reactive
+    repair always arrives too late).
+``rs-cost``
+    Spends an idle-time budget where the forecast predicts traffic.
+    Attacked through spending efficiency: unforecastable on/off regimes and
+    decaying traffic with a test-window burst (the stale fit buys idle
+    capacity where nothing arrives, violations happen where it didn't pay).
+``reactive``
+    Creates one instance per arrival, paying the full pending time on every
+    query.  Attacked through regret: perfectly forecastable traffic any
+    proactive policy serves warm, and pending-dominated workloads whose
+    queries finish faster than the cold start they each wait for.
+``bp``
+    Keeps a fixed pool of B warm instances, topping up per arrival.
+    Attacked through the pool bound: clumps of more than B near-simultaneous
+    arrivals, and sustained surges with arrival-rate x pending-time >> B.
+``adapbp``
+    Sizes the pool from a trailing-window rate estimate refreshed on a
+    fixed update tick.  Attacked through the estimator: square waves
+    anti-phased with the update tick (the estimate always reflects the
+    previous regime) and bursts much shorter than the trailing window (the
+    average never reaches the burst rate).
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .primitives import (
+    Constant,
+    FlashCrowd,
+    IntensityPrimitive,
+    Pulse,
+    Ramp,
+    RegimeSwitching,
+    SeasonalBump,
+)
+from .registry import DEFAULT_REGISTRY, ScenarioRegistry, register_scenario
+from .scenarios import Scenario
+
+__all__ = [
+    "AdversarialRecipe",
+    "ADVERSARIAL_RECIPES",
+    "ADVERSARIAL_PREFIX",
+    "TARGET_KINDS",
+    "get_recipe",
+    "recipes_for_target",
+    "register_adversarial_scenarios",
+]
+
+_DAY = 86_400.0
+_HOUR = 3_600.0
+
+#: Registry prefix under which the default configuration of every recipe is
+#: registered (``adversarial/<recipe-name>``).
+ADVERSARIAL_PREFIX = "adversarial/"
+
+#: The scaler kinds the suite targets — one entry per policy family, in the
+#: spelling :class:`repro.runtime.ScalerSpec` uses.
+TARGET_KINDS = ("rs-hp", "rs-rt", "rs-cost", "reactive", "bp", "adapbp")
+
+
+# --------------------------------------------------------------------------
+# Intensity builders.  Each receives the scaled horizon plus the recipe's
+# tunable parameters (keyword-only, with the recipe defaults) and documents
+# the mechanism it attacks.  SeasonalBump widths follow
+# full-width-at-half-max ~= period * sqrt(ln 2 / sharpness).
+
+
+def _hp_offgrid_period(
+    horizon_seconds: float,
+    *,
+    period_seconds: float = 610.0,
+    peak: float = 0.15,
+    sharpness: float = 60.0,
+    floor: float = 0.02,
+) -> IntensityPrimitive:
+    """Sharp bumps at a period incommensurate with the fitting grid.
+
+    Attacks the HP-constrained RobustScaler's periodicity detection + NHPP
+    fit: 610 s is not a multiple of the 60 s fitting bin or any grid the
+    aggregated periodogram favours (10.17 bins per cycle), so the detected
+    period is off by a fraction of a bin and the phase error accumulates
+    over the test window — proactive instances are created where no query
+    arrives while the real bumps go unserved.  The bumps are deliberately
+    *small* (a handful of queries each, within reach of a modest warm
+    pool): a forecast-free Backup Pool serves them essentially for free,
+    which is what makes chasing the hit-probability target with a
+    misaligned forecast such a bad use of money.
+    """
+    return SeasonalBump(period_seconds, peak, sharpness=sharpness, base=floor)
+
+
+def _hp_train_test_drift(
+    horizon_seconds: float,
+    *,
+    drift_factor: float = 6.0,
+    base_level: float = 0.12,
+    daily_peak: float = 0.5,
+) -> IntensityPrimitive:
+    """Late-horizon growth that poisons the periodic NHPP fit.
+
+    Attacks the HP-constrained RobustScaler's stationarity assumption: the
+    level starts ramping at 55% of the horizon, so the training window
+    (default split 75%) sees only the beginning of the drift.  The periodic
+    fit averages the training window; by the end of the test window traffic
+    is ``drift_factor`` times that forecast, and the plan — sized to hit a
+    probability target under the stale model — misses the bulk of arrivals.
+    """
+    growth = Ramp(
+        base_level,
+        base_level * drift_factor,
+        start_seconds=0.55 * horizon_seconds,
+        end_seconds=horizon_seconds,
+    )
+    daily = Constant(1.0) + SeasonalBump(_DAY, daily_peak, sharpness=4.0)
+    return growth * daily
+
+
+def _rt_tick_phase_bursts(
+    horizon_seconds: float,
+    *,
+    period_seconds: float = 191.0,
+    peak: float = 2.5,
+    sharpness: float = 80.0,
+    floor: float = 0.05,
+) -> IntensityPrimitive:
+    """Short bursts that slide across the planning-tick phase.
+
+    Attacks the RT-constrained RobustScaler's discrete planning tick: with
+    an ~18 s burst every 191 s — deliberately not a multiple of the 10 s
+    planning interval or the fitting bin — each burst lands at a different
+    phase of the tick, so creations quantized to tick boundaries are
+    systematically early (idle cost) or late (waiting-budget violations).
+    A grid-aligned period would let the planner amortize one fixed offset;
+    an off-grid one never repeats its alignment.
+    """
+    return SeasonalBump(period_seconds, peak, sharpness=sharpness, base=floor)
+
+
+def _rt_subpending_spikes(
+    horizon_seconds: float,
+    *,
+    period_seconds: float = 120.0,
+    peak: float = 5.0,
+    sharpness: float = 300.0,
+    floor: float = 0.04,
+) -> IntensityPrimitive:
+    """Spikes shorter than the instance pending time.
+
+    Attacks the RT-constrained RobustScaler's repair path: each spike lasts
+    ~8 s, less than the 13 s pending time, so any instance created in
+    *response* to a spike becomes ready only after the spike has passed —
+    its query has already waited longer than the budget and the instance it
+    eventually gets was paid for nothing.  Only exactly-timed proactive
+    creation helps, and the spike is too narrow for a forecast fitted on
+    5 s bins to place reliably.
+    """
+    return SeasonalBump(period_seconds, peak, sharpness=sharpness, base=floor)
+
+
+def _cost_idle_trap(
+    horizon_seconds: float,
+    *,
+    busy_level: float = 1.0,
+    idle_level: float = 0.01,
+    mean_dwell_hours: float = 0.4,
+    floor: float = 0.02,
+) -> IntensityPrimitive:
+    """Unforecastable on/off regimes that waste the idle budget.
+
+    Attacks the cost-constrained RobustScaler's spend allocation: traffic
+    switches between near-silence and a sustained busy regime at random
+    (exponential) dwell times, so the periodic forecast smears both into
+    their average.  The planner spends its idle-time budget uniformly —
+    buying warm instances during silences (pure cost) while the busy
+    regimes run under-provisioned (violations) — the worst possible
+    QoS-violation-per-dollar trade.
+    """
+    regimes = RegimeSwitching(
+        (idle_level, busy_level), mean_dwell_hours * _HOUR, start_regime=1
+    )
+    return regimes + Constant(floor)
+
+
+def _cost_forecast_inversion(
+    horizon_seconds: float,
+    *,
+    decay_ratio: float = 8.0,
+    start_level: float = 0.9,
+    burst_peak: float = 2.5,
+    floor: float = 0.03,
+) -> IntensityPrimitive:
+    """Decaying traffic with a test-window burst: pay where nothing arrives.
+
+    Attacks the cost-constrained RobustScaler with a stale fit in the
+    opposite direction of the drift recipe: traffic decays by
+    ``decay_ratio`` over the horizon, so the training window teaches the
+    model a level the test window never reaches — the budget is spent
+    pre-provisioning for phantom traffic.  The one thing the test window
+    does contain, an unforecast flash crowd at 85% of the horizon, is
+    exactly what the depleted plan cannot cover.
+    """
+    decline = Ramp(
+        start_level,
+        start_level / decay_ratio,
+        start_seconds=0.0,
+        end_seconds=0.8 * horizon_seconds,
+    )
+    burst = FlashCrowd(
+        0.85 * horizon_seconds,
+        burst_peak,
+        rise_seconds=0.01 * horizon_seconds,
+        decay_seconds=0.03 * horizon_seconds,
+    )
+    return decline + burst + Constant(floor)
+
+
+def _reactive_predictable_cron(
+    horizon_seconds: float,
+    *,
+    period_seconds: float = 900.0,
+    peak: float = 1.2,
+    sharpness: float = 25.0,
+    floor: float = 0.05,
+) -> IntensityPrimitive:
+    """Perfectly periodic, noise-free traffic: maximal regret for reacting.
+
+    Attacks the reactive baseline's defining weakness — it ignores the
+    forecast entirely.  A clean cron-style pulse train is the easiest
+    workload in the repository to forecast, so proactive policies serve
+    nearly every query warm at modest cost while reactive still pays the
+    full pending time on each one.  The scenario maximizes the *regret* of
+    not forecasting, pinning reactive to the worst violations-per-dollar of
+    any policy on the same trace.
+    """
+    return SeasonalBump(period_seconds, peak, sharpness=sharpness, base=floor)
+
+
+def _reactive_cold_start_storm(
+    horizon_seconds: float,
+    *,
+    clump_period_seconds: float = 450.0,
+    peak: float = 2.0,
+    sharpness: float = 120.0,
+    floor: float = 0.05,
+) -> IntensityPrimitive:
+    """Clumps of queries that finish faster than their cold start.
+
+    Attacks the reactive baseline's per-query cold start: the scenario
+    pairs clumped arrivals with a 2 s mean processing time, far below the
+    13 s pending time, so under reactive scaling every query waits ~6x
+    longer for its instance to boot than the work itself takes.  Policies
+    with any warm capacity (a pool, a proactive plan) amortize the boot
+    across queries; reactive pays it in full, per query, forever.
+    """
+    return SeasonalBump(clump_period_seconds, peak, sharpness=sharpness, base=floor)
+
+
+def _bp_pool_drain(
+    horizon_seconds: float,
+    *,
+    period_seconds: float = 500.0,
+    peak: float = 6.0,
+    sharpness: float = 250.0,
+    floor: float = 0.04,
+) -> IntensityPrimitive:
+    """Arrival clumps far larger than the warm pool.
+
+    Attacks Backup Pool's fixed size B: each ~25 s clump delivers tens of
+    near-simultaneous arrivals, so the first B queries drain the pool
+    instantly and every later one in the clump waits the full pending time
+    for the replacement instances — the pool is refilled per arrival but a
+    replacement takes the whole pending time to warm, long after the clump
+    has passed.  Between clumps the same B instances sit idle, so raising B
+    to cover the clumps just converts violations into cost.
+    """
+    return SeasonalBump(period_seconds, peak, sharpness=sharpness, base=floor)
+
+
+def _bp_sustained_surge(
+    horizon_seconds: float,
+    *,
+    surge_level: float = 1.5,
+    surge_start_fraction: float = 0.78,
+    surge_length_fraction: float = 0.12,
+    floor: float = 0.08,
+) -> IntensityPrimitive:
+    """A sustained surge above the pool's replenishment throughput.
+
+    Attacks Backup Pool's steady-state bound: during a surge of rate
+    ``lambda`` the number of queries arriving within one pending time is
+    ``lambda * tau`` (~20 here), so with B warm instances only the first B
+    are served warm and the pool then *stays* empty — every replacement is
+    claimed the moment it becomes ready.  Unlike the clump recipe the surge
+    persists for a large fraction of the test window, so the miss rate is
+    sustained rather than episodic.
+    """
+    surge = Pulse(
+        surge_start_fraction * horizon_seconds,
+        min(surge_start_fraction + surge_length_fraction, 1.0) * horizon_seconds,
+        surge_level,
+    )
+    return Constant(floor) + surge
+
+
+def _adapbp_estimator_lag(
+    horizon_seconds: float,
+    *,
+    period_seconds: float = 1300.0,
+    high: float = 1.0,
+    low: float = 0.02,
+) -> IntensityPrimitive:
+    """A slow square wave anti-phased with the rate estimator's update tick.
+
+    Attacks Adaptive Backup Pool's trailing-window rate estimate: the pool
+    is resized every 600 s from the *previous* 600 s of arrivals, so with
+    traffic alternating between silence and a busy phase on a comparable
+    timescale the estimate always describes the regime that just ended.
+    The pool is sized for silence when the busy phase opens (cold starts)
+    and for the busy phase when silence returns (idle warm instances) —
+    worst-case on both sides of the cost/QoS trade at once.
+    """
+    return Constant(low) + SeasonalBump(period_seconds, high, sharpness=6.0)
+
+
+def _adapbp_rate_whiplash(
+    horizon_seconds: float,
+    *,
+    period_seconds: float = 450.0,
+    peak: float = 3.0,
+    sharpness: float = 60.0,
+    floor: float = 0.04,
+) -> IntensityPrimitive:
+    """Bursts much shorter than the trailing rate window.
+
+    Attacks Adaptive Backup Pool's window average: each ~50 s burst
+    occupies a small slice of the 600 s trailing window, so the estimated rate —
+    and hence the pool — is sized at a fraction of the true burst rate and
+    the burst overwhelms it.  Between bursts the same diluted average keeps
+    the over-sized remainder of the pool warm for traffic that is not
+    coming.  The pool chases a rate the workload never actually runs at.
+    """
+    return SeasonalBump(period_seconds, peak, sharpness=sharpness, base=floor)
+
+
+# --------------------------------------------------------------------------
+# Recipe spec
+
+
+@dataclass(frozen=True)
+class AdversarialRecipe:
+    """One policy-targeted attack: a parameterized intensity plus its bounds.
+
+    Attributes
+    ----------
+    name:
+        Recipe name; the registry entry is ``adversarial/<name>``.
+    target:
+        The scaler kind the recipe attacks (:data:`TARGET_KINDS` spelling).
+    mechanism:
+        One-line statement of the attacked mechanism (the registry
+        description; the builder docstring carries the full account).
+    builder:
+        Module-level callable ``builder(horizon_seconds, **params)``
+        returning an :class:`~repro.workloads.primitives.IntensityPrimitive`.
+        Must be picklable (pool workers rebuild scenarios by name).
+    bounds:
+        ``param -> (low, high)`` search box for the perturbation harness.
+        Every bounded parameter must have a default in the builder
+        signature; unbounded parameters are fixed at their defaults.
+    scenario_kwargs:
+        Extra :class:`~repro.workloads.scenarios.Scenario` fields (horizon,
+        bin width, processing model) the attack depends on.
+    """
+
+    name: str
+    target: str
+    mechanism: str
+    builder: Callable[..., IntensityPrimitive]
+    bounds: Mapping[str, tuple[float, float]] = field(default_factory=dict)
+    scenario_kwargs: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.target not in TARGET_KINDS:
+            raise WorkloadError(
+                f"recipe {self.name!r} targets unknown scaler kind "
+                f"{self.target!r}; expected one of {TARGET_KINDS}"
+            )
+        defaults = self.defaults()
+        unknown = set(self.bounds) - set(defaults)
+        if unknown:
+            raise WorkloadError(
+                f"recipe {self.name!r} bounds name parameters the builder "
+                f"does not take: {sorted(unknown)}"
+            )
+        for param, (low, high) in self.bounds.items():
+            if not low < high:
+                raise WorkloadError(
+                    f"recipe {self.name!r} has an empty bound for "
+                    f"{param!r}: ({low}, {high})"
+                )
+
+    @property
+    def scenario_name(self) -> str:
+        """The registry key of the default configuration."""
+        return f"{ADVERSARIAL_PREFIX}{self.name}"
+
+    def defaults(self) -> dict[str, float]:
+        """The builder's keyword defaults (the unperturbed configuration)."""
+        signature = inspect.signature(self.builder)
+        return {
+            key: parameter.default
+            for key, parameter in signature.parameters.items()
+            if parameter.default is not inspect.Parameter.empty
+        }
+
+    def resolve_params(self, params: Mapping[str, float] | None = None) -> dict[str, float]:
+        """Merge ``params`` over the defaults, rejecting unknown names."""
+        values = self.defaults()
+        if params:
+            unknown = set(params) - set(values)
+            if unknown:
+                raise WorkloadError(
+                    f"recipe {self.name!r} has no parameters {sorted(unknown)}; "
+                    f"tunable parameters: {sorted(values)}"
+                )
+            values.update({key: float(value) for key, value in params.items()})
+        return values
+
+    def scenario(
+        self,
+        params: Mapping[str, float] | None = None,
+        *,
+        name: str | None = None,
+    ) -> Scenario:
+        """Build the recipe's :class:`Scenario`, optionally perturbed.
+
+        With ``params=None`` this is the registry entry; the perturbation
+        harness passes parameter overrides (validated against the builder
+        signature) and a variant name.
+        """
+        values = self.resolve_params(params)
+        return Scenario(
+            name=name or self.scenario_name,
+            description=self.mechanism,
+            intensity=functools.partial(self.builder, **values),
+            tags=("adversarial", f"target:{self.target}"),
+            **self.scenario_kwargs,
+        )
+
+    def sample_params(self, rng: np.random.Generator) -> dict[str, float]:
+        """Draw one uniform sample from the recipe's search box."""
+        values = self.defaults()
+        for param in sorted(self.bounds):
+            low, high = self.bounds[param]
+            values[param] = float(rng.uniform(low, high))
+        return values
+
+    def grid_params(self, steps: int) -> list[dict[str, float]]:
+        """Axis-aligned ladders: ``steps`` points per bounded parameter.
+
+        One parameter varies at a time (the others stay at their defaults),
+        so the grid grows linearly — ``steps * len(bounds)`` candidates —
+        instead of exponentially in the number of parameters.
+        """
+        if steps < 1:
+            raise WorkloadError(f"grid steps must be >= 1, got {steps}")
+        candidates: list[dict[str, float]] = []
+        for param in sorted(self.bounds):
+            low, high = self.bounds[param]
+            for value in np.linspace(low, high, steps):
+                values = self.defaults()
+                values[param] = float(value)
+                candidates.append(values)
+        return candidates
+
+
+# --------------------------------------------------------------------------
+# The suite: >= 2 recipes per scaler family.
+
+_RECIPES = (
+    AdversarialRecipe(
+        name="hp-offgrid-period",
+        target="rs-hp",
+        mechanism="sharp bumps at a period the aggregated periodogram cannot lock onto",
+        builder=_hp_offgrid_period,
+        bounds={
+            "period_seconds": (430.0, 1130.0),
+            "peak": (0.08, 0.3),
+            "sharpness": (30.0, 90.0),
+        },
+        scenario_kwargs={"horizon_seconds": 1 * _DAY},
+    ),
+    AdversarialRecipe(
+        name="hp-train-test-drift",
+        target="rs-hp",
+        mechanism="late-horizon growth the periodic NHPP fit averages away",
+        builder=_hp_train_test_drift,
+        bounds={"drift_factor": (2.0, 10.0), "daily_peak": (0.0, 1.0)},
+        scenario_kwargs={"horizon_seconds": 1 * _DAY, "train_fraction": 0.75},
+    ),
+    AdversarialRecipe(
+        name="rt-tick-phase-bursts",
+        target="rs-rt",
+        mechanism="bursts whose period never aligns with the planning tick",
+        builder=_rt_tick_phase_bursts,
+        bounds={
+            "period_seconds": (150.0, 450.0),
+            "peak": (1.0, 4.0),
+            "sharpness": (40.0, 160.0),
+        },
+        scenario_kwargs={"horizon_seconds": 6 * _HOUR, "bin_seconds": 15.0},
+    ),
+    AdversarialRecipe(
+        name="rt-subpending-spikes",
+        target="rs-rt",
+        mechanism="spikes shorter than the pending time, so repair is always late",
+        builder=_rt_subpending_spikes,
+        bounds={
+            "period_seconds": (60.0, 300.0),
+            "peak": (2.0, 8.0),
+            "sharpness": (100.0, 450.0),
+        },
+        scenario_kwargs={"horizon_seconds": 4 * _HOUR, "bin_seconds": 5.0},
+    ),
+    AdversarialRecipe(
+        name="cost-idle-trap",
+        target="rs-cost",
+        mechanism="random on/off regimes that smear into the periodic forecast's mean",
+        builder=_cost_idle_trap,
+        bounds={"busy_level": (0.5, 2.0), "mean_dwell_hours": (0.15, 1.0)},
+        scenario_kwargs={"horizon_seconds": 2 * _DAY},
+    ),
+    AdversarialRecipe(
+        name="cost-forecast-inversion",
+        target="rs-cost",
+        mechanism="decaying traffic plus a test-window burst: budget spent on phantom load",
+        builder=_cost_forecast_inversion,
+        bounds={"decay_ratio": (3.0, 15.0), "burst_peak": (1.0, 5.0)},
+        scenario_kwargs={"horizon_seconds": 1 * _DAY, "train_fraction": 0.7},
+    ),
+    AdversarialRecipe(
+        name="reactive-predictable-cron",
+        target="reactive",
+        mechanism="noise-free periodic pulses: maximal regret for ignoring the forecast",
+        builder=_reactive_predictable_cron,
+        bounds={"period_seconds": (300.0, 1800.0), "peak": (0.5, 2.5)},
+        scenario_kwargs={"horizon_seconds": 1 * _DAY},
+    ),
+    AdversarialRecipe(
+        name="reactive-cold-start-storm",
+        target="reactive",
+        mechanism="clumped 2s queries that each pay the full 13s cold start",
+        builder=_reactive_cold_start_storm,
+        bounds={"clump_period_seconds": (200.0, 900.0), "peak": (1.0, 4.0)},
+        scenario_kwargs={
+            "horizon_seconds": 12 * _HOUR,
+            "processing_time_mean": 2.0,
+        },
+    ),
+    AdversarialRecipe(
+        name="bp-pool-drain",
+        target="bp",
+        mechanism="clumps of tens of arrivals that drain a B-instance pool instantly",
+        builder=_bp_pool_drain,
+        bounds={
+            "period_seconds": (300.0, 1200.0),
+            "peak": (3.0, 10.0),
+            "sharpness": (150.0, 400.0),
+        },
+        scenario_kwargs={"horizon_seconds": 12 * _HOUR, "bin_seconds": 30.0},
+    ),
+    AdversarialRecipe(
+        name="bp-sustained-surge",
+        target="bp",
+        mechanism="a surge with rate x pending-time far above the pool size",
+        builder=_bp_sustained_surge,
+        bounds={"surge_level": (0.8, 3.0), "surge_length_fraction": (0.05, 0.2)},
+        scenario_kwargs={"horizon_seconds": 1 * _DAY, "train_fraction": 0.7},
+    ),
+    AdversarialRecipe(
+        name="adapbp-estimator-lag",
+        target="adapbp",
+        mechanism="square wave anti-phased with the 600s trailing-rate update tick",
+        builder=_adapbp_estimator_lag,
+        bounds={"period_seconds": (900.0, 3600.0), "high": (0.5, 2.0)},
+        scenario_kwargs={"horizon_seconds": 1 * _DAY},
+    ),
+    AdversarialRecipe(
+        name="adapbp-rate-whiplash",
+        target="adapbp",
+        mechanism="bursts a tenth of the rate window: the pool chases a diluted average",
+        builder=_adapbp_rate_whiplash,
+        bounds={
+            "period_seconds": (250.0, 900.0),
+            "peak": (1.5, 5.0),
+            "sharpness": (30.0, 120.0),
+        },
+        scenario_kwargs={"horizon_seconds": 12 * _HOUR},
+    ),
+)
+
+#: All recipes by name, in suite order.
+ADVERSARIAL_RECIPES: dict[str, AdversarialRecipe] = {
+    recipe.name: recipe for recipe in _RECIPES
+}
+
+
+def get_recipe(name: str) -> AdversarialRecipe:
+    """Look up a recipe by name or registry name (case-insensitive)."""
+    key = str(name).lower()
+    if key.startswith(ADVERSARIAL_PREFIX):
+        key = key[len(ADVERSARIAL_PREFIX) :]
+    if key not in ADVERSARIAL_RECIPES:
+        known = ", ".join(sorted(ADVERSARIAL_RECIPES))
+        raise WorkloadError(f"unknown adversarial recipe {name!r}; known: {known}")
+    return ADVERSARIAL_RECIPES[key]
+
+
+def recipes_for_target(target: str) -> list[AdversarialRecipe]:
+    """The recipes attacking one scaler kind, in suite order."""
+    if target not in TARGET_KINDS:
+        raise WorkloadError(
+            f"unknown target scaler kind {target!r}; expected one of {TARGET_KINDS}"
+        )
+    return [recipe for recipe in _RECIPES if recipe.target == target]
+
+
+def register_adversarial_scenarios(
+    registry: ScenarioRegistry | None = None, *, overwrite: bool = False
+) -> None:
+    """Register every recipe's default configuration as ``adversarial/<name>``."""
+    for recipe in _RECIPES:
+        register_scenario(recipe.scenario(), registry=registry, overwrite=overwrite)
+
+
+register_adversarial_scenarios()

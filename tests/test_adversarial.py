@@ -1,0 +1,195 @@
+"""The adversarial scenario suite and its search experiment.
+
+The suite's contract: every scaler family has at least two recipes that
+name the mechanism they attack, the recipes are ordinary registry citizens
+under ``adversarial/``, their parameter boxes validate, and the search
+experiment demonstrates the point of the exercise — on the worst-case
+candidate the *targeted* policy buys strictly more QoS violations per
+dollar than at least one panel alternative on the same trace.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import Session, run_experiment
+from repro.exceptions import WorkloadError
+from repro.store import ArtifactStore
+from repro.experiments import summarize_adversarial, violation_per_dollar
+from repro.runtime import strip_timing
+from repro.workloads import (
+    ADVERSARIAL_RECIPES,
+    DEFAULT_REGISTRY,
+    AdversarialRecipe,
+    get_recipe,
+    recipes_for_target,
+    register_adversarial_scenarios,
+)
+from repro.workloads.adversarial import ADVERSARIAL_PREFIX, TARGET_KINDS
+from repro.workloads.registry import ScenarioRegistry
+
+
+class TestSuiteShape:
+    def test_every_family_has_at_least_two_recipes(self):
+        for target in TARGET_KINDS:
+            assert len(recipes_for_target(target)) >= 2, target
+
+    def test_recipes_registered_under_prefix(self):
+        for recipe in ADVERSARIAL_RECIPES.values():
+            name = f"{ADVERSARIAL_PREFIX}{recipe.name}"
+            assert name in DEFAULT_REGISTRY
+            scenario = DEFAULT_REGISTRY.get(name)
+            assert "adversarial" in scenario.tags
+            assert f"target:{recipe.target}" in scenario.tags
+
+    def test_every_recipe_names_its_mechanism(self):
+        for recipe in ADVERSARIAL_RECIPES.values():
+            assert recipe.mechanism, recipe.name
+            assert recipe.builder.__doc__, recipe.name
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(WorkloadError):
+            recipes_for_target("rs-quantum")
+
+    def test_get_recipe_accepts_prefix_and_case(self):
+        recipe = next(iter(ADVERSARIAL_RECIPES.values()))
+        assert get_recipe(recipe.name) is recipe
+        assert get_recipe(f"{ADVERSARIAL_PREFIX}{recipe.name}") is recipe
+        assert get_recipe(recipe.name.upper()) is recipe
+        with pytest.raises(WorkloadError, match="unknown adversarial recipe"):
+            get_recipe("no-such-recipe")
+
+    def test_reregistration_requires_overwrite(self):
+        with pytest.raises(WorkloadError, match="already registered"):
+            register_adversarial_scenarios()
+        # Explicit overwrite into a fresh registry works.
+        registry = ScenarioRegistry()
+        register_adversarial_scenarios(registry=registry)
+        assert len(registry) == len(ADVERSARIAL_RECIPES)
+
+    def test_invalid_recipe_construction_rejected(self):
+        recipe = next(iter(ADVERSARIAL_RECIPES.values()))
+        with pytest.raises(WorkloadError, match="target"):
+            AdversarialRecipe(
+                name="x",
+                target="not-a-policy",
+                mechanism="m",
+                builder=recipe.builder,
+                bounds=recipe.bounds,
+            )
+        with pytest.raises(WorkloadError):
+            AdversarialRecipe(
+                name="x",
+                target=recipe.target,
+                mechanism="m",
+                builder=recipe.builder,
+                bounds={"no_such_param": (0.0, 1.0)},
+            )
+
+
+class TestRecipeParameters:
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_RECIPES))
+    def test_defaults_build_a_nonempty_deterministic_trace(self, name):
+        recipe = ADVERSARIAL_RECIPES[name]
+        scenario = recipe.scenario()
+        a = scenario.build_trace(scale=0.03, seed=5)
+        b = scenario.build_trace(scale=0.03, seed=5)
+        assert a.n_queries > 0
+        np.testing.assert_array_equal(a.arrival_times, b.arrival_times)
+
+    def test_unknown_param_rejected(self):
+        recipe = next(iter(ADVERSARIAL_RECIPES.values()))
+        with pytest.raises(WorkloadError, match="has no parameters"):
+            recipe.resolve_params({"definitely_not_a_knob": 1.0})
+
+    def test_sampled_params_stay_in_bounds_and_are_seeded(self):
+        for recipe in ADVERSARIAL_RECIPES.values():
+            sampled = recipe.sample_params(np.random.default_rng(3))
+            again = recipe.sample_params(np.random.default_rng(3))
+            assert sampled == again
+            for key, (low, high) in recipe.bounds.items():
+                assert low <= sampled[key] <= high, (recipe.name, key)
+
+    def test_grid_params_cover_axis_ladders(self):
+        recipe = next(iter(ADVERSARIAL_RECIPES.values()))
+        grid = recipe.grid_params(3)
+        assert len(grid) == 3 * len(recipe.bounds)
+        defaults = recipe.defaults()
+        for point in grid:
+            # Each grid point perturbs exactly one searched axis.
+            moved = [k for k in recipe.bounds if point[k] != defaults[k]]
+            assert len(moved) <= 1
+
+    def test_variant_scenario_pickles(self):
+        recipe = next(iter(ADVERSARIAL_RECIPES.values()))
+        values = recipe.sample_params(np.random.default_rng(1))
+        scenario = recipe.scenario(values, name="adversarial/pickle-me")
+        clone = pickle.loads(pickle.dumps(scenario))
+        np.testing.assert_array_equal(
+            clone.build_trace(scale=0.02, seed=2).arrival_times,
+            scenario.build_trace(scale=0.02, seed=2).arrival_times,
+        )
+
+
+class TestAdversarialExperiment:
+    PARAMS = {
+        "scenario_names": ["reactive-predictable-cron"],
+        "n_candidates": 2,
+        "scale": 0.08,
+        "seed": 7,
+        "monte_carlo_samples": 40,
+    }
+
+    @pytest.fixture(scope="class")
+    def result_rows(self):
+        return run_experiment("adversarial", dict(self.PARAMS), store=None)
+
+    def test_one_row_per_candidate_and_panel_scaler(self, result_rows):
+        rows = [r for r in result_rows if "hit_rate" in r]
+        assert {r["candidate"] for r in rows} == {0, 1}
+        for candidate in (0, 1):
+            panel = [r for r in rows if r["candidate"] == candidate]
+            assert len(panel) == 6
+            assert sum(r["role"] == "target" for r in panel) == 1
+
+    def test_worst_case_marks_exactly_one_candidate(self, result_rows):
+        rows = [r for r in result_rows if "hit_rate" in r]
+        worst = {r["candidate"] for r in rows if r["worst_case"]}
+        assert len(worst) == 1
+        for row in rows:
+            assert row["violation_per_dollar"] == pytest.approx(
+                violation_per_dollar(row)
+            )
+
+    def test_target_is_defeated_on_worst_case(self, result_rows):
+        summary = summarize_adversarial(result_rows)
+        assert len(summary) == 1
+        entry = summary[0]
+        assert entry["recipe"] == "reactive-predictable-cron"
+        assert entry["target"] == "reactive"
+        assert entry["defeated"]
+        assert entry["target_vpd"] > entry["best_panel_vpd"]
+
+    def test_unknown_recipe_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown adversarial recipe"):
+            run_experiment(
+                "adversarial",
+                {**self.PARAMS, "scenario_names": ["nope"]},
+                store=None,
+            )
+
+    def test_journaled_rerun_resumes_bit_identically(self, tmp_path, result_rows):
+        store = ArtifactStore(tmp_path / "store")
+        session = Session(store=store, run_id="adv-resume")
+        first = session.experiment("adversarial").run(**self.PARAMS)
+        assert first.provenance.n_resumed == 0
+        second = session.experiment("adversarial").run(**self.PARAMS)
+        assert second.provenance.n_resumed == len(
+            [r for r in first.rows if "hit_rate" in r]
+        )
+        assert strip_timing(second.rows) == strip_timing(first.rows)
+        # And the journaled rows agree with the store-less run.
+        assert strip_timing(first.rows) == strip_timing(result_rows)

@@ -44,6 +44,14 @@ from repro.simulation import (
 from repro.types import ArrivalTrace, ScalingAction
 from repro.workloads import get_scenario, list_scenarios
 
+# This module deliberately drives the legacy reference-engine entry points
+# (direct ScalingPerQuerySimulator construction / implicit-engine
+# create_simulator), which the pytest gate otherwise turns into errors.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.ReproDeprecationWarning"
+)
+
+
 #: Result columns compared bit-for-bit between the engines.
 _COLUMNS = (
     "hits",

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import ValidationError, WorkloadError
+from repro.exceptions import ReproDeprecationWarning, ValidationError, WorkloadError
 from repro.experiments.scenario_sweep import (
     ScenarioSweepConfig,
     run_scenario_sweep_experiment,
@@ -313,8 +313,8 @@ class TestRegistry:
                 horizon_seconds=4 * _HOUR,
             )
         )
-        rows = run_scenario_sweep_experiment(
-            ScenarioSweepConfig(
+        with pytest.warns(ReproDeprecationWarning):
+            config = ScenarioSweepConfig(
                 registry=registry,
                 scale=0.5,
                 planning_interval=30.0,
@@ -323,7 +323,7 @@ class TestRegistry:
                 pool_sizes=(1,),
                 adaptive_factors=(10.0,),
             )
-        )
+        rows = run_scenario_sweep_experiment(config)
         assert {row["scenario"] for row in rows} == {"only-me"}
 
     def test_duplicate_registration_rejected(self):
@@ -388,16 +388,17 @@ class TestRegistry:
 class TestScenarioSweep:
     @pytest.fixture(scope="class")
     def sweep_rows(self) -> list[dict]:
-        config = ScenarioSweepConfig(
-            scenario_names=("steady-state", "flash-crowd"),
-            scale=0.05,
-            seed=7,
-            planning_interval=20.0,
-            monte_carlo_samples=80,
-            hp_targets=(0.7,),
-            pool_sizes=(1,),
-            adaptive_factors=(10.0,),
-        )
+        with pytest.warns(ReproDeprecationWarning):
+            config = ScenarioSweepConfig(
+                scenario_names=("steady-state", "flash-crowd"),
+                scale=0.05,
+                seed=7,
+                planning_interval=20.0,
+                monte_carlo_samples=80,
+                hp_targets=(0.7,),
+                pool_sizes=(1,),
+                adaptive_factors=(10.0,),
+            )
         return run_scenario_sweep_experiment(config)
 
     def test_rows_cover_requested_scenarios_and_scalers(self, sweep_rows):
@@ -423,16 +424,17 @@ class TestScenarioSweep:
             assert any(flags)
 
     def test_sweep_deterministic(self, sweep_rows):
-        config = ScenarioSweepConfig(
-            scenario_names=("steady-state", "flash-crowd"),
-            scale=0.05,
-            seed=7,
-            planning_interval=20.0,
-            monte_carlo_samples=80,
-            hp_targets=(0.7,),
-            pool_sizes=(1,),
-            adaptive_factors=(10.0,),
-        )
+        with pytest.warns(ReproDeprecationWarning):
+            config = ScenarioSweepConfig(
+                scenario_names=("steady-state", "flash-crowd"),
+                scale=0.05,
+                seed=7,
+                planning_interval=20.0,
+                monte_carlo_samples=80,
+                hp_targets=(0.7,),
+                pool_sizes=(1,),
+                adaptive_factors=(10.0,),
+            )
         again = run_scenario_sweep_experiment(config)
 
         def strip_timings(rows: list[dict]) -> list[dict]:
@@ -453,12 +455,13 @@ class TestScenarioSweep:
             assert 0.0 <= row["best_hit_rate"] <= 1.0
 
     def test_tiny_scale_skips_gracefully(self):
-        config = ScenarioSweepConfig(
-            scenario_names=("crs",),
-            scale=0.5,
-            seed=7,
-            min_test_queries=10**9,
-        )
+        with pytest.warns(ReproDeprecationWarning):
+            config = ScenarioSweepConfig(
+                scenario_names=("crs",),
+                scale=0.5,
+                seed=7,
+                min_test_queries=10**9,
+            )
         rows = run_scenario_sweep_experiment(config)
         assert len(rows) == 1
         assert "skipped" in rows[0]["note"]
