@@ -7,22 +7,16 @@
 
 from __future__ import annotations
 
-from repro.experiments.ablation import (
-    KappaAblationConfig,
-    MCSampleAblationConfig,
-    RegularizationSensitivityConfig,
-    run_kappa_ablation,
-    run_mc_sample_ablation,
-    run_regularization_sensitivity,
-)
+from repro.api import run_experiment
 
 from conftest import print_artifact
 
 
 def test_ablation_kappa_lookahead(run_once):
     rows = run_once(
-        run_kappa_ablation,
-        KappaAblationConfig(horizon_seconds=2 * 3600.0, monte_carlo_samples=800),
+        run_experiment,
+        "kappa-ablation",
+        {"horizon_seconds": 2 * 3600.0, "monte_carlo_samples": 800},
     )
     print_artifact("Ablation — kappa look-ahead (Algorithm 4, eq. 8)", rows)
     with_kappa = next(r for r in rows if "with kappa" in r["variant"])
@@ -34,8 +28,9 @@ def test_ablation_kappa_lookahead(run_once):
 
 def test_ablation_monte_carlo_samples(run_once):
     rows = run_once(
-        run_mc_sample_ablation,
-        MCSampleAblationConfig(sample_sizes=(50, 200, 1000, 5000), n_trials=20),
+        run_experiment,
+        "mc-sample-ablation",
+        {"sample_sizes": (50, 200, 1000, 5000), "n_trials": 20},
     )
     print_artifact("Ablation — Monte Carlo sample size", rows)
     by_n = {row["n_samples"]: row for row in rows}
@@ -45,14 +40,14 @@ def test_ablation_monte_carlo_samples(run_once):
 
 
 def test_ablation_regularization_sensitivity(run_once):
-    config = RegularizationSensitivityConfig(
-        period_seconds=3600.0,
-        n_periods=6,
-        beta_smooth_values=(0.0, 10.0, 50.0),
-        beta_period_values=(0.0, 10.0),
-        max_iterations=150,
-    )
-    rows = run_once(run_regularization_sensitivity, config)
+    params = {
+        "period_seconds": 3600.0,
+        "n_periods": 6,
+        "beta_smooth_values": (0.0, 10.0, 50.0),
+        "beta_period_values": (0.0, 10.0),
+        "max_iterations": 150,
+    }
+    rows = run_once(run_experiment, "regularization-sensitivity", params)
     print_artifact("Ablation — beta_1 / beta_2 sensitivity", rows)
     unregularized = next(
         r for r in rows if r["beta_smooth"] == 0.0 and r["beta_period"] == 0.0

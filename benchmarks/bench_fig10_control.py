@@ -11,27 +11,22 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments.control_accuracy import (
-    ControlAccuracyExperimentConfig,
-    PlanningFrequencyExperimentConfig,
-    run_control_accuracy_experiment,
-    run_planning_frequency_experiment,
-)
+from repro.api import run_experiment
 
 from conftest import print_artifact
 
 
 def test_fig10abc_nominal_vs_actual(run_once):
-    config = ControlAccuracyExperimentConfig(
-        scale=0.15,
-        seed=7,
-        hp_targets=(0.3, 0.6, 0.9),
-        waiting_budgets=(2.0, 12.0),
-        idle_budgets=(5.0, 60.0),
-        planning_interval=10.0,
-        monte_carlo_samples=200,
-    )
-    rows = run_once(run_control_accuracy_experiment, config)
+    params = {
+        "scale": 0.15,
+        "seed": 7,
+        "hp_targets": (0.3, 0.6, 0.9),
+        "waiting_budgets": (2.0, 12.0),
+        "idle_budgets": (5.0, 60.0),
+        "planning_interval": 10.0,
+        "monte_carlo_samples": 200,
+    }
+    rows = run_once(run_experiment, "control", params)
     print_artifact(
         "Figure 10(a-c) — nominal vs actual HP / waiting time / idle cost", rows
     )
@@ -56,14 +51,14 @@ def test_fig10abc_nominal_vs_actual(run_once):
 
 
 def test_fig10d_planning_frequency(run_once):
-    config = PlanningFrequencyExperimentConfig(
-        scale=0.15,
-        seed=7,
-        planning_intervals=(10.0, 60.0),
-        waiting_budget=3.0,
-        monte_carlo_samples=200,
-    )
-    rows = run_once(run_planning_frequency_experiment, config)
+    params = {
+        "scale": 0.15,
+        "seed": 7,
+        "planning_intervals": (10.0, 60.0),
+        "waiting_budget": 3.0,
+        "monte_carlo_samples": 200,
+    }
+    rows = run_once(run_experiment, "planning-frequency", params)
     print_artifact("Figure 10(d) — cost versus planning interval", rows)
     rows = sorted(rows, key=lambda r: r["planning_interval"])
     costs = np.array([row["relative_cost"] for row in rows])

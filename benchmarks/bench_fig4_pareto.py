@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments.pareto import ParetoExperimentConfig, run_pareto_experiment
+from repro.api import run_experiment
 
 from conftest import print_artifact
 
@@ -26,22 +26,22 @@ _COLUMNS = [
 ]
 
 
-def _config(trace: str) -> ParetoExperimentConfig:
+def _params(trace: str) -> dict:
     pending = 13.0
-    return ParetoExperimentConfig(
-        trace_names=(trace,),
-        scale=0.15,
-        seed=7,
-        planning_interval=10.0,
-        monte_carlo_samples=200,
-        hp_targets=(0.3, 0.6, 0.9),
-        rt_budgets=(pending * 0.5, pending * 0.1),
-        cost_budgets=None,
-        pool_sizes=(0, 1, 2, 4),
-        adaptive_factors=(10.0, 25.0, 50.0) if trace == "crs" else (5.0, 10.0, 20.0),
-        include_rt_variant=True,
-        include_cost_variant=True,
-    )
+    return {
+        "trace_names": (trace,),
+        "scale": 0.15,
+        "seed": 7,
+        "planning_interval": 10.0,
+        "monte_carlo_samples": 200,
+        "hp_targets": (0.3, 0.6, 0.9),
+        "rt_budgets": (pending * 0.5, pending * 0.1),
+        "cost_budgets": None,
+        "pool_sizes": (0, 1, 2, 4),
+        "adaptive_factors": (10.0, 25.0, 50.0) if trace == "crs" else (5.0, 10.0, 20.0),
+        "include_rt_variant": True,
+        "include_cost_variant": True,
+    }
 
 
 def _check_common_shape(rows: list[dict]) -> None:
@@ -59,7 +59,7 @@ def _check_common_shape(rows: list[dict]) -> None:
 
 @pytest.mark.parametrize("trace", ["crs", "google", "alibaba"])
 def test_fig4_pareto(run_once, trace):
-    rows = run_once(run_pareto_experiment, _config(trace))
+    rows = run_once(run_experiment, "pareto", _params(trace))
     print_artifact(f"Figure 4 — Pareto sweep on the {trace} trace", rows, _COLUMNS)
     _check_common_shape(rows)
     if trace in ("google", "alibaba"):

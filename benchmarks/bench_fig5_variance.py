@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.variance import VarianceExperimentConfig, run_variance_experiment
+from repro.api import run_experiment
 
 from conftest import print_artifact
 
@@ -26,17 +26,17 @@ _COLUMNS = [
 
 
 def test_fig5_qos_variance(run_once):
-    config = VarianceExperimentConfig(
-        scale=0.15,
-        seed=7,
-        planning_interval=10.0,
-        monte_carlo_samples=200,
-        hp_targets=(0.5, 0.9),
-        cost_budget_fractions=(0.05, 0.2),
-        pool_sizes=(1, 2),
-        adaptive_factors=(25.0, 50.0),
-    )
-    rows = run_once(run_variance_experiment, config)
+    params = {
+        "scale": 0.15,
+        "seed": 7,
+        "planning_interval": 10.0,
+        "monte_carlo_samples": 200,
+        "hp_targets": (0.5, 0.9),
+        "cost_budget_fractions": (0.05, 0.2),
+        "pool_sizes": (1, 2),
+        "adaptive_factors": (25.0, 50.0),
+    }
+    rows = run_once(run_experiment, "variance", params)
     print_artifact("Figure 5 — windowed QoS variance on the CRS trace", rows, _COLUMNS)
 
     def mean_variance(family: str, key: str) -> float:

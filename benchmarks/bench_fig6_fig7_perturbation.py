@@ -11,10 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.perturbation import (
-    PerturbationExperimentConfig,
-    run_perturbation_experiment,
-)
+from repro.api import run_experiment
 
 from conftest import print_artifact
 
@@ -28,16 +25,16 @@ _COLUMNS = [
 
 
 def test_fig6_fig7_perturbation(run_once):
-    config = PerturbationExperimentConfig(
-        scale=0.15,
-        seed=7,
-        perturbation_sizes=(1.0, 4.0),
-        hp_targets=(0.5, 0.9),
-        adaptive_factors=(25.0, 50.0),
-        planning_interval=10.0,
-        monte_carlo_samples=200,
-    )
-    rows = run_once(run_perturbation_experiment, config)
+    params = {
+        "scale": 0.15,
+        "seed": 7,
+        "perturbation_sizes": (1.0, 4.0),
+        "hp_targets": (0.5, 0.9),
+        "adaptive_factors": (25.0, 50.0),
+        "planning_interval": 10.0,
+        "monte_carlo_samples": 200,
+    }
+    rows = run_once(run_experiment, "perturbation", params)
     print_artifact(
         "Figures 6-7 — QoS vs cost under perturbed CRS data", rows, _COLUMNS
     )

@@ -11,10 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.scalability import (
-    ScalabilityExperimentConfig,
-    run_scalability_experiment,
-)
+from repro.api import run_experiment
 
 from conftest import print_artifact
 
@@ -28,12 +25,12 @@ _COLUMNS = [
 
 
 def test_fig8_decision_runtime_vs_qps(run_once):
-    config = ScalabilityExperimentConfig(
-        qps_levels=(0.1, 1.0, 10.0, 100.0, 1000.0),
-        monte_carlo_samples=1000,
-        repeats=1,
-    )
-    rows = run_once(run_scalability_experiment, config)
+    params = {
+        "qps_levels": (0.1, 1.0, 10.0, 100.0, 1000.0),
+        "monte_carlo_samples": 1000,
+        "repeats": 1,
+    }
+    rows = run_once(run_experiment, "scalability", params)
     print_artifact("Figure 8 — decision-update runtime versus QPS", rows, _COLUMNS)
 
     hp_rows = sorted(

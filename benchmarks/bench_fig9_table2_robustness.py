@@ -11,10 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.robustness import (
-    RobustnessExperimentConfig,
-    run_robustness_experiment,
-)
+from repro.api import run_experiment
 
 from conftest import print_artifact
 
@@ -31,15 +28,15 @@ _COLUMNS = [
 
 
 def test_fig9_table2_robustness(run_once):
-    config = RobustnessExperimentConfig(
-        scale=0.15,
-        seed=7,
-        hp_targets=(0.9,),
-        cost_budget_fractions=(0.1,),
-        planning_interval=10.0,
-        monte_carlo_samples=200,
-    )
-    rows = run_once(run_robustness_experiment, config)
+    params = {
+        "scale": 0.15,
+        "seed": 7,
+        "hp_targets": (0.9,),
+        "cost_budget_fractions": (0.1,),
+        "planning_interval": 10.0,
+        "monte_carlo_samples": 200,
+    }
+    rows = run_once(run_experiment, "robustness", params)
     print_artifact(
         "Figure 9 / Table II — robustness to missing data and anomaly removal",
         rows,

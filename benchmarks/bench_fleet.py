@@ -1,0 +1,148 @@
+"""Tier-2 smoke for the multi-tenant fleet subsystem (`repro.fleet`).
+
+End-to-end assertions matching the fleet's acceptance criteria:
+
+1. **Contention semantics, cold store** — the ``fleet`` experiment runs
+   through :class:`repro.api.Session` against a freshly created artifact
+   store: under ``hard-cap`` at half the isolated peak capacity the fleet
+   records real interference (denied actions, a positive worst-tenant
+   hit-rate delta, Jain's satisfaction index below 1), while the
+   ``unconstrained`` policy reproduces the isolation phase *exactly*
+   (zero denied actions, zero deltas).
+2. **Worker sharding** — the same fleet re-run with ``workers=2`` is
+   bit-identical to the serial rows (timing columns stripped), and the
+   wall clock of both shardings is reported.
+
+Run standalone::
+
+    python benchmarks/bench_fleet.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import Session
+from repro.runtime import strip_timing
+
+from conftest import print_artifact
+
+
+def fleet_params(n_services: int, scale: float) -> dict:
+    return dict(
+        n_services=n_services,
+        scale=scale,
+        seed=7,
+        capacity_fraction=0.5,
+        services_per_task=2,
+        monte_carlo_samples=60,
+        policies=("unconstrained", "hard-cap", "fair-share"),
+    )
+
+
+def check_fleet_contention(n_services: int, scale: float) -> list[dict]:
+    """Cold-store fleet run: interference under hard-cap, none unconstrained."""
+    params = fleet_params(n_services, scale)
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") as tmp:
+        store_dir = Path(tmp) / "store"
+
+        started = time.perf_counter()
+        serial = (
+            Session(store=store_dir, run_id="fleet-smoke")
+            .experiment("fleet")
+            .run(**params)
+        )
+        serial_seconds = time.perf_counter() - started
+        assert serial.rows, "fleet smoke produced no rows"
+        assert serial.provenance.n_resumed == 0
+
+        service_rows = [r for r in serial.rows if r.get("phase") != "fleet"]
+        summaries = {
+            r["policy"]: r for r in serial.rows if r.get("phase") == "fleet"
+        }
+        assert set(summaries) == set(params["policies"])
+
+        # Unconstrained: bit-identical to isolation — no interference at all.
+        unconstrained = [
+            r for r in service_rows if r["policy"] == "unconstrained"
+        ]
+        assert unconstrained
+        assert all(r["denied_actions"] == 0 for r in unconstrained)
+        assert all(r["hit_rate_delta"] == 0.0 for r in unconstrained)
+        assert summaries["unconstrained"]["denied_actions"] == 0
+
+        # Hard cap at half the isolated peak: interference must be real.
+        capped = [r for r in service_rows if r["policy"] == "hard-cap"]
+        denied = sum(r["denied_actions"] for r in capped)
+        assert denied > 0, "hard-cap at 0.5x peak denied nothing"
+        assert summaries["hard-cap"]["worst_hit_rate_delta"] > 0.0
+        assert summaries["hard-cap"]["jain_satisfaction"] < 1.0
+
+        started = time.perf_counter()
+        pooled = (
+            Session(store=None, workers=2).experiment("fleet").run(**params)
+        )
+        pooled_seconds = time.perf_counter() - started
+        assert strip_timing(pooled.rows) == strip_timing(serial.rows), (
+            "worker-sharded fleet rows diverged from serial"
+        )
+
+    artifact = [
+        {
+            "policy": policy,
+            "denied_actions": summaries[policy]["denied_actions"],
+            "worst_hit_rate_delta": round(
+                summaries[policy]["worst_hit_rate_delta"], 4
+            ),
+            "jain_satisfaction": round(
+                summaries[policy]["jain_satisfaction"], 4
+            ),
+            "fleet_cost": round(summaries[policy]["fleet_cost"], 2),
+            "on_frontier": summaries[policy]["on_frontier"],
+        }
+        for policy in params["policies"]
+    ]
+    artifact.append(
+        {
+            "policy": "(timing)",
+            "denied_actions": None,
+            "worst_hit_rate_delta": None,
+            "jain_satisfaction": None,
+            "fleet_cost": None,
+            "on_frontier": (
+                f"serial {serial_seconds:.1f}s / workers=2 {pooled_seconds:.1f}s"
+            ),
+        }
+    )
+    return artifact
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--n-services", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None)
+    args = parser.parse_args(argv)
+    n_services = args.n_services if args.n_services is not None else (
+        6 if args.smoke else 24
+    )
+    scale = args.scale if args.scale is not None else (
+        0.02 if args.smoke else 0.05
+    )
+
+    rows = check_fleet_contention(n_services=n_services, scale=scale)
+    print_artifact(
+        "Fleet smoke: per-policy contention summary "
+        f"({n_services} services, capacity 0.5x isolated peak)",
+        rows,
+    )
+    print("\nbench_fleet: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,10 +27,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.experiments.scenario_sweep import (
-    ScenarioSweepConfig,
-    build_scenario_sweep_tasks,
-)
+from repro.experiments.scenario_sweep import build_scenario_sweep_tasks
 from repro.nhpp.intensity import PiecewiseConstantIntensity
 from repro.nhpp.sampling import sample_arrival_times
 from repro.runtime import WorkloadCache, run_tasks, strip_timing
@@ -39,26 +36,25 @@ from repro.runtime import WorkloadCache, run_tasks, strip_timing
 _BENCH_SCENARIOS = ("steady-state", "flash-crowd", "pareto-bursts", "google")
 
 
-def bench_config(scale: float = 0.05, seed: int = 7) -> ScenarioSweepConfig:
-    """The sweep configuration the executor benchmark evaluates."""
-    return ScenarioSweepConfig(
-        scenario_names=_BENCH_SCENARIOS,
-        scale=scale,
-        seed=seed,
-        planning_interval=10.0,
-        monte_carlo_samples=120,
-        hp_targets=(0.5, 0.9),
-        pool_sizes=(1, 4),
-        adaptive_factors=(10.0,),
-    )
+def bench_params(scale: float = 0.05, seed: int = 7) -> dict:
+    """The sweep parameters the executor benchmark evaluates."""
+    return {
+        "scenario_names": _BENCH_SCENARIOS,
+        "scale": scale,
+        "seed": seed,
+        "planning_interval": 10.0,
+        "monte_carlo_samples": 120,
+        "hp_targets": (0.5, 0.9),
+        "pool_sizes": (1, 4),
+        "adaptive_factors": (10.0,),
+    }
 
 
 def run_executor_comparison(
     scale: float = 0.05, workers: int = 2, seed: int = 7
 ) -> dict:
     """Evaluate one task batch serially and in parallel; compare and time."""
-    config = bench_config(scale=scale, seed=seed)
-    tasks, skipped = build_scenario_sweep_tasks(config)
+    tasks, skipped = build_scenario_sweep_tasks(bench_params(scale=scale, seed=seed))
     cache = WorkloadCache()
 
     start = time.perf_counter()

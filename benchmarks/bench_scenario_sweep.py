@@ -13,11 +13,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.scenario_sweep import (
-    ScenarioSweepConfig,
-    run_scenario_sweep_experiment,
-    summarize_scenario_sweep,
-)
+from repro.api import run_experiment
+from repro.experiments.scenario_sweep import summarize_scenario_sweep
 from repro.workloads import scenario_names
 
 from conftest import print_artifact
@@ -35,17 +32,17 @@ _COLUMNS = [
 
 
 def test_scenario_sweep_full_registry(run_once):
-    config = ScenarioSweepConfig(
-        scenario_names=None,  # the whole registry
-        scale=0.1,
-        seed=7,
-        planning_interval=10.0,
-        monte_carlo_samples=120,
-        hp_targets=(0.5, 0.9),
-        pool_sizes=(1, 4),
-        adaptive_factors=(10.0,),
-    )
-    rows = run_once(run_scenario_sweep_experiment, config)
+    params = {
+        "scenario_names": None,  # the whole registry
+        "scale": 0.1,
+        "seed": 7,
+        "planning_interval": 10.0,
+        "monte_carlo_samples": 120,
+        "hp_targets": (0.5, 0.9),
+        "pool_sizes": (1, 4),
+        "adaptive_factors": (10.0,),
+    }
+    rows = run_once(run_experiment, "scenario-sweep", params)
     print_artifact("Scenario sweep (full registry)", rows, columns=_COLUMNS)
     summary = summarize_scenario_sweep(rows)
     print_artifact("Per-scenario Pareto summary", summary)

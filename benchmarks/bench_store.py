@@ -33,11 +33,8 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.experiments.scenario_sweep import (
-    ScenarioSweepConfig,
-    build_scenario_sweep_tasks,
-    run_scenario_sweep_experiment,
-)
+from repro.api import run_experiment
+from repro.experiments.scenario_sweep import build_scenario_sweep_tasks
 from repro.runtime import WorkloadCache, run_task_rows, strip_timing
 from repro.store import ArtifactStore
 
@@ -52,21 +49,15 @@ _MC_SAMPLES = 120
 _SMOKE_MIN_SPEEDUP = 3.0
 
 
-def sweep_config(
-    scale: float,
-    store: ArtifactStore | None = None,
-    run_id: str | None = None,
-) -> ScenarioSweepConfig:
+def sweep_params(scale: float) -> dict:
     """The benchmark sweep, identical across CLI, child and parent runs."""
-    return ScenarioSweepConfig(
-        scenario_names=_BENCH_SCENARIOS,
-        scale=scale,
-        seed=_SEED,
-        planning_interval=_PLANNING_INTERVAL,
-        monte_carlo_samples=_MC_SAMPLES,
-        store=store,
-        run_id=run_id,
-    )
+    return {
+        "scenario_names": _BENCH_SCENARIOS,
+        "scale": scale,
+        "seed": _SEED,
+        "planning_interval": _PLANNING_INTERVAL,
+        "monte_carlo_samples": _MC_SAMPLES,
+    }
 
 
 def _cli_command(scale: float, store_dir: str, run_id: str) -> list[str]:
@@ -113,7 +104,7 @@ def bench_cold_warm(scale: float, smoke: bool) -> None:
         # Store-only effect, independent of the result journal: a fresh
         # memory cache against the warm store must perform zero model fits.
         store = ArtifactStore(store_dir)
-        tasks, _ = build_scenario_sweep_tasks(sweep_config(scale, store=store))
+        tasks, _ = build_scenario_sweep_tasks(sweep_params(scale), store=store)
         cache = WorkloadCache(store=store)
         started = time.perf_counter()
         run_task_rows(tasks, base_seed=_SEED, cache=cache, store=store)
@@ -138,14 +129,14 @@ def bench_cold_warm(scale: float, smoke: bool) -> None:
 def _run_child(scale: float, store_dir: str, run_id: str) -> int:
     """Child entry point: run the journaled sweep until killed."""
     store = ArtifactStore(store_dir)
-    run_scenario_sweep_experiment(sweep_config(scale, store=store, run_id=run_id))
+    run_experiment("scenario-sweep", sweep_params(scale), store=store, run_id=run_id)
     return 0
 
 
 def bench_resume(scale: float, kill_after: int, timeout: float) -> None:
     """Kill a journaled sweep mid-run, resume it, compare with uninterrupted."""
-    config = sweep_config(scale)
-    tasks, _ = build_scenario_sweep_tasks(config)
+    params = sweep_params(scale)
+    tasks, _ = build_scenario_sweep_tasks(params)
     print(f"sweep: {len(tasks)} tasks; killing the child after ~{kill_after} journal")
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-resume-") as tmp:
@@ -187,12 +178,12 @@ def bench_resume(scale: float, kill_after: int, timeout: float) -> None:
             )
 
         started = time.perf_counter()
-        resumed = run_scenario_sweep_experiment(
-            sweep_config(scale, store=store, run_id=run_id)
+        resumed = run_experiment(
+            "scenario-sweep", params, store=store, run_id=run_id
         )
         print(f"resumed run           {time.perf_counter() - started:8.2f} s")
 
-        baseline = run_scenario_sweep_experiment(config)
+        baseline = run_experiment("scenario-sweep", params)
         if strip_timing(resumed) != strip_timing(baseline):
             raise SystemExit(
                 "FAIL: resumed rows differ from the uninterrupted run"

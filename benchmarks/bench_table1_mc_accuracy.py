@@ -10,10 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.scalability import (
-    MCAccuracyExperimentConfig,
-    run_mc_accuracy_experiment,
-)
+from repro.api import run_experiment
 
 from conftest import print_artifact
 
@@ -21,17 +18,17 @@ _COLUMNS = ["variant", "metric", "target_level", "achieved_level", "n_queries"]
 
 
 def test_table1_monte_carlo_accuracy(run_once):
-    config = MCAccuracyExperimentConfig(
-        peak_qps=10.0,
-        period_seconds=1800.0,
-        horizon_seconds=4 * 1800.0,
-        target_hp=0.9,
-        waiting_budget=1.0,
-        idle_budget=2.0,
-        planning_interval=5.0,
-        monte_carlo_samples=1000,
-    )
-    rows = run_once(run_mc_accuracy_experiment, config)
+    params = {
+        "peak_qps": 10.0,
+        "period_seconds": 1800.0,
+        "horizon_seconds": 4 * 1800.0,
+        "target_hp": 0.9,
+        "waiting_budget": 1.0,
+        "idle_budget": 2.0,
+        "planning_interval": 5.0,
+        "monte_carlo_samples": 1000,
+    }
+    rows = run_once(run_experiment, "table1", params)
     print_artifact("Table I — target vs achieved QoS/cost levels", rows, _COLUMNS)
 
     by_metric = {row["metric"]: row for row in rows}

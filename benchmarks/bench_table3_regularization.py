@@ -8,24 +8,21 @@ reports 56% MSE / 39% MAE improvements).
 
 from __future__ import annotations
 
-from repro.experiments.regularization import (
-    RegularizationExperimentConfig,
-    run_regularization_experiment,
-)
+from repro.api import run_experiment
 
 from conftest import print_artifact
 
 
 def test_table3_periodicity_regularization(run_once):
-    config = RegularizationExperimentConfig(
-        period_seconds=14_400.0,
-        n_periods=7,
-        bin_seconds=60.0,
-        peak_qps=1.0,
-        base_qps=0.1,
-        max_iterations=300,
-    )
-    rows = run_once(run_regularization_experiment, config)
+    params = {
+        "period_seconds": 14_400.0,
+        "n_periods": 7,
+        "bin_seconds": 60.0,
+        "peak_qps": 1.0,
+        "base_qps": 0.1,
+        "max_iterations": 300,
+    }
+    rows = run_once(run_experiment, "table3", params)
     print_artifact("Table III — NHPP intensity error with/without periodicity reg.", rows)
 
     without = next(r for r in rows if "w/o" in r["model"])

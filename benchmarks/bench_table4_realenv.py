@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.realenv import RealEnvExperimentConfig, run_realenv_experiment
+from repro.api import run_experiment
 
 from conftest import print_artifact
 
@@ -26,16 +26,16 @@ _COLUMNS = [
 
 
 def test_table4_simulated_vs_real_environment(run_once):
-    config = RealEnvExperimentConfig(
-        scale=0.15,
-        seed=7,
-        target_hp=0.9,
-        planning_interval=10.0,
-        monte_carlo_samples=200,
-        scheduling_latency=1.0,
-        pending_time_jitter=2.0,
-    )
-    rows = run_once(run_realenv_experiment, config)
+    params = {
+        "scale": 0.15,
+        "seed": 7,
+        "target_hp": 0.9,
+        "planning_interval": 10.0,
+        "monte_carlo_samples": 200,
+        "scheduling_latency": 1.0,
+        "pending_time_jitter": 2.0,
+    }
+    rows = run_once(run_experiment, "table4", params)
     print_artifact("Table IV — simulated vs real environment", rows, _COLUMNS)
 
     simulated = next(r for r in rows if r["environment"] == "simulated")

@@ -17,7 +17,7 @@ Run with::
 from __future__ import annotations
 
 from repro.experiments.base import prepare_workload, trace_defaults
-from repro.experiments.pareto import ParetoExperimentConfig, run_single_trace_pareto
+from repro.experiments.pareto import run_single_trace_pareto
 from repro.metrics import ParetoPoint, format_table, pareto_frontier
 from repro.traces import generate_crs_like_trace
 
@@ -28,8 +28,16 @@ def main() -> None:
     trace = generate_crs_like_trace(n_weeks=2, seed=7)
     print(f"CRS-like workload: {trace.n_queries} queries, mean QPS {trace.mean_qps:.4f}")
 
-    config = ParetoExperimentConfig(
-        scale=0.5,
+    defaults = trace_defaults("crs")
+    workload = prepare_workload(
+        trace,
+        train_fraction=defaults["train_fraction"],
+        bin_seconds=defaults["bin_seconds"],
+    )
+    rows = run_single_trace_pareto(
+        trace,
+        trace_key="crs",
+        workload=workload,
         planning_interval=5.0,
         monte_carlo_samples=300,
         hp_targets=(0.3, 0.6, 0.9),
@@ -38,13 +46,6 @@ def main() -> None:
         include_rt_variant=True,
         include_cost_variant=False,
     )
-    defaults = trace_defaults("crs")
-    workload = prepare_workload(
-        trace,
-        train_fraction=defaults["train_fraction"],
-        bin_seconds=defaults["bin_seconds"],
-    )
-    rows = run_single_trace_pareto(trace, trace_key="crs", config=config, workload=workload)
 
     print()
     print(

@@ -20,10 +20,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments.scalability import (
-    MCAccuracyExperimentConfig,
-    run_mc_accuracy_experiment,
-)
+from repro.api import run_experiment
 from repro.metrics import format_table
 from repro.scaling.calibration import calibrate_hit_probability
 from repro.config import PlannerConfig, SimulationConfig
@@ -34,16 +31,18 @@ from repro.traces import generate_trace_from_intensity
 
 def main() -> None:
     # --- 1. Accuracy of each variant against its own target (Table I style).
-    config = MCAccuracyExperimentConfig(
-        peak_qps=10.0,
-        period_seconds=1800.0,
-        horizon_seconds=4 * 1800.0,
-        target_hp=0.9,
-        waiting_budget=1.0,
-        idle_budget=2.0,
-        seed=0,
+    rows = run_experiment(
+        "table1",
+        {
+            "peak_qps": 10.0,
+            "period_seconds": 1800.0,
+            "horizon_seconds": 4 * 1800.0,
+            "target_hp": 0.9,
+            "waiting_budget": 1.0,
+            "idle_budget": 2.0,
+            "seed": 0,
+        },
     )
-    rows = run_mc_accuracy_experiment(config)
     print(
         format_table(
             rows,

@@ -65,7 +65,6 @@ from .exceptions import (
     ModelNotFittedError,
     PeriodicityDetectionError,
     PlanningError,
-    ReproDeprecationWarning,
     RobustScalerError,
     SimulationError,
     TraceError,
@@ -140,7 +139,6 @@ __all__ = [
     "SimulationError",
     "PlanningError",
     "WorkloadError",
-    "ReproDeprecationWarning",
     # data types
     "ArrivalTrace",
     "QPSSeries",

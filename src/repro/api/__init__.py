@@ -28,7 +28,6 @@ Quickstart::
 """
 
 from ..simulation.runner import DEFAULT_ENGINE, resolve_engine
-from .compat import run_legacy_config, warn_deprecated_config
 from .registry import (
     ExperimentSpec,
     ParamSpec,
@@ -63,6 +62,4 @@ __all__ = [
     "register_experiment",
     "resolve_engine",
     "run_experiment",
-    "run_legacy_config",
-    "warn_deprecated_config",
 ]

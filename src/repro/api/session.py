@@ -233,6 +233,23 @@ class ResultSet:
             writer.writerows(self.rows)
         return target
 
+    def to_dataframe(self):
+        """The rows as a :class:`pandas.DataFrame` (requires pandas).
+
+        Ragged row sets become NaN cells, mirroring :meth:`to_csv`'s empty
+        cells.  pandas is an optional dependency — it is only imported
+        here, so every other part of the package works without it.
+        """
+        try:
+            import pandas
+        except ImportError as exc:
+            raise ImportError(
+                "ResultSet.to_dataframe() requires pandas, which is not "
+                "installed; use to_csv()/to_columns()/to_dicts() instead, "
+                "or install pandas."
+            ) from exc
+        return pandas.DataFrame(self.rows, columns=self.columns)
+
 
 def _scenario_digest(workload_keys: Sequence) -> str | None:
     if not workload_keys:

@@ -66,12 +66,3 @@ class ExperimentError(RobustScalerError):
 
 class WorkloadError(RobustScalerError):
     """Raised by the workload-scenario subsystem (unknown scenario, bad spec)."""
-
-
-class ReproDeprecationWarning(DeprecationWarning):
-    """Category for deprecation warnings emitted by this library.
-
-    A dedicated subclass lets the test suite turn *repro-originated*
-    deprecations into errors (``filterwarnings = error::...``) without also
-    erroring on unrelated DeprecationWarnings from third-party packages.
-    """

@@ -27,62 +27,41 @@ Table IV (real environment)  ``table4``
 
 Beyond the paper, ``scenario-sweep`` runs the autoscaler comparison across
 every scenario in the workload registry (:mod:`repro.workloads`) and marks
-each scenario's cost/QoS Pareto frontier, and the three ablations
+each scenario's cost/QoS Pareto frontier; ``adversarial`` searches each
+policy's worst-case workload; ``fleet`` co-simulates an N-tenant fleet over
+shared capacity pools (:mod:`repro.fleet`); and the three ablations
 (``kappa-ablation`` / ``mc-sample-ablation`` /
 ``regularization-sensitivity``) probe the design choices of DESIGN.md.
-
-The historical ``run_*_experiment(config)`` entry points and their config
-dataclasses remain importable as deprecated wrappers over the registry for
-one release; they produce rows bit-identical to the new path.
 """
 
 from .base import PreparedWorkload, prepare_workload, sweep_targets
 from .traces_overview import run_traces_overview
-from .pareto import ParetoExperimentConfig, run_pareto_experiment
-from .variance import run_variance_experiment
-from .perturbation import run_perturbation_experiment
-from .scalability import run_mc_accuracy_experiment, run_scalability_experiment
-from .robustness import run_robustness_experiment
-from .control_accuracy import (
-    run_control_accuracy_experiment,
-    run_planning_frequency_experiment,
-)
-from .regularization import run_regularization_experiment
-from .realenv import run_realenv_experiment
+from . import pareto as _pareto  # registers "pareto"
+from . import variance as _variance  # registers "variance"
+from . import perturbation as _perturbation  # registers "perturbation"
+from . import scalability as _scalability  # registers "scalability", "table1"
+from . import robustness as _robustness  # registers "robustness"
+from . import control_accuracy as _control  # registers "control", "planning-frequency"
+from . import regularization as _regularization  # registers "table3"
+from . import realenv as _realenv  # registers "table4"
+from . import ablation as _ablation  # registers the three ablations
+from .pareto import run_single_trace_pareto
 from .scenario_sweep import (
-    ScenarioSweepConfig,
-    run_scenario_sweep_experiment,
+    build_scenario_sweep_tasks,
     summarize_scenario_sweep,
 )
 from .adversarial import summarize_adversarial, violation_per_dollar
-from .ablation import (
-    run_kappa_ablation,
-    run_mc_sample_ablation,
-    run_regularization_sensitivity,
-)
+from .fleet import summarize_fleet
 
 __all__ = [
     "PreparedWorkload",
     "prepare_workload",
     "sweep_targets",
     "run_traces_overview",
-    "ParetoExperimentConfig",
-    "run_pareto_experiment",
-    "run_variance_experiment",
-    "run_perturbation_experiment",
-    "run_scalability_experiment",
-    "run_mc_accuracy_experiment",
-    "run_robustness_experiment",
-    "run_control_accuracy_experiment",
-    "run_planning_frequency_experiment",
-    "run_regularization_experiment",
-    "run_realenv_experiment",
-    "ScenarioSweepConfig",
-    "run_scenario_sweep_experiment",
+    "run_single_trace_pareto",
+    "build_scenario_sweep_tasks",
     "summarize_scenario_sweep",
     "summarize_adversarial",
+    "summarize_fleet",
     "violation_per_dollar",
-    "run_kappa_ablation",
-    "run_mc_sample_ablation",
-    "run_regularization_sensitivity",
 ]

@@ -25,8 +25,6 @@ point functions stay plain, deterministic-in-their-arguments Python.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -34,8 +32,6 @@ from ..api import (
     ExperimentSpec,
     ParamSpec,
     register_experiment,
-    run_legacy_config,
-    warn_deprecated_config,
 )
 from ..api.session import RunContext
 from ..config import ADMMConfig, PlannerConfig, SimulationConfig
@@ -54,9 +50,6 @@ from ..traces.synthetic import beta_bump_intensity
 from ..types import ArrivalTrace
 
 __all__ = [
-    "run_kappa_ablation",
-    "run_mc_sample_ablation",
-    "run_regularization_sensitivity",
     "kappa_ablation_point",
     "mc_sample_point",
     "regularization_point",
@@ -172,33 +165,6 @@ register_experiment(
 )
 
 
-@dataclass
-class KappaAblationConfig:
-    """Deprecated parameter object of the ``"kappa-ablation"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    arrival_rate: float = 0.2
-    horizon_seconds: float = 2 * 3600.0
-    pending_time: float = 13.0
-    target_hp: float = 0.9
-    planning_every: int = 1
-    monte_carlo_samples: int = 1000
-    seed: int = 3
-    workers: int | None = None
-    store: object = None
-    run_id: str | None = None
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "kappa-ablation")
-
-
-def run_kappa_ablation(config: KappaAblationConfig | None = None) -> list[dict]:
-    """Kappa look-ahead ablation (deprecated wrapper over the registry)."""
-    return run_legacy_config("kappa-ablation", config)
-
 
 # ------------------------------------------------------ Monte Carlo ablation
 
@@ -298,32 +264,6 @@ register_experiment(
     )
 )
 
-
-@dataclass
-class MCSampleAblationConfig:
-    """Deprecated parameter object of the ``"mc-sample-ablation"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    arrival_rate: float = 1.0
-    pending_time: float = 5.0
-    target_hp: float = 0.9
-    sample_sizes: Sequence[int] = (50, 200, 1000, 5000)
-    n_trials: int = 20
-    seed: int = 0
-    workers: int | None = None
-    store: object = None
-    run_id: str | None = None
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "mc-sample-ablation")
-
-
-def run_mc_sample_ablation(config: MCSampleAblationConfig | None = None) -> list[dict]:
-    """Monte Carlo sample-size ablation (deprecated wrapper over the registry)."""
-    return run_legacy_config("mc-sample-ablation", config)
 
 
 # ------------------------------------------- regularization sensitivity grid
@@ -435,34 +375,3 @@ register_experiment(
     )
 )
 
-
-@dataclass
-class RegularizationSensitivityConfig:
-    """Deprecated parameter object of ``"regularization-sensitivity"``.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    period_seconds: float = 7200.0
-    n_periods: int = 6
-    bin_seconds: float = 60.0
-    peak_qps: float = 1.0
-    base_qps: float = 0.1
-    beta_smooth_values: Sequence[float] = (0.0, 10.0, 50.0, 200.0)
-    beta_period_values: Sequence[float] = (0.0, 10.0, 100.0)
-    seed: int = 0
-    max_iterations: int = 200
-    workers: int | None = None
-    store: object = None
-    run_id: str | None = None
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "regularization-sensitivity")
-
-
-def run_regularization_sensitivity(
-    config: RegularizationSensitivityConfig | None = None,
-) -> list[dict]:
-    """Regularization sensitivity grid (deprecated wrapper over the registry)."""
-    return run_legacy_config("regularization-sensitivity", config)

@@ -17,26 +17,16 @@ from the executor's named extra metrics (``waiting_avg`` / ``idle_avg``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
-
 from ..api import (
     ExperimentSpec,
     ParamSpec,
     register_experiment,
-    run_legacy_config,
-    warn_deprecated_config,
 )
 from ..api.session import RunContext
 from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec
 from .base import robustscaler_spec, trace_defaults
 
-__all__ = [
-    "ControlAccuracyExperimentConfig",
-    "PlanningFrequencyExperimentConfig",
-    "run_control_accuracy_experiment",
-    "run_planning_frequency_experiment",
-]
+__all__: list[str] = []
 
 #: Panel name -> row column holding the delivered ("actual") value.
 _PANEL_ACTUALS = {
@@ -213,63 +203,3 @@ register_experiment(
 )
 
 
-@dataclass
-class ControlAccuracyExperimentConfig:
-    """Deprecated parameter object of the ``"control"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    trace_name: str = "crs"
-    scale: float = 0.25
-    seed: int = 7
-    hp_targets: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 0.95)
-    waiting_budgets: Sequence[float] = (1.0, 3.0, 6.0, 10.0, 13.0)
-    idle_budgets: Sequence[float] = (2.0, 5.0, 10.0, 20.0, 40.0)
-    planning_interval: float = 2.0
-    monte_carlo_samples: int = 400
-    workers: int | None = None
-    engine: str | None = None
-    store: object = None
-    run_id: str | None = None
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "control")
-
-
-def run_control_accuracy_experiment(
-    config: ControlAccuracyExperimentConfig | None = None,
-) -> list[dict]:
-    """Fig. 10 a-c control accuracy (deprecated wrapper over the registry)."""
-    return run_legacy_config("control", config)
-
-
-@dataclass
-class PlanningFrequencyExperimentConfig:
-    """Deprecated parameter object of the ``"planning-frequency"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    trace_name: str = "crs"
-    scale: float = 0.25
-    seed: int = 7
-    planning_intervals: Sequence[float] = (1.0, 5.0, 15.0, 30.0, 60.0)
-    waiting_budget: float = 3.0
-    monte_carlo_samples: int = 400
-    workers: int | None = None
-    engine: str | None = None
-    store: object = None
-    run_id: str | None = None
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "planning-frequency")
-
-
-def run_planning_frequency_experiment(
-    config: PlanningFrequencyExperimentConfig | None = None,
-) -> list[dict]:
-    """Fig. 10 d planning frequency (deprecated wrapper over the registry)."""
-    return run_legacy_config("planning-frequency", config)

@@ -1,0 +1,315 @@
+"""Fleet co-scaling experiment — N tenants on shared capacity pools.
+
+The driver composes an ``n_services``-tenant fleet from the scenario
+registry (:func:`repro.fleet.compose_fleet`), then runs the two-phase
+co-simulation:
+
+1. **Isolation** — every service replays on a bottomless pool; the rows are
+   the interference-free baselines and carry each service's per-tick demand
+   profile.
+2. **Allocation** — for every requested admission policy, each pool's
+   capacity (given, or derived as ``capacity_fraction`` of the peak
+   aggregate demand) is split into deterministic per-tick integer grants.
+3. **Contention** — every service replays again per policy with its grants
+   enforced as budgets.
+
+Both replay phases shard across the process pool via
+:func:`repro.fleet.partition_tasks` (one :class:`~repro.runtime.FunctionTask`
+per service partition), so fleets inherit journaled resume, the artifact
+store and progress streaming.  The result set interleaves three row shapes,
+keyed by ``phase``: per-service ``isolation`` baselines, per-service
+``contention`` rows (with ``isolation_*`` baselines, interference deltas
+and grant bookkeeping), and per-``(pool, policy)`` ``fleet`` aggregates
+(fleet cost, query-weighted hit rate, Jain's fairness indices,
+Pareto-frontier membership).
+
+Registered as ``"fleet"``: ``repro experiment fleet --scenario ...``.
+"""
+
+from __future__ import annotations
+
+from ..api import ExperimentSpec, ParamSpec, register_experiment
+from ..api.session import RunContext
+from ..fleet import (
+    POLICIES,
+    FleetSpec,
+    allocate_grants,
+    compose_fleet,
+    fleet_summary_rows,
+    join_fleet_rows,
+    partition_tasks,
+)
+from ..telemetry import get_recorder
+
+__all__ = ["summarize_fleet"]
+
+#: Scaler kinds :func:`repro.fleet.compose_fleet` can cycle tenants over.
+_SCALER_KINDS = ("reactive", "bp", "adapbp", "rs-hp", "rs-rt", "rs-cost")
+
+
+def _compose(params: dict) -> FleetSpec:
+    scaler_params = {
+        "pool_size": params["pool_size"],
+        "adaptive_factor": params["adaptive_factor"],
+        "target": params["target"],
+        "planning_interval": params["planning_interval"],
+        "monte_carlo_samples": params["monte_carlo_samples"],
+    }
+    return compose_fleet(
+        params["n_services"],
+        scenario_names=params["scenario_names"],
+        scaler_kinds=params["scaler_kinds"],
+        scale=params["scale"],
+        base_seed=params["seed"],
+        tick_seconds=params["tick_seconds"],
+        capacity=params["capacity"],
+        scaler_params=scaler_params,
+    )
+
+
+def _flatten(results: list[dict]) -> list[dict]:
+    """Partition results (``{"rows": [...]}`` each) into one flat row list."""
+    return [dict(row) for result in results for row in result["rows"]]
+
+
+def _pool_capacities(
+    fleet: FleetSpec, demands: dict[str, tuple[int, ...]], fraction: float
+) -> dict[str, float]:
+    """Each pool's tick capacity: declared, or derived from peak demand.
+
+    The derived capacity is ``fraction`` of the pool's peak aggregate
+    demand across ticks (at least 1), so contention pressure is comparable
+    across fleet sizes and scales without hand-tuning a constant.
+    """
+    capacities: dict[str, float] = {}
+    for pool in fleet.pools:
+        if pool.capacity is not None:
+            capacities[pool.name] = float(pool.capacity)
+            continue
+        profiles = [
+            demands[fleet.services[index].name] for index in fleet.members(pool.name)
+        ]
+        n_ticks = max((len(profile) for profile in profiles), default=0)
+        peak = max(
+            (
+                sum(profile[tick] for profile in profiles if tick < len(profile))
+                for tick in range(n_ticks)
+            ),
+            default=0,
+        )
+        capacities[pool.name] = max(1.0, float(peak) * float(fraction))
+    return capacities
+
+
+def _policy_grants(
+    fleet: FleetSpec,
+    policy: str,
+    demands: dict[str, tuple[int, ...]],
+    capacities: dict[str, float],
+) -> list[tuple[int, ...]]:
+    """Per-service grant schedules (fleet order) for one admission policy."""
+    grants: list[tuple[int, ...] | None] = [None] * len(fleet.services)
+    for pool in fleet.pools:
+        members = fleet.members(pool.name)
+        member_grants = allocate_grants(
+            policy,
+            [demands[fleet.services[index].name] for index in members],
+            capacities[pool.name],
+            [fleet.services[index].weight for index in members],
+            [fleet.services[index].priority for index in members],
+        )
+        for position, index in enumerate(members):
+            grants[index] = member_grants[position]
+    return [grant if grant is not None else () for grant in grants]
+
+
+def _run_fleet(params: dict, ctx: RunContext) -> list[dict]:
+    """Run the fleet co-simulation; isolation + contention + fleet rows."""
+    fleet = _compose(params)
+    policies = params["policies"] or POLICIES
+    store_dir = None if ctx.store is None else str(ctx.store.root)
+    recorder = ctx.recorder if ctx.recorder is not None else get_recorder()
+
+    common = dict(
+        engine=ctx.engine,
+        tick_seconds=fleet.tick_seconds,
+        base_seed=params["seed"],
+        services_per_task=params["services_per_task"],
+        store_dir=store_dir,
+    )
+    isolation_results = ctx.run_rows(
+        partition_tasks(fleet.services, phase="isolation", **common),
+        base_seed=params["seed"],
+    )
+    isolation_rows = _flatten(isolation_results)
+    demands = {
+        row["service"]: tuple(int(d) for d in row.pop("demand"))
+        for row in isolation_rows
+    }
+
+    with recorder.span("fleet.allocate"):
+        capacities = _pool_capacities(fleet, demands, params["capacity_fraction"])
+        grants_by_policy = {
+            policy: _policy_grants(fleet, policy, demands, capacities)
+            for policy in policies
+        }
+
+    contention_rows: list[dict] = []
+    for policy in policies:
+        results = ctx.run_rows(
+            partition_tasks(
+                fleet.services,
+                phase="contention",
+                policy=policy,
+                grants=grants_by_policy[policy],
+                **common,
+            ),
+            base_seed=params["seed"],
+        )
+        contention_rows.extend(_flatten(results))
+
+    grant_maps = {
+        policy: {
+            service.name: grants_by_policy[policy][index]
+            for index, service in enumerate(fleet.services)
+        }
+        for policy in policies
+    }
+    joined = join_fleet_rows(isolation_rows, contention_rows, demands, grant_maps)
+    summary = fleet_summary_rows(joined, capacities=capacities)
+
+    if recorder.enabled:
+        recorder.inc("fleet.services", len(fleet.services))
+        recorder.inc("fleet.policies", len(policies))
+        recorder.inc(
+            "fleet.ticks", sum(len(profile) for profile in demands.values())
+        )
+        recorder.inc(
+            "fleet.contended_ticks",
+            sum(int(row.get("short_ticks", 0)) for row in joined),
+        )
+        recorder.inc(
+            "fleet.demand_instances",
+            sum(sum(profile) for profile in demands.values()),
+        )
+        recorder.inc(
+            "fleet.granted_instances",
+            sum(
+                sum(sum(g) for g in grants_by_policy[policy])
+                for policy in policies
+            ),
+        )
+    return isolation_rows + joined + summary
+
+
+def summarize_fleet(rows: list[dict]) -> list[dict]:
+    """Just the fleet-level aggregate rows, in ``(pool, policy)`` order."""
+    return [row for row in rows if row.get("phase") == "fleet"]
+
+
+register_experiment(
+    ExperimentSpec(
+        name="fleet",
+        title="multi-tenant co-scaling over shared capacity pools",
+        params=(
+            ParamSpec(
+                "scenario_names",
+                "str",
+                None,
+                sequence=True,
+                cli_flag="--scenario",
+                help="registry scenarios tenants cycle over "
+                "(default: the standard fleet mix)",
+            ),
+            ParamSpec("n_services", "int", 100, help="fleet size (tenant count)"),
+            ParamSpec(
+                "scaler_kinds",
+                "str",
+                ("bp", "adapbp", "reactive"),
+                sequence=True,
+                choices=_SCALER_KINDS,
+                cli_flag="--scaler",
+                help="autoscaler kinds tenants cycle over",
+            ),
+            ParamSpec(
+                "policies",
+                "str",
+                POLICIES,
+                sequence=True,
+                choices=POLICIES,
+                cli_flag="--policy",
+                help="admission policies to contend under (default: all)",
+            ),
+            ParamSpec("scale", "float", 0.02, help="trace size factor per tenant"),
+            ParamSpec("seed", "int", 7, help="fleet composition and replay seed"),
+            ParamSpec(
+                "tick_seconds",
+                "float",
+                60.0,
+                help="contention-resolution granularity (seconds)",
+            ),
+            ParamSpec(
+                "capacity",
+                "float",
+                None,
+                help="shared pool capacity in instances per tick "
+                "(default: derived from peak demand)",
+            ),
+            ParamSpec(
+                "capacity_fraction",
+                "float",
+                0.5,
+                help="derived capacity as a fraction of peak aggregate demand",
+            ),
+            ParamSpec(
+                "services_per_task",
+                "int",
+                8,
+                help="services replayed per process-pool task",
+            ),
+            ParamSpec("pool_size", "int", 3, help="Backup Pool tenant pool size"),
+            ParamSpec(
+                "adaptive_factor",
+                "float",
+                10.0,
+                help="Adaptive Backup Pool tenant rate factor",
+            ),
+            ParamSpec(
+                "target", "float", 0.7, help="RobustScaler tenant QoS target"
+            ),
+            ParamSpec(
+                "planning_interval",
+                "float",
+                10.0,
+                help="RobustScaler tenant Delta (seconds)",
+            ),
+            ParamSpec(
+                "monte_carlo_samples",
+                "int",
+                80,
+                cli_flag="--mc-samples",
+                help="RobustScaler tenant Monte Carlo sample size",
+            ),
+        ),
+        run=_run_fleet,
+        result_columns=(
+            "service",
+            "scenario",
+            "scaler",
+            "pool",
+            "policy",
+            "phase",
+            "n_queries",
+            "hit_rate",
+            "rt_avg",
+            "relative_cost",
+            "hit_rate_delta",
+            "grant_ratio",
+            "short_ticks",
+            "jain_satisfaction",
+            "fleet_cost",
+            "on_frontier",
+        ),
+        scenario_param="scenario_names",
+    )
+)

@@ -6,29 +6,20 @@ three RobustScaler variants) and records ``hit_rate``, ``rt_avg`` and
 ``relative_cost`` for each point — exactly the data behind the six Pareto
 plots of Fig. 4.
 
-The experiment is registered as ``"pareto"`` in :mod:`repro.api`: its
-parameter schema replaces the old :class:`ParetoExperimentConfig` (kept as
-a deprecated shim), the full sweep is expressed as one :mod:`repro.runtime`
-task batch, and thanks to the registry-derived per-scenario defaults of
+The experiment is registered as ``"pareto"`` in :mod:`repro.api`: the full
+sweep is expressed as one :mod:`repro.runtime` task batch, and thanks to
+the registry-derived per-scenario defaults of
 :func:`repro.experiments.base.trace_defaults` it runs against *any*
 registered workload scenario, not just the paper's three traces.
 :func:`run_single_trace_pareto` remains the in-process variant for callers
-that already hold a prepared workload (the robustness drivers, the
-examples).
+that already hold a prepared workload (the examples).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..api import (
-    ExperimentSpec,
-    ParamSpec,
-    register_experiment,
-    run_legacy_config,
-    warn_deprecated_config,
-)
+from ..api import ExperimentSpec, ParamSpec, register_experiment
 from ..api.session import RunContext
 from ..config import SimulationConfig
 from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec
@@ -47,7 +38,7 @@ from .base import (
     trace_defaults,
 )
 
-__all__ = ["ParetoExperimentConfig", "run_pareto_experiment", "run_single_trace_pareto"]
+__all__ = ["run_single_trace_pareto"]
 
 #: Pending time (seconds) of the paper's deployment, the ``mu_tau`` the
 #: waiting-time budget grid is expressed against.
@@ -242,65 +233,39 @@ register_experiment(
 )
 
 
-@dataclass
-class ParetoExperimentConfig:
-    """Deprecated parameter object of the ``"pareto"`` experiment.
-
-    Retained for one release as a shim over the registry schema; construct
-    emits a :class:`DeprecationWarning`.  Use
-    ``repro.api.Session().experiment("pareto")`` instead.
-    """
-
-    trace_names: tuple[str, ...] = ("crs", "google", "alibaba")
-    scale: float = 0.25
-    seed: int = 7
-    planning_interval: float = 2.0
-    monte_carlo_samples: int = 400
-    hp_targets: Sequence[float] | None = None
-    rt_budgets: Sequence[float] | None = None
-    cost_budgets: Sequence[float] | None = None
-    include_rt_variant: bool = True
-    include_cost_variant: bool = True
-    pool_sizes: Sequence[int] | None = None
-    adaptive_factors: Sequence[float] | None = None
-    extra_simulation: SimulationConfig | None = field(default=None)
-    workers: int | None = None
-    engine: str | None = None
-    store: object = None
-    run_id: str | None = None
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "pareto")
-
-
-def run_pareto_experiment(config: ParetoExperimentConfig | None = None) -> list[dict]:
-    """Run the Fig. 4 sweeps (deprecated wrapper over the registry path)."""
-    return run_legacy_config("pareto", config)
-
-
 def run_single_trace_pareto(
     trace: ArrivalTrace,
     *,
     trace_key: str,
-    config: ParetoExperimentConfig | None = None,
     workload: PreparedWorkload | None = None,
+    planning_interval: float = 2.0,
+    monte_carlo_samples: int = 400,
+    hp_targets: Sequence[float] | None = None,
+    rt_budgets: Sequence[float] | None = None,
+    cost_budgets: Sequence[float] | None = None,
+    pool_sizes: Sequence[int] | None = None,
+    adaptive_factors: Sequence[float] | None = None,
+    include_rt_variant: bool = True,
+    include_cost_variant: bool = True,
+    simulation: SimulationConfig | None = None,
+    engine: str | None = None,
 ) -> list[dict]:
-    """Run the Fig. 4 sweeps for one trace (reused by the robustness drivers).
+    """Run the Fig. 4 sweeps for one trace, in process.
 
-    Unlike the registry experiment this evaluates in-process against a
-    concrete (possibly caller-prepared) workload, which is what the
-    robustness/perturbation-style drivers need for their modified traces.
+    Unlike the registry experiment this evaluates against a concrete
+    (possibly caller-prepared) workload, which is what callers holding
+    modified traces need.
     """
     params = {
-        "planning_interval": config.planning_interval if config else 2.0,
-        "monte_carlo_samples": config.monte_carlo_samples if config else 400,
-        "hp_targets": config.hp_targets if config else None,
-        "rt_budgets": config.rt_budgets if config else None,
-        "cost_budgets": config.cost_budgets if config else None,
-        "pool_sizes": config.pool_sizes if config else None,
-        "adaptive_factors": config.adaptive_factors if config else None,
-        "include_rt_variant": config.include_rt_variant if config else True,
-        "include_cost_variant": config.include_cost_variant if config else True,
+        "planning_interval": planning_interval,
+        "monte_carlo_samples": monte_carlo_samples,
+        "hp_targets": hp_targets,
+        "rt_budgets": rt_budgets,
+        "cost_budgets": cost_budgets,
+        "pool_sizes": pool_sizes,
+        "adaptive_factors": adaptive_factors,
+        "include_rt_variant": include_rt_variant,
+        "include_cost_variant": include_cost_variant,
     }
     defaults = trace_defaults(trace_key)
     if workload is None:
@@ -308,8 +273,8 @@ def run_single_trace_pareto(
             trace,
             train_fraction=defaults["train_fraction"],
             bin_seconds=defaults["bin_seconds"],
-            simulation=config.extra_simulation if config else None,
-            engine=config.engine if config else None,
+            simulation=simulation,
+            engine=engine,
         )
     planner = default_planner(
         params["planning_interval"], params["monte_carlo_samples"]

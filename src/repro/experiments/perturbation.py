@@ -16,15 +16,10 @@ cache) and the sweep points parallelize with ``workers`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
-
 from ..api import (
     ExperimentSpec,
     ParamSpec,
     register_experiment,
-    run_legacy_config,
-    warn_deprecated_config,
 )
 from ..api.session import RunContext
 from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec
@@ -33,7 +28,7 @@ from ..traces.perturbation import perturb_trace
 from ..workloads import get_scenario
 from .base import trace_defaults
 
-__all__ = ["PerturbationExperimentConfig", "run_perturbation_experiment"]
+__all__: list[str] = []
 
 
 def _run_perturbation(params: dict, ctx: RunContext) -> list[dict]:
@@ -138,34 +133,3 @@ register_experiment(
     )
 )
 
-
-@dataclass
-class PerturbationExperimentConfig:
-    """Deprecated parameter object of the ``"perturbation"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    trace_name: str = "crs"
-    scale: float = 0.25
-    seed: int = 7
-    perturbation_sizes: Sequence[float] = (1.0, 2.0, 4.0, 6.0)
-    hp_targets: Sequence[float] = (0.3, 0.6, 0.9)
-    adaptive_factors: Sequence[float] = (25.0, 50.0, 100.0)
-    planning_interval: float = 2.0
-    monte_carlo_samples: int = 400
-    workers: int | None = None
-    engine: str | None = None
-    store: object = None
-    run_id: str | None = None
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "perturbation")
-
-
-def run_perturbation_experiment(
-    config: PerturbationExperimentConfig | None = None,
-) -> list[dict]:
-    """Figs. 6-7 perturbation study (deprecated wrapper over the registry)."""
-    return run_legacy_config("perturbation", config)

@@ -18,14 +18,10 @@ are intentionally not bit-reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..api import (
     ExperimentSpec,
     ParamSpec,
     register_experiment,
-    run_legacy_config,
-    warn_deprecated_config,
 )
 from ..api.session import RunContext
 from ..config import SimulationConfig
@@ -39,7 +35,7 @@ from .base import (
     trace_defaults,
 )
 
-__all__ = ["RealEnvExperimentConfig", "run_realenv_experiment"]
+__all__: list[str] = []
 
 
 def _run_realenv(params: dict, ctx: RunContext) -> list[dict]:
@@ -143,28 +139,3 @@ register_experiment(
     )
 )
 
-
-@dataclass
-class RealEnvExperimentConfig:
-    """Deprecated parameter object of the ``"table4"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    trace_name: str = "crs"
-    scale: float = 0.25
-    seed: int = 7
-    target_hp: float = 0.9
-    planning_interval: float = 2.0
-    monte_carlo_samples: int = 400
-    scheduling_latency: float = 1.0
-    pending_time_jitter: float = 2.0
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "table4")
-
-
-def run_realenv_experiment(config: RealEnvExperimentConfig | None = None) -> list[dict]:
-    """Table IV environment comparison (deprecated wrapper over the registry)."""
-    return run_legacy_config("table4", config)

@@ -12,7 +12,6 @@ replay, no engine, no runtime executor).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -20,8 +19,6 @@ from ..api import (
     ExperimentSpec,
     ParamSpec,
     register_experiment,
-    run_legacy_config,
-    warn_deprecated_config,
 )
 from ..api.session import RunContext
 from ..config import ADMMConfig
@@ -32,7 +29,7 @@ from ..nhpp.sampling import sample_counts
 from ..traces.synthetic import beta_bump_intensity
 from ..nhpp.intensity import PiecewiseConstantIntensity
 
-__all__ = ["RegularizationExperimentConfig", "run_regularization_experiment"]
+__all__: list[str] = []
 
 
 def _run_regularization(params: dict, ctx: RunContext) -> list[dict]:
@@ -126,32 +123,3 @@ register_experiment(
     )
 )
 
-
-@dataclass
-class RegularizationExperimentConfig:
-    """Deprecated parameter object of the ``"table3"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    period_seconds: float = 14_400.0
-    n_periods: int = 7
-    bin_seconds: float = 60.0
-    peak_qps: float = 1.0
-    base_qps: float = 0.1
-    exponent: float = 10.0
-    beta_smooth: float = 50.0
-    beta_period: float = 10.0
-    seed: int = 0
-    max_iterations: int = 300
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "table3")
-
-
-def run_regularization_experiment(
-    config: RegularizationExperimentConfig | None = None,
-) -> list[dict]:
-    """Table III regularization study (deprecated wrapper over the registry)."""
-    return run_legacy_config("table3", config)

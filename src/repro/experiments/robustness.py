@@ -23,15 +23,10 @@ and ``run_id`` journaling makes interrupted runs resumable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
-
 from ..api import (
     ExperimentSpec,
     ParamSpec,
     register_experiment,
-    run_legacy_config,
-    warn_deprecated_config,
 )
 from ..api.session import RunContext
 from ..runtime import EvalTask, PrepSpec, WorkloadSpec
@@ -39,7 +34,7 @@ from ..traces.perturbation import inject_missing_window, remove_anomalous_bursts
 from ..types import ArrivalTrace
 from .base import make_trace, robustscaler_spec, trace_defaults
 
-__all__ = ["RobustnessExperimentConfig", "run_robustness_experiment"]
+__all__: list[str] = []
 
 _DAY = 86_400.0
 
@@ -172,34 +167,3 @@ register_experiment(
     )
 )
 
-
-@dataclass
-class RobustnessExperimentConfig:
-    """Deprecated parameter object of the ``"robustness"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    scale: float = 0.25
-    seed: int = 7
-    hp_targets: Sequence[float] = (0.5, 0.9)
-    cost_budget_fractions: Sequence[float] = (0.05, 0.2)
-    planning_interval: float = 2.0
-    monte_carlo_samples: int = 400
-    include_alibaba: bool = True
-    include_crs: bool = True
-    workers: int | None = None
-    engine: str | None = None
-    store: object = None
-    run_id: str | None = None
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "robustness")
-
-
-def run_robustness_experiment(
-    config: RobustnessExperimentConfig | None = None,
-) -> list[dict]:
-    """Fig. 9 / Table II robustness study (deprecated wrapper over the registry)."""
-    return run_legacy_config("robustness", config)

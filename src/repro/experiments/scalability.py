@@ -20,8 +20,6 @@ the latter replays through whichever engine the session resolves.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -29,8 +27,6 @@ from ..api import (
     ExperimentSpec,
     ParamSpec,
     register_experiment,
-    run_legacy_config,
-    warn_deprecated_config,
 )
 from ..api.session import RunContext
 from ..config import PlannerConfig, SimulationConfig
@@ -42,12 +38,7 @@ from ..scaling.robustscaler import RobustScaler, RobustScalerObjective
 from ..simulation.runner import create_simulator
 from ..traces.synthetic import beta_bump_intensity, generate_trace_from_intensity
 
-__all__ = [
-    "ScalabilityExperimentConfig",
-    "run_scalability_experiment",
-    "MCAccuracyExperimentConfig",
-    "run_mc_accuracy_experiment",
-]
+__all__: list[str] = []
 
 
 def _run_scalability(params: dict, ctx: RunContext) -> list[dict]:
@@ -146,34 +137,6 @@ register_experiment(
     )
 )
 
-
-@dataclass
-class ScalabilityExperimentConfig:
-    """Deprecated parameter object of the ``"scalability"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    qps_levels: Sequence[float] = (0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0)
-    planning_window: float = 5.0
-    monte_carlo_samples: int = 1000
-    pending_time: float = 13.0
-    target_hp: float = 0.9
-    waiting_budget: float = 1.0
-    idle_budget: float = 2.0
-    repeats: int = 3
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "scalability")
-
-
-def run_scalability_experiment(
-    config: ScalabilityExperimentConfig | None = None,
-) -> list[dict]:
-    """Fig. 8 runtime-vs-QPS (deprecated wrapper over the registry)."""
-    return run_legacy_config("scalability", config)
 
 
 def _bump_intensity(params: dict) -> PiecewiseConstantIntensity:
@@ -315,38 +278,3 @@ register_experiment(
     )
 )
 
-
-@dataclass
-class MCAccuracyExperimentConfig:
-    """Deprecated parameter object of the ``"table1"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.  (Its historical
-    ``engine`` default of ``"reference"`` is preserved; the registry path
-    defaults to the bit-identical batched engine.)
-    """
-
-    peak_qps: float = 20.0
-    base_qps: float = 0.001
-    period_seconds: float = 1800.0
-    horizon_seconds: float = 4 * 1800.0
-    train_fraction: float = 0.75
-    pending_time: float = 13.0
-    processing_time_mean: float = 20.0
-    target_hp: float = 0.9
-    waiting_budget: float = 1.0
-    idle_budget: float = 2.0
-    planning_interval: float = 5.0
-    monte_carlo_samples: int = 1000
-    seed: int = 0
-    engine: str = "reference"
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "table1")
-
-
-def run_mc_accuracy_experiment(
-    config: MCAccuracyExperimentConfig | None = None,
-) -> list[dict]:
-    """Table I Monte Carlo accuracy (deprecated wrapper over the registry)."""
-    return run_legacy_config("table1", config)

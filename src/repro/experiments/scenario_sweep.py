@@ -19,15 +19,10 @@ Monte Carlo streams, and therefore every row.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
-
 from ..api import (
     ExperimentSpec,
     ParamSpec,
     register_experiment,
-    run_legacy_config,
-    warn_deprecated_config,
 )
 from ..api.session import RunContext
 from ..exceptions import ExperimentError
@@ -39,10 +34,8 @@ from ..workloads.scenarios import Scenario
 from .base import robustscaler_spec
 
 __all__ = [
-    "ScenarioSweepConfig",
     "scenario_sweep_defaults",
     "build_scenario_sweep_tasks",
-    "run_scenario_sweep_experiment",
     "summarize_scenario_sweep",
 ]
 
@@ -332,72 +325,26 @@ register_experiment(
 )
 
 
-@dataclass
-class ScenarioSweepConfig:
-    """Deprecated parameter object of the ``"scenario-sweep"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    scenario_names: Sequence[str] | None = None
-    scale: float = 0.1
-    seed: int = 7
-    planning_interval: float = 10.0
-    monte_carlo_samples: int = 120
-    hp_targets: Sequence[float] | None = None
-    rt_budgets: Sequence[float] | None = None
-    cost_budgets: Sequence[float] | None = None
-    include_rt_variant: bool = True
-    include_cost_variant: bool = True
-    pool_sizes: Sequence[int] = (1, 4)
-    adaptive_factors: Sequence[float] = (10.0,)
-    min_test_queries: int = 8
-    registry: ScenarioRegistry | None = None
-    workers: int | None = None
-    engine: str | None = None
-    store: object = None
-    run_id: str | None = None
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "scenario-sweep")
-
-
-def run_scenario_sweep_experiment(
-    config: ScenarioSweepConfig | None = None,
-) -> list[dict]:
-    """Registry-wide autoscaler sweep (deprecated wrapper over the registry)."""
-    return run_legacy_config("scenario-sweep", config)
-
 
 def build_scenario_sweep_tasks(
-    config: ScenarioSweepConfig | None = None,
+    params: dict | None = None,
+    *,
+    engine: str | None = None,
+    store=None,
 ) -> tuple[list[EvalTask], list[dict]]:
-    """Expand a (deprecated) sweep configuration into runtime tasks.
+    """Expand sweep parameter overrides into runtime tasks.
 
-    Kept for callers that schedule the batch themselves (the runtime
-    benchmark); the registry path builds its tasks internally.
+    Kept for callers that schedule the batch themselves (the runtime and
+    store benchmarks); the registry path builds its tasks internally.
+    ``params`` are overrides over the ``scenario-sweep`` schema defaults.
     """
     from ..api import get_experiment
     from ..api.session import RunContext
     from ..simulation.runner import resolve_engine
 
     spec = get_experiment("scenario-sweep")
-    if config is None:
-        params = spec.resolve(None)
-        ctx = RunContext(engine=resolve_engine(None))
-    else:
-        params = spec.resolve(
-            {
-                p.name: getattr(config, p.name)
-                for p in spec.params
-                if hasattr(config, p.name)
-            }
-        )
-        ctx = RunContext(
-            engine=resolve_engine(config.engine), store=config.store
-        )
-    return _build_tasks(params, ctx)
+    ctx = RunContext(engine=resolve_engine(engine), store=store)
+    return _build_tasks(spec.resolve(params), ctx)
 
 
 def _mark_frontier(rows: list[dict]) -> None:

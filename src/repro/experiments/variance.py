@@ -15,15 +15,10 @@ every candidate and the replays parallelize with ``workers`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
-
 from ..api import (
     ExperimentSpec,
     ParamSpec,
     register_experiment,
-    run_legacy_config,
-    warn_deprecated_config,
 )
 from ..api.session import RunContext
 from ..runtime import EvalTask, PrepSpec, ScalerSpec, WorkloadSpec
@@ -31,7 +26,7 @@ from ..store.traces import get_or_build_trace
 from ..workloads import get_scenario
 from .base import robustscaler_spec, trace_defaults
 
-__all__ = ["VarianceExperimentConfig", "run_variance_experiment"]
+__all__: list[str] = []
 
 
 def _run_variance(params: dict, ctx: RunContext) -> list[dict]:
@@ -162,36 +157,3 @@ register_experiment(
     )
 )
 
-
-@dataclass
-class VarianceExperimentConfig:
-    """Deprecated parameter object of the ``"variance"`` experiment.
-
-    Retained for one release as a shim over the registry schema;
-    construction emits a :class:`DeprecationWarning`.
-    """
-
-    trace_name: str = "crs"
-    scale: float = 0.25
-    seed: int = 7
-    window: int = 50
-    planning_interval: float = 2.0
-    monte_carlo_samples: int = 400
-    hp_targets: Sequence[float] = (0.3, 0.6, 0.9)
-    cost_budget_fractions: Sequence[float] = (0.02, 0.1, 0.3)
-    pool_sizes: Sequence[int] = (1, 2, 4)
-    adaptive_factors: Sequence[float] = (25.0, 50.0, 100.0)
-    workers: int | None = None
-    engine: str | None = None
-    store: object = None
-    run_id: str | None = None
-
-    def __post_init__(self) -> None:
-        warn_deprecated_config(self, "variance")
-
-
-def run_variance_experiment(
-    config: VarianceExperimentConfig | None = None,
-) -> list[dict]:
-    """Fig. 5 windowed QoS variance (deprecated wrapper over the registry)."""
-    return run_legacy_config("variance", config)

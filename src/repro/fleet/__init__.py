@@ -1,0 +1,39 @@
+"""repro.fleet — multi-tenant co-scaling over shared capacity pools.
+
+A fleet is N services, each binding a registry scenario to an autoscaler
+recipe, drawing instances from shared :class:`CapacityPool` objects under a
+pluggable admission policy.  Contention is resolved deterministically at
+planning-tick granularity via a two-phase co-simulation: isolation replays
+record per-tick demand profiles, the admission policy converts them into
+integer grant schedules, and contention replays enforce the grants as
+budgets.  Both phases shard across the runtime process pool and journal
+into the store, so fleet runs resume and reproduce bit-identically.
+
+Entry points: :func:`compose_fleet` builds a fleet declaratively, the
+``fleet`` experiment in :mod:`repro.experiments.fleet` runs one end to end
+(``repro experiment fleet --scenario ...``).
+"""
+
+from .admission import POLICIES, allocate_grants, allocate_tick, jain_index
+from .metrics import fleet_summary_rows, join_fleet_rows
+from .pooled import PooledScaler
+from .runner import evaluate_partition, n_ticks_for, partition_tasks
+from .spec import DEFAULT_POOL, CapacityPool, FleetSpec, ServiceSpec, compose_fleet
+
+__all__ = [
+    "POLICIES",
+    "DEFAULT_POOL",
+    "CapacityPool",
+    "ServiceSpec",
+    "FleetSpec",
+    "PooledScaler",
+    "allocate_tick",
+    "allocate_grants",
+    "jain_index",
+    "compose_fleet",
+    "evaluate_partition",
+    "partition_tasks",
+    "n_ticks_for",
+    "join_fleet_rows",
+    "fleet_summary_rows",
+]

@@ -1,0 +1,201 @@
+"""Admission policies: deterministic per-tick allocation of pool capacity.
+
+Contention in a fleet is resolved one planning tick at a time: every tick,
+each service *requests* the number of instances its scaler wants
+outstanding (its demand profile, measured in isolation), and the pool's
+admission policy grants each service an integer allocation.  All policies
+are pure integer functions of ``(demands, capacity, weights, priorities)``
+with index-ordered tie-breaking, so serial and process-pool fleet runs —
+and any two invocations anywhere — compute bit-identical grant schedules.
+
+Policies
+--------
+``unconstrained``
+    Everyone gets what they asked for; the pool is bottomless.  This is the
+    interference-free baseline the deltas are measured against.
+``hard-cap``
+    Strict priority order (higher ``priority`` first, ties by service
+    index): each service takes ``min(demand, remaining)`` until the pool is
+    exhausted.  Low-priority tenants starve under contention — the sharpest
+    interference generator.
+``fair-share``
+    Weighted max-min fairness (progressive water-filling): capacity is
+    divided in proportion to weights, unused share spills over to services
+    that still want more, and nobody receives more than they asked for.
+    Work-conserving.
+``throttle``
+    OIT-style outstanding-instance throttling: each service is capped at
+    its static weighted quota ``capacity * w_i / sum(w)`` regardless of
+    what the others use.  Not work-conserving — spare capacity is *not*
+    redistributed, which is what makes the throttle predictable for
+    capacity planning.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ValidationError
+
+__all__ = ["POLICIES", "allocate_tick", "allocate_grants", "jain_index"]
+
+#: Every admission policy, in documentation order.
+POLICIES = ("unconstrained", "hard-cap", "fair-share", "throttle")
+
+
+def _validate(demands, capacity, weights, priorities) -> None:
+    n = len(demands)
+    if len(weights) != n or len(priorities) != n:
+        raise ValidationError(
+            f"demands/weights/priorities lengths disagree: "
+            f"{n}/{len(weights)}/{len(priorities)}"
+        )
+    if any(d < 0 for d in demands):
+        raise ValidationError(f"demands must be non-negative, got {list(demands)}")
+    if any(not w > 0 for w in weights):
+        raise ValidationError(f"weights must be positive, got {list(weights)}")
+    if capacity is not None and capacity < 0:
+        raise ValidationError(f"capacity must be non-negative, got {capacity}")
+
+
+def _water_fill(demands, capacity, weights) -> list[float]:
+    """Continuous weighted max-min allocation (before integerization).
+
+    Progressive filling: every unsatisfied service receives capacity in
+    proportion to its weight; services whose demand is met drop out and
+    their share spills to the rest.  Terminates in at most ``n`` rounds.
+    """
+    n = len(demands)
+    alloc = [0.0] * n
+    active = [i for i in range(n) if demands[i] > 0]
+    remaining = float(capacity)
+    while active and remaining > 1e-12:
+        total_weight = sum(weights[i] for i in active)
+        level = remaining / total_weight
+        satisfied = [i for i in active if demands[i] - alloc[i] <= level * weights[i]]
+        if not satisfied:
+            for i in active:
+                alloc[i] += level * weights[i]
+            remaining = 0.0
+            break
+        for i in satisfied:
+            remaining -= demands[i] - alloc[i]
+            alloc[i] = float(demands[i])
+        active = [i for i in active if i not in set(satisfied)]
+    return alloc
+
+
+def _integerize(alloc, demands, capacity) -> list[int]:
+    """Round a continuous allocation down and deal out the leftover units.
+
+    Floors first, then assigns the remaining whole units largest-fractional-
+    remainder first (ties by service index) without exceeding any service's
+    demand or the pool capacity — a deterministic largest-remainder method.
+    """
+    grants = [min(int(math.floor(a + 1e-9)), int(d)) for a, d in zip(alloc, demands)]
+    budget = int(math.floor(capacity + 1e-9))
+    leftover = min(budget, sum(int(d) for d in demands)) - sum(grants)
+    if leftover > 0:
+        remainders = sorted(
+            (i for i in range(len(alloc)) if grants[i] < int(demands[i])),
+            key=lambda i: (-(alloc[i] - math.floor(alloc[i] + 1e-9)), i),
+        )
+        for i in remainders:
+            if leftover <= 0:
+                break
+            grants[i] += 1
+            leftover -= 1
+    return grants
+
+
+def allocate_tick(
+    policy: str,
+    demands,
+    capacity: float | None,
+    weights,
+    priorities,
+) -> list[int]:
+    """Grant each service an integer instance budget for one tick.
+
+    ``demands`` are integer instance counts (per-tick peak outstanding
+    requests); the returned grants satisfy ``0 <= grant_i <= demand_i``
+    and, for every constrained policy, ``sum(grants) <= floor(capacity)``.
+    """
+    demands = [int(d) for d in demands]
+    _validate(demands, capacity, weights, priorities)
+    if policy == "unconstrained" or capacity is None:
+        if policy not in POLICIES:
+            raise ValidationError(
+                f"unknown admission policy {policy!r}; expected one of "
+                f"{sorted(POLICIES)}"
+            )
+        return list(demands)
+    budget = int(math.floor(capacity + 1e-9))
+    if policy == "hard-cap":
+        grants = [0] * len(demands)
+        order = sorted(range(len(demands)), key=lambda i: (-priorities[i], i))
+        remaining = budget
+        for i in order:
+            take = min(demands[i], remaining)
+            grants[i] = take
+            remaining -= take
+        return grants
+    if policy == "fair-share":
+        alloc = _water_fill(demands, budget, weights)
+        return _integerize(alloc, demands, budget)
+    if policy == "throttle":
+        total_weight = sum(weights)
+        return [
+            min(d, int(math.floor(budget * w / total_weight + 1e-9)))
+            for d, w in zip(demands, weights)
+        ]
+    raise ValidationError(
+        f"unknown admission policy {policy!r}; expected one of {sorted(POLICIES)}"
+    )
+
+
+def allocate_grants(
+    policy: str,
+    demands,
+    capacity: float | None,
+    weights,
+    priorities,
+) -> list[tuple[int, ...]]:
+    """Resolve a whole run: per-service grant schedules over all ticks.
+
+    ``demands`` is one integer sequence per service; sequences may have
+    different lengths (services with shorter horizons simply stop bidding).
+    Returns one grant tuple per service, of the same length as its demand
+    sequence.
+    """
+    n_ticks = max((len(d) for d in demands), default=0)
+    grants: list[list[int]] = [[] for _ in demands]
+    for tick in range(n_ticks):
+        live = [i for i in range(len(demands)) if tick < len(demands[i])]
+        tick_demands = [int(demands[i][tick]) for i in live]
+        tick_grants = allocate_tick(
+            policy,
+            tick_demands,
+            capacity,
+            [weights[i] for i in live],
+            [priorities[i] for i in live],
+        )
+        for position, i in enumerate(live):
+            grants[i].append(tick_grants[position])
+    return [tuple(g) for g in grants]
+
+
+def jain_index(values) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` over ``values``.
+
+    1.0 means perfectly even; ``1/n`` means one party holds everything.
+    Empty or all-zero inputs report 1.0 (nothing was allocated unevenly).
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return 1.0
+    square_sum = sum(v * v for v in values)
+    if square_sum <= 0.0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)

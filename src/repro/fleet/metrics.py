@@ -1,0 +1,134 @@
+"""Fleet metrics: interference deltas, fairness indices, fleet aggregates.
+
+The runner produces raw per-service rows for the isolation phase and for
+each admission policy; this module joins them into the fleet result schema:
+
+* every contention row gains its isolation baseline (``isolation_*``
+  columns) and the **interference deltas** — ``hit_rate_delta`` (baseline
+  minus contended; positive means the shared pool cost the tenant QoS),
+  ``rt_delta`` and ``cost_delta``;
+* grant bookkeeping joins from the allocator: total demand, total granted,
+  the grant ratio, and how many ticks the pool left the tenant short;
+* per ``(policy, pool)`` one **fleet row** aggregates cost and QoS,
+  carries Jain's fairness index over the tenants' grant satisfaction
+  ratios, and is marked ``on_frontier`` when it sits on the policy-level
+  cost/QoS Pareto frontier of its pool.
+"""
+
+from __future__ import annotations
+
+from ..metrics.pareto import ParetoPoint, pareto_frontier
+from .admission import jain_index
+
+__all__ = ["join_fleet_rows", "fleet_summary_rows"]
+
+#: Metric columns copied from the isolation baseline into contention rows.
+_BASELINE_COLUMNS = ("hit_rate", "rt_avg", "total_cost", "relative_cost")
+
+
+def join_fleet_rows(
+    isolation_rows: list[dict],
+    contention_rows: list[dict],
+    demands: dict[str, tuple[int, ...]],
+    grants: dict[str, dict[str, tuple[int, ...]]],
+) -> list[dict]:
+    """Attach baselines, deltas and grant bookkeeping to contention rows.
+
+    ``demands`` maps service name to its per-tick demand profile;
+    ``grants`` maps policy name to a per-service grant-schedule mapping.
+    Rows are mutated copies — the inputs stay untouched.
+    """
+    baselines = {row["service"]: row for row in isolation_rows}
+    joined = []
+    for row in contention_rows:
+        row = dict(row)
+        service = row["service"]
+        baseline = baselines[service]
+        for column in _BASELINE_COLUMNS:
+            if column in baseline:
+                row[f"isolation_{column}"] = baseline[column]
+        row["hit_rate_delta"] = baseline["hit_rate"] - row["hit_rate"]
+        row["rt_delta"] = row["rt_avg"] - baseline["rt_avg"]
+        row["cost_delta"] = row["total_cost"] - baseline["total_cost"]
+        demand = demands.get(service, ())
+        grant = grants.get(row["policy"], {}).get(service, ())
+        row["demand_total"] = int(sum(demand))
+        row["granted_total"] = int(sum(grant))
+        row["grant_ratio"] = (
+            row["granted_total"] / row["demand_total"]
+            if row["demand_total"] > 0
+            else 1.0
+        )
+        row["short_ticks"] = sum(
+            1 for d, g in zip(demand, grant) if g < d
+        )
+        joined.append(row)
+    return joined
+
+
+def _satisfaction(row: dict) -> float:
+    """A tenant's grant satisfaction (1.0 when it demanded nothing)."""
+    return float(row["grant_ratio"])
+
+
+def fleet_summary_rows(
+    joined_rows: list[dict],
+    *,
+    capacities: dict[str, float | None],
+) -> list[dict]:
+    """One aggregate row per ``(policy, pool)``, Pareto-marked per pool.
+
+    The fleet QoS coordinate is the query-weighted hit rate; the cost
+    coordinate is the summed total cost.  ``jain_satisfaction`` is Jain's
+    index over tenant grant ratios, ``jain_qos`` over tenant hit rates;
+    ``worst_hit_rate_delta`` names the most-starved tenant's QoS loss.
+    """
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for row in joined_rows:
+        groups.setdefault((row["pool"], row["policy"]), []).append(row)
+    summary = []
+    for (pool, policy), rows in sorted(groups.items()):
+        queries = sum(float(r["n_queries"]) for r in rows)
+        hit_rate = (
+            sum(float(r["hit_rate"]) * float(r["n_queries"]) for r in rows) / queries
+            if queries > 0
+            else 0.0
+        )
+        fleet_cost = sum(float(r["total_cost"]) for r in rows)
+        summary.append(
+            {
+                "service": "*fleet*",
+                "scenario": "-",
+                "scaler": "-",
+                "pool": pool,
+                "phase": "fleet",
+                "policy": policy,
+                "capacity": capacities.get(pool),
+                "n_services": len(rows),
+                "n_queries": queries,
+                "hit_rate": hit_rate,
+                "fleet_cost": fleet_cost,
+                "jain_satisfaction": jain_index(
+                    [_satisfaction(r) for r in rows]
+                ),
+                "jain_qos": jain_index([float(r["hit_rate"]) for r in rows]),
+                "worst_hit_rate_delta": max(
+                    (float(r["hit_rate_delta"]) for r in rows), default=0.0
+                ),
+                "denied_actions": sum(int(r.get("denied_actions", 0)) for r in rows),
+                "short_ticks": sum(int(r.get("short_ticks", 0)) for r in rows),
+            }
+        )
+    # Pareto-mark policies within each pool: low fleet cost, high hit rate.
+    by_pool: dict[str, list[dict]] = {}
+    for row in summary:
+        by_pool.setdefault(row["pool"], []).append(row)
+    for rows in by_pool.values():
+        points = [
+            ParetoPoint(cost=row["fleet_cost"], qos=row["hit_rate"], label=row["policy"])
+            for row in rows
+        ]
+        frontier = {point.label for point in pareto_frontier(points)}
+        for row in rows:
+            row["on_frontier"] = row["policy"] in frontier
+    return summary

@@ -1,0 +1,121 @@
+"""The pool adapter: one autoscaler observed or budgeted at tick granularity.
+
+:class:`PooledScaler` wraps an inner policy and mediates its access to the
+shared capacity pool without changing the policy itself.  It operates in
+one of two modes:
+
+* **record** (``budgets=None``) — every hook passes through unchanged and
+  the adapter records, per fleet tick, the peak number of instances the
+  inner policy wanted outstanding (created-but-unassigned + scheduled +
+  freshly issued creations).  This is the service's *demand profile*: the
+  replay is bit-identical to running the inner policy bare, because no
+  response is ever modified.
+* **cap** (``budgets=`` a per-tick integer schedule) — responses are
+  admitted against the tick's budget: creation actions that would push the
+  policy's outstanding instances above the budget are dropped (earliest
+  actions in the response are kept, deterministically).  Reactive cold
+  starts are never blocked — the pool caps *proactive* capacity, so a
+  throttled tenant degrades in QoS (cold starts, waiting) rather than
+  dropping queries, exactly the interference mode a shared serverless
+  platform exhibits.
+
+The adapter observes every hook (it reports ``reacts_to_arrivals=True`` and
+declares a planning interval even for tick-less inner policies), which opts
+the replay out of the batched engine's passive/kernel fast paths; engine
+parity guarantees the outcomes are unchanged, only the replay speed.
+"""
+
+from __future__ import annotations
+
+from ..scaling.base import Autoscaler, PlanningContext, ScalingResponse
+
+__all__ = ["PooledScaler"]
+
+
+class PooledScaler(Autoscaler):
+    """Demand-recording / budget-enforcing adapter around ``inner``."""
+
+    reacts_to_arrivals = True
+
+    def __init__(
+        self,
+        inner: Autoscaler,
+        tick_seconds: float,
+        budgets: tuple[int, ...] | None = None,
+    ) -> None:
+        self.inner = inner
+        self.tick_seconds = float(tick_seconds)
+        self.budgets = None if budgets is None else tuple(int(b) for b in budgets)
+        #: Per-tick peak requested outstanding instances (record mode).
+        self.demand: dict[int, int] = {}
+        #: Creation actions dropped by the budget (cap mode).
+        self.denied = 0
+        #: Ticks in which at least one action was denied (cap mode).
+        self.throttled_ticks: set[int] = set()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    @property
+    def planning_interval(self) -> float | None:
+        # Inherit the inner cadence; tick-less policies get the fleet tick
+        # so the adapter still observes pool state at tick granularity (the
+        # inner policy sees only no-op base-class ticks, which cannot change
+        # its decisions).
+        return self.inner.planning_interval or self.tick_seconds
+
+    def _tick(self, time: float) -> int:
+        return int(time // self.tick_seconds)
+
+    def _admit(
+        self, context: PlanningContext, response: ScalingResponse | None
+    ) -> ScalingResponse:
+        if response is None:
+            response = ScalingResponse.empty()
+        cancels = min(response.cancel_scheduled, context.scheduled_creations)
+        scale_in = min(response.scale_in, context.created_unassigned)
+        outstanding = (
+            context.created_unassigned
+            + context.scheduled_creations
+            - cancels
+            - scale_in
+        )
+        tick = self._tick(context.time)
+        if self.budgets is None:
+            requested = outstanding + len(response.actions)
+            if requested > self.demand.get(tick, 0):
+                self.demand[tick] = requested
+            return response
+        budget = self.budgets[min(tick, len(self.budgets) - 1)] if self.budgets else 0
+        allowed = max(0, budget - outstanding)
+        if len(response.actions) > allowed:
+            self.denied += len(response.actions) - allowed
+            self.throttled_ticks.add(tick)
+            response = ScalingResponse(
+                actions=list(response.actions)[:allowed],
+                cancel_scheduled=response.cancel_scheduled,
+                scale_in=response.scale_in,
+            )
+        return response
+
+    # ------------------------------------------------------------- hooks
+
+    def initialize(self, context: PlanningContext) -> ScalingResponse:
+        return self._admit(context, self.inner.initialize(context))
+
+    def on_query_arrival(self, context: PlanningContext) -> ScalingResponse:
+        return self._admit(context, self.inner.on_query_arrival(context))
+
+    def on_planning_tick(self, context: PlanningContext) -> ScalingResponse:
+        return self._admit(context, self.inner.on_planning_tick(context))
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.demand = {}
+        self.denied = 0
+        self.throttled_ticks = set()
+
+    def demand_profile(self, n_ticks: int) -> tuple[int, ...]:
+        """The recorded per-tick demand as a dense tuple of length ``n_ticks``."""
+        return tuple(self.demand.get(tick, 0) for tick in range(int(n_ticks)))

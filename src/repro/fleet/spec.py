@@ -1,0 +1,215 @@
+"""Fleet declarations: services, capacity pools, and the fleet itself.
+
+A :class:`FleetSpec` is plain picklable data describing a multi-tenant
+deployment: N :class:`ServiceSpec` tenants — each binding a registry
+scenario to an autoscaler recipe with a weight and a priority — drawing
+instances from named :class:`CapacityPool` objects.  The specs carry no
+live objects (no traces, no fitted models), so a fleet travels to process
+pool workers exactly like the runtime's task specs do, and its ``repr`` is
+deterministic — which is what lets fleet tasks participate in the
+content-digested run journal.
+
+Contention semantics live elsewhere: :mod:`repro.fleet.admission` resolves
+per-tick allocations and :mod:`repro.fleet.runner` replays services under
+them.  This module is only the *description* layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ValidationError
+from ..runtime.spec import ScalerSpec
+
+__all__ = ["CapacityPool", "ServiceSpec", "FleetSpec", "compose_fleet"]
+
+#: The pool services belong to when they do not name one explicitly.
+DEFAULT_POOL = "default"
+
+
+@dataclass(frozen=True)
+class CapacityPool:
+    """One shared instance pool with an admission policy.
+
+    Attributes
+    ----------
+    name:
+        Pool identifier services reference via ``ServiceSpec.pool``.
+    capacity:
+        Maximum instances the pool grants per planning tick, fleet-wide.
+        ``None`` means "derived": the fleet runner sizes the pool as a
+        fraction of the peak aggregate demand observed in isolation.
+    policy:
+        Admission policy resolving per-tick contention; one of
+        :data:`repro.fleet.admission.POLICIES`.
+    """
+
+    name: str = DEFAULT_POOL
+    capacity: float | None = None
+    policy: str = "fair-share"
+
+    def __post_init__(self) -> None:
+        from .admission import POLICIES
+
+        if not self.name:
+            raise ValidationError("CapacityPool requires a non-empty name")
+        if self.capacity is not None and not float(self.capacity) >= 1.0:
+            raise ValidationError(
+                f"pool capacity must be >= 1 (or None for derived), "
+                f"got {self.capacity}"
+            )
+        if self.policy not in POLICIES:
+            raise ValidationError(
+                f"unknown admission policy {self.policy!r}; expected one of "
+                f"{sorted(POLICIES)}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One tenant: a scenario realization scaled by one autoscaler.
+
+    ``weight`` biases the fair-share and throttle policies toward this
+    tenant; ``priority`` orders tenants under the hard-cap policy (higher
+    wins).  ``seed`` selects the trace realization, so two services on the
+    same scenario still see independent arrival processes.
+    """
+
+    name: str
+    scenario: str
+    scaler: ScalerSpec
+    scale: float = 1.0
+    seed: int | None = None
+    weight: float = 1.0
+    priority: int = 0
+    pool: str = DEFAULT_POOL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("ServiceSpec requires a non-empty name")
+        if not self.scenario:
+            raise ValidationError(f"service {self.name!r} requires a scenario")
+        if not float(self.scale) > 0:
+            raise ValidationError(
+                f"service {self.name!r}: scale must be positive, got {self.scale}"
+            )
+        if not float(self.weight) > 0:
+            raise ValidationError(
+                f"service {self.name!r}: weight must be positive, got {self.weight}"
+            )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """N services drawing from shared capacity pools at one tick granularity.
+
+    ``tick_seconds`` is the contention-resolution granularity: demand is
+    profiled, capacity allocated, and budgets enforced per
+    ``tick_seconds``-wide window of simulation time, uniformly across the
+    fleet (independent of each scaler's own planning cadence).
+    """
+
+    services: tuple[ServiceSpec, ...]
+    pools: tuple[CapacityPool, ...] = (CapacityPool(),)
+    tick_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.services:
+            raise ValidationError("FleetSpec requires at least one service")
+        if not float(self.tick_seconds) > 0:
+            raise ValidationError(
+                f"tick_seconds must be positive, got {self.tick_seconds}"
+            )
+        names = [service.name for service in self.services]
+        if len(set(names)) != len(names):
+            raise ValidationError("service names must be unique within a fleet")
+        pool_names = [pool.name for pool in self.pools]
+        if len(set(pool_names)) != len(pool_names):
+            raise ValidationError("pool names must be unique within a fleet")
+        known = set(pool_names)
+        for service in self.services:
+            if service.pool not in known:
+                raise ValidationError(
+                    f"service {service.name!r} references unknown pool "
+                    f"{service.pool!r}"
+                )
+
+    def pool(self, name: str) -> CapacityPool:
+        """The pool declared under ``name``."""
+        for pool in self.pools:
+            if pool.name == name:
+                return pool
+        raise ValidationError(f"unknown pool {name!r}")
+
+    def members(self, pool_name: str) -> tuple[int, ...]:
+        """Indices (into :attr:`services`) of the pool's member services."""
+        return tuple(
+            index
+            for index, service in enumerate(self.services)
+            if service.pool == pool_name
+        )
+
+
+def _scaler_for(kind: str, params: dict) -> ScalerSpec:
+    """The ScalerSpec one fleet-composition scaler kind denotes."""
+    if kind == "reactive":
+        return ScalerSpec("reactive")
+    if kind == "bp":
+        return ScalerSpec("bp", int(params.get("pool_size", 3)))
+    if kind == "adapbp":
+        return ScalerSpec("adapbp", float(params.get("adaptive_factor", 10.0)))
+    if kind in ("rs-hp", "rs-rt", "rs-cost"):
+        return ScalerSpec(
+            kind,
+            float(params["target"]),
+            planning_interval=float(params.get("planning_interval", 10.0)),
+            monte_carlo_samples=int(params.get("monte_carlo_samples", 80)),
+        )
+    raise ValidationError(f"unknown fleet scaler kind {kind!r}")
+
+
+def compose_fleet(
+    n_services: int,
+    *,
+    scenario_names=None,
+    scaler_kinds=("bp", "adapbp", "reactive"),
+    scale: float = 1.0,
+    base_seed: int = 7,
+    tick_seconds: float = 60.0,
+    capacity: float | None = None,
+    policy: str = "fair-share",
+    scaler_params: dict | None = None,
+) -> FleetSpec:
+    """Build a deterministic N-service fleet over one shared pool.
+
+    Tenant identities come from :func:`repro.workloads.mixes.tenant_mix`
+    (scenario / seed / weight / priority cycling); scaler kinds are cycled
+    independently so every (scenario, scaler) combination appears.
+    ``scaler_params`` supplies the per-kind knobs (``pool_size``,
+    ``adaptive_factor``, ``target``, ``planning_interval``,
+    ``monte_carlo_samples``).
+    """
+    from ..workloads.mixes import tenant_mix
+
+    kinds = tuple(scaler_kinds)
+    if not kinds:
+        raise ValidationError("compose_fleet requires at least one scaler kind")
+    params = dict(scaler_params or {})
+    tenants = tenant_mix(n_services, scenario_names, base_seed=base_seed)
+    services = tuple(
+        ServiceSpec(
+            name=tenant["name"],
+            scenario=tenant["scenario"],
+            scaler=_scaler_for(kinds[index % len(kinds)], params),
+            scale=float(scale),
+            seed=tenant["seed"],
+            weight=tenant["weight"],
+            priority=tenant["priority"],
+        )
+        for index, tenant in enumerate(tenants)
+    )
+    return FleetSpec(
+        services=services,
+        pools=(CapacityPool(capacity=capacity, policy=policy),),
+        tick_seconds=tick_seconds,
+    )

@@ -104,15 +104,15 @@ class PrepSpec:
     def _key(self, scenario=None) -> tuple:
         resolved = self.resolve(scenario)
         # Key by the *effective* engine, not the raw override: engine=None
-        # defers to the simulation config (default "reference"), so e.g.
-        # `simulate` (explicit "reference") and the experiment drivers
+        # defers to the simulation config (default "batched"), so e.g.
+        # `simulate` (explicit "batched") and the experiment drivers
         # (None) must address the same prepared-workload artifact.
         engine = resolved["engine"]
         if engine is None:
             simulation = resolved["simulation"]
             engine = (
                 simulation.engine if simulation is not None else None
-            ) or "reference"
+            ) or "batched"
         return (
             resolved["train_fraction"],
             resolved["bin_seconds"],

@@ -29,7 +29,7 @@ from ..nhpp.model import NHPPModel
 from ..pending import DeterministicPendingTime, PendingTimeModel
 from ..scaling.backup_pool import ReactiveScaler
 from ..scaling.base import Autoscaler
-from ..simulation.runner import _LEGACY_ENGINE, replay
+from ..simulation.runner import DEFAULT_ENGINE, replay
 from ..telemetry import get_recorder
 from ..types import ArrivalTrace, SimulationResult
 
@@ -152,7 +152,7 @@ def prepare_workload(
     forecast = model.forecast()
     pending_model = DeterministicPendingTime(pending_time)
     sim_config = simulation or SimulationConfig(pending_time=pending_time)
-    effective_engine = engine or sim_config.engine or _LEGACY_ENGINE
+    effective_engine = engine or sim_config.engine or DEFAULT_ENGINE
     if effective_engine != sim_config.engine:
         sim_config = replace(sim_config, engine=effective_engine)
     with recorder.span("prepare.reference_replay"):

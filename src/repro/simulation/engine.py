@@ -23,14 +23,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
-import warnings
 from bisect import bisect_right, insort
 from typing import Callable
 
 import numpy as np
 
 from ..config import SimulationConfig
-from ..exceptions import ReproDeprecationWarning, SimulationError
+from ..exceptions import SimulationError
 from ..pending import PendingTimeModel, default_pending_model
 from ..rng import ensure_rng
 from ..scaling.base import Autoscaler, PlanningContext, ScalingResponse
@@ -77,13 +76,10 @@ class ScalingPerQuerySimulator:
         Optional explicit pending-time model; overrides the one derived from
         ``config.pending_time`` / ``config.pending_time_jitter``.
 
-    .. deprecated::
-        Constructing this class directly is deprecated in favor of
-        :func:`repro.simulation.create_simulator` (or
-        :class:`repro.api.Session`), where the engine choice is explicit:
-        the API layer defaults to the bit-identical batched engine, and
-        ``engine="reference"`` is the escape hatch that selects this
-        per-query event loop.
+    Prefer :func:`repro.simulation.create_simulator` (or
+    :class:`repro.api.Session`), where the engine choice is explicit: the
+    default is the bit-identical batched engine, and
+    ``engine="reference"`` selects this per-query event loop.
     """
 
     def __init__(
@@ -91,18 +87,7 @@ class ScalingPerQuerySimulator:
         config: SimulationConfig | None = None,
         *,
         pending_model: PendingTimeModel | None = None,
-        _from_factory: bool = False,
     ) -> None:
-        if not _from_factory:
-            warnings.warn(
-                "direct ScalingPerQuerySimulator construction is deprecated; "
-                "use repro.simulation.create_simulator(SimulationConfig("
-                "engine='reference')) for this engine, or engine='batched' "
-                "(the repro.api default) for bit-identical results at a "
-                "fraction of the cost",
-                ReproDeprecationWarning,
-                stacklevel=2,
-            )
         self.config = config or SimulationConfig()
         if pending_model is not None:
             self.pending_model = pending_model

@@ -7,20 +7,15 @@ runners and the generated CLI all resolve an unspecified engine to
 escape hatch; the two produce bit-identical results, enforced by
 ``tests/test_engine_parity.py``).
 
-The **legacy implicit path** — :func:`create_simulator` with a
-:class:`~repro.config.SimulationConfig` that never chose an engine — keeps
-instantiating the reference engine for one release so downstream users of
-:class:`~repro.simulation.engine.ScalingPerQuerySimulator` internals are
-not switched silently, but it now emits a :class:`DeprecationWarning`
-asking for an explicit choice.
+:func:`create_simulator` applies the same default: a
+:class:`~repro.config.SimulationConfig` that never chose an engine gets
+``"batched"``, exactly like every API-layer entry point.
 """
 
 from __future__ import annotations
 
-import warnings
-
 from ..config import SimulationConfig
-from ..exceptions import ConfigurationError, ReproDeprecationWarning
+from ..exceptions import ConfigurationError
 from ..metrics.report import summarize_result
 from ..pending import PendingTimeModel
 from ..scaling.base import Autoscaler
@@ -38,10 +33,6 @@ __all__ = [
 
 #: The engine an unspecified choice resolves to at the ``repro.api`` layer.
 DEFAULT_ENGINE = "batched"
-
-#: What the legacy implicit ``create_simulator`` path instantiates (kept for
-#: one deprecation release; the semantics-defining per-query event loop).
-_LEGACY_ENGINE = "reference"
 
 #: Engine name -> simulator class; all expose ``replay(trace, scaler)``.
 _ENGINES = {
@@ -85,26 +76,12 @@ def create_simulator(
     additionally vectorizes hook policies that declare an arrival kernel
     (BP, AdapBP) — still bit-identical.
 
-    A config that never chose an engine (``engine=None``) instantiates the
-    reference engine for backwards compatibility, with a
-    :class:`DeprecationWarning`: the API layer (:class:`repro.api.Session`,
-    the registry, the CLI) now defaults to ``"batched"``, and the implicit
-    reference default here will follow once the deprecation window closes.
+    A config that never chose an engine (``engine=None``) gets
+    :data:`DEFAULT_ENGINE` — the same resolution the API layer
+    (:class:`repro.api.Session`, the registry, the CLI) applies.
     """
     config = config or SimulationConfig()
-    engine = config.engine
-    if engine is None:
-        warnings.warn(
-            "create_simulator() without an explicit engine is deprecated: "
-            "the repro.api layer now defaults to engine='batched' while this "
-            "legacy path still instantiates the 'reference' engine. Pass "
-            "SimulationConfig(engine='reference') to keep the event-loop "
-            "engine explicitly, or engine='batched' for the (bit-identical) "
-            "vectorized engine.",
-            ReproDeprecationWarning,
-            stacklevel=2,
-        )
-        engine = _LEGACY_ENGINE
+    engine = config.engine or DEFAULT_ENGINE
     try:
         engine_cls = _ENGINES[engine]
     except KeyError:  # pragma: no cover - SimulationConfig validates first
@@ -112,10 +89,6 @@ def create_simulator(
             f"unknown simulation engine {engine!r}; "
             f"expected one of {sorted(_ENGINES)}"
         ) from None
-    if engine_cls is ScalingPerQuerySimulator:
-        return ScalingPerQuerySimulator(
-            config, pending_model=pending_model, _from_factory=True
-        )
     return engine_cls(config, pending_model=pending_model)
 
 

@@ -72,6 +72,7 @@ from .adversarial import (
     recipes_for_target,
     register_adversarial_scenarios,
 )
+from .mixes import DEFAULT_FLEET_SCENARIOS, tenant_mix
 
 __all__ = [
     # primitives
@@ -109,4 +110,7 @@ __all__ = [
     "get_recipe",
     "recipes_for_target",
     "register_adversarial_scenarios",
+    # fleet tenant mixes
+    "DEFAULT_FLEET_SCENARIOS",
+    "tenant_mix",
 ]

@@ -1,0 +1,69 @@
+"""Fleet composition helpers: deterministic tenant mixes over the registry.
+
+A fleet simulation (:mod:`repro.fleet`) binds N *tenants* — each a registry
+scenario with its own seed, weight and priority — to shared capacity pools.
+This module provides the workload-side half of that composition: given a
+tenant count and a set of scenario names, :func:`tenant_mix` deals out one
+deterministic assignment per tenant (scenario, seed, weight, priority) by
+cycling the scenario list and the weight/priority patterns.  Everything is a
+pure function of its arguments, so serial and process-pool fleet runs agree
+on the exact same tenant population.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ValidationError
+from .registry import DEFAULT_REGISTRY, ScenarioRegistry
+
+__all__ = ["DEFAULT_FLEET_SCENARIOS", "tenant_mix"]
+
+#: Scenario mix a fleet defaults to: a steady baseline tenant population
+#: with flash-crowd and cron-spike tenants interleaved, so shared-pool
+#: contention has both aggressors (bursty tenants) and victims (steady
+#: ones).  All three share an 86400 s horizon, which keeps the fleet's
+#: planning-tick grids aligned.
+DEFAULT_FLEET_SCENARIOS = ("steady-state", "flash-crowd", "spiky-cron")
+
+
+def tenant_mix(
+    n_tenants: int,
+    scenario_names=None,
+    *,
+    base_seed: int = 7,
+    weight_cycle=(1.0, 1.0, 2.0),
+    priority_cycle=(0, 1),
+    registry: ScenarioRegistry | None = None,
+) -> list[dict]:
+    """Deal out ``n_tenants`` deterministic tenant assignments.
+
+    Each returned dictionary carries ``name`` (``svc-<index>``),
+    ``scenario`` (cycled from ``scenario_names``), ``seed``
+    (``base_seed + index``, so every tenant owns an independent trace
+    realization even when scenarios repeat), ``weight`` and ``priority``
+    (cycled from their patterns).  Scenario names are validated against the
+    registry up front so a typo fails before any trace is generated.
+    """
+    if n_tenants < 1:
+        raise ValidationError(f"n_tenants must be >= 1, got {n_tenants}")
+    names = tuple(scenario_names) if scenario_names else DEFAULT_FLEET_SCENARIOS
+    if not names:
+        raise ValidationError("tenant_mix requires at least one scenario name")
+    registry = registry or DEFAULT_REGISTRY
+    for name in names:
+        registry.get(name)  # raises on unknown scenarios
+    if not weight_cycle:
+        raise ValidationError("weight_cycle must not be empty")
+    if not priority_cycle:
+        raise ValidationError("priority_cycle must not be empty")
+    tenants = []
+    for index in range(int(n_tenants)):
+        tenants.append(
+            {
+                "name": f"svc-{index:03d}",
+                "scenario": names[index % len(names)],
+                "seed": int(base_seed) + index,
+                "weight": float(weight_cycle[index % len(weight_cycle)]),
+                "priority": int(priority_cycle[index % len(priority_cycle)]),
+            }
+        )
+    return tenants

@@ -201,6 +201,23 @@ class TestSessionFluent:
         )
         assert result.provenance.seed == 123
 
+    def test_to_dataframe_bridges_to_pandas_or_explains(self):
+        result = (
+            Session(store=None)
+            .experiment("regularization-sensitivity")
+            .run(**_TINY_REG_GRID)
+        )
+        try:
+            import pandas  # noqa: F401
+        except ImportError:
+            with pytest.raises(ImportError, match="requires pandas"):
+                result.to_dataframe()
+        else:
+            frame = result.to_dataframe()
+            assert list(frame.columns) == list(result.columns)
+            assert len(frame) == len(result)
+            assert list(frame["beta_period"]) == result.column("beta_period")
+
     def test_progress_hook_streams_every_task(self):
         class Recorder(ProgressHook):
             def __init__(self):

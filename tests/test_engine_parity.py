@@ -44,13 +44,6 @@ from repro.simulation import (
 from repro.types import ArrivalTrace, ScalingAction
 from repro.workloads import get_scenario, list_scenarios
 
-# This module deliberately drives the legacy reference-engine entry points
-# (direct ScalingPerQuerySimulator construction / implicit-engine
-# create_simulator), which the pytest gate otherwise turns into errors.
-pytestmark = pytest.mark.filterwarnings(
-    "ignore::repro.exceptions.ReproDeprecationWarning"
-)
-
 
 #: Result columns compared bit-for-bit between the engines.
 _COLUMNS = (
@@ -428,7 +421,8 @@ class TestEngineSelection:
         kernel = create_simulator(SimulationConfig(engine="kernel"))
         assert isinstance(kernel, KernelEventSimulator)
         assert kernel.use_kernels
-        assert isinstance(create_simulator(), ScalingPerQuerySimulator)
+        # No engine specified -> the batched default, everywhere.
+        assert isinstance(create_simulator(), BatchedEventSimulator)
 
     def test_resolve_engine_accepts_kernel(self):
         from repro.simulation import resolve_engine
@@ -441,10 +435,16 @@ class TestEngineSelection:
         assert workload.simulation.engine == "batched"
 
     def test_prepspec_key_carries_engine(self):
-        reference = WorkloadSpec(scenario="steady-state", prep=PrepSpec())
+        # Engine None normalizes to the batched default in the cache key;
+        # only an explicit "reference" addresses a different artifact.
+        deferred = WorkloadSpec(scenario="steady-state", prep=PrepSpec())
         batched = WorkloadSpec(
             scenario="steady-state", prep=PrepSpec(engine="batched")
         )
+        reference = WorkloadSpec(
+            scenario="steady-state", prep=PrepSpec(engine="reference")
+        )
+        assert deferred.cache_key() == batched.cache_key()
         assert reference.cache_key() != batched.cache_key()
         assert batched.prep.resolve(None)["engine"] == "batched"
 

@@ -27,13 +27,6 @@ from repro.simulation import (
 )
 from repro.types import ArrivalTrace, ScalingAction
 
-# This module deliberately drives the legacy reference-engine entry points
-# (direct ScalingPerQuerySimulator construction / implicit-engine
-# create_simulator), which the pytest gate otherwise turns into errors.
-pytestmark = pytest.mark.filterwarnings(
-    "ignore::repro.exceptions.ReproDeprecationWarning"
-)
-
 
 ENGINES = [ScalingPerQuerySimulator, BatchedEventSimulator, KernelEventSimulator]
 ENGINE_IDS = ["reference", "batched", "kernel"]

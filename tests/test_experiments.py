@@ -3,53 +3,18 @@
 These tests run every driver on deliberately tiny configurations: the goal is
 to verify that each driver produces rows with the right schema and the
 qualitative relationships the paper reports (orderings, monotonicities), not
-to reproduce absolute numbers.
+to reproduce absolute numbers.  Every driver runs through the registry path
+(:func:`repro.api.run_experiment`) — the same code the CLI and the fluent
+Session invoke.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.experiments.ablation import (
-    KappaAblationConfig,
-    MCSampleAblationConfig,
-    RegularizationSensitivityConfig,
-    run_kappa_ablation,
-    run_mc_sample_ablation,
-    run_regularization_sensitivity,
-)
+from repro.api import run_experiment
 from repro.experiments.base import make_trace, prepare_workload, trace_defaults
-from repro.experiments.control_accuracy import (
-    ControlAccuracyExperimentConfig,
-    PlanningFrequencyExperimentConfig,
-    run_control_accuracy_experiment,
-    run_planning_frequency_experiment,
-)
-from repro.experiments.pareto import ParetoExperimentConfig, run_pareto_experiment
-from repro.experiments.perturbation import (
-    PerturbationExperimentConfig,
-    run_perturbation_experiment,
-)
-from repro.experiments.realenv import RealEnvExperimentConfig, run_realenv_experiment
-from repro.experiments.regularization import (
-    RegularizationExperimentConfig,
-    run_regularization_experiment,
-)
-from repro.experiments.robustness import (
-    RobustnessExperimentConfig,
-    run_robustness_experiment,
-)
-from repro.experiments.scalability import (
-    MCAccuracyExperimentConfig,
-    ScalabilityExperimentConfig,
-    run_mc_accuracy_experiment,
-    run_scalability_experiment,
-)
 from repro.experiments.traces_overview import run_traces_overview
-from repro.experiments.variance import VarianceExperimentConfig, run_variance_experiment
-
-pytestmark = pytest.mark.filterwarnings("ignore")
 
 
 class TestBaseHelpers:
@@ -89,10 +54,15 @@ class TestTracesOverview:
 class TestRegularizationExperiment:
     def test_periodicity_regularization_improves_error(self):
         """Table III: the periodicity penalty must reduce MSE and MAE."""
-        config = RegularizationExperimentConfig(
-            period_seconds=3600.0, n_periods=5, bin_seconds=60.0, max_iterations=150
+        rows = run_experiment(
+            "table3",
+            {
+                "period_seconds": 3600.0,
+                "n_periods": 5,
+                "bin_seconds": 60.0,
+                "max_iterations": 150,
+            },
         )
-        rows = run_regularization_experiment(config)
         without = next(r for r in rows if "w/o" in r["model"])
         with_reg = next(r for r in rows if "w/ " in r["model"])
         improvement = next(r for r in rows if r["model"] == "improvement")
@@ -104,24 +74,26 @@ class TestRegularizationExperiment:
 class TestScalabilityExperiment:
     def test_runtime_grows_with_qps(self):
         """Fig. 8: decision-update runtime grows roughly linearly in QPS."""
-        config = ScalabilityExperimentConfig(
-            qps_levels=(1.0, 50.0), monte_carlo_samples=300, repeats=1
+        rows = run_experiment(
+            "scalability",
+            {"qps_levels": (1.0, 50.0), "monte_carlo_samples": 300, "repeats": 1},
         )
-        rows = run_scalability_experiment(config)
         hp_rows = [r for r in rows if r["variant"].endswith("HP")]
         assert hp_rows[0]["decisions_per_update"] < hp_rows[1]["decisions_per_update"]
         assert hp_rows[0]["runtime_seconds"] < hp_rows[1]["runtime_seconds"]
 
     def test_mc_accuracy_close_to_targets(self):
         """Table I: achieved levels land near the requested targets."""
-        config = MCAccuracyExperimentConfig(
-            peak_qps=5.0,
-            period_seconds=900.0,
-            horizon_seconds=4 * 900.0,
-            planning_interval=10.0,
-            monte_carlo_samples=400,
+        rows = run_experiment(
+            "table1",
+            {
+                "peak_qps": 5.0,
+                "period_seconds": 900.0,
+                "horizon_seconds": 4 * 900.0,
+                "planning_interval": 10.0,
+                "monte_carlo_samples": 400,
+            },
         )
-        rows = run_mc_accuracy_experiment(config)
         by_metric = {row["metric"]: row for row in rows}
         hp = by_metric["hit probability"]
         assert hp["achieved_level"] == pytest.approx(hp["target_level"], abs=0.15)
@@ -133,18 +105,20 @@ class TestScalabilityExperiment:
 
 class TestParetoExperiment:
     def test_single_small_trace(self):
-        config = ParetoExperimentConfig(
-            trace_names=("google",),
-            scale=0.13,
-            planning_interval=10.0,
-            monte_carlo_samples=150,
-            hp_targets=(0.5, 0.9),
-            pool_sizes=(0, 2),
-            adaptive_factors=(10.0,),
-            include_rt_variant=False,
-            include_cost_variant=False,
+        rows = run_experiment(
+            "pareto",
+            {
+                "trace_names": ("google",),
+                "scale": 0.13,
+                "planning_interval": 10.0,
+                "monte_carlo_samples": 150,
+                "hp_targets": (0.5, 0.9),
+                "pool_sizes": (0, 2),
+                "adaptive_factors": (10.0,),
+                "include_rt_variant": False,
+                "include_cost_variant": False,
+            },
         )
-        rows = run_pareto_experiment(config)
         assert all(row["trace"] == "google" for row in rows)
         scalers = {row["scaler"] for row in rows}
         assert any("BP" in s for s in scalers)
@@ -164,16 +138,18 @@ class TestParetoExperiment:
 
 class TestVarianceExperiment:
     def test_rows_schema(self):
-        config = VarianceExperimentConfig(
-            scale=0.15,
-            hp_targets=(0.7,),
-            cost_budget_fractions=(0.05,),
-            pool_sizes=(1,),
-            adaptive_factors=(25.0,),
-            monte_carlo_samples=150,
-            planning_interval=10.0,
+        rows = run_experiment(
+            "variance",
+            {
+                "scale": 0.15,
+                "hp_targets": (0.7,),
+                "cost_budget_fractions": (0.05,),
+                "pool_sizes": (1,),
+                "adaptive_factors": (25.0,),
+                "monte_carlo_samples": 150,
+                "planning_interval": 10.0,
+            },
         )
-        rows = run_variance_experiment(config)
         families = {row["family"] for row in rows}
         assert families == {"BP", "AdapBP", "RobustScaler-HP", "RobustScaler-cost"}
         for row in rows:
@@ -183,15 +159,17 @@ class TestVarianceExperiment:
 
 class TestPerturbationExperiment:
     def test_rows_cover_all_sizes(self):
-        config = PerturbationExperimentConfig(
-            scale=0.15,
-            perturbation_sizes=(1.0, 4.0),
-            hp_targets=(0.7,),
-            adaptive_factors=(25.0,),
-            monte_carlo_samples=150,
-            planning_interval=10.0,
+        rows = run_experiment(
+            "perturbation",
+            {
+                "scale": 0.15,
+                "perturbation_sizes": (1.0, 4.0),
+                "hp_targets": (0.7,),
+                "adaptive_factors": (25.0,),
+                "monte_carlo_samples": 150,
+                "planning_interval": 10.0,
+            },
         )
-        rows = run_perturbation_experiment(config)
         sizes = {row["perturbation_size"] for row in rows}
         assert sizes == {1.0, 4.0}
         assert any("AdapBP" in row["scaler"] for row in rows)
@@ -201,15 +179,17 @@ class TestPerturbationExperiment:
 class TestRobustnessExperiment:
     def test_metrics_stable_under_missing_data(self):
         """Fig. 9 / Table II: metrics barely move when training data goes missing."""
-        config = RobustnessExperimentConfig(
-            scale=0.15,
-            hp_targets=(0.9,),
-            cost_budget_fractions=(0.1,),
-            monte_carlo_samples=150,
-            planning_interval=10.0,
-            include_alibaba=False,
+        rows = run_experiment(
+            "robustness",
+            {
+                "scale": 0.15,
+                "hp_targets": (0.9,),
+                "cost_budget_fractions": (0.1,),
+                "monte_carlo_samples": 150,
+                "planning_interval": 10.0,
+                "include_alibaba": False,
+            },
         )
-        rows = run_robustness_experiment(config)
         conditions = {row["condition"] for row in rows}
         assert conditions == {"original", "missing_data"}
         original = next(
@@ -223,42 +203,50 @@ class TestRobustnessExperiment:
 
 class TestControlAccuracyExperiment:
     def test_nominal_actual_rows(self):
-        config = ControlAccuracyExperimentConfig(
-            scale=0.15,
-            hp_targets=(0.5, 0.9),
-            waiting_budgets=(5.0,),
-            idle_budgets=(10.0,),
-            monte_carlo_samples=150,
-            planning_interval=10.0,
+        rows = run_experiment(
+            "control",
+            {
+                "scale": 0.15,
+                "hp_targets": (0.5, 0.9),
+                "waiting_budgets": (5.0,),
+                "idle_budgets": (10.0,),
+                "monte_carlo_samples": 150,
+                "planning_interval": 10.0,
+            },
         )
-        rows = run_control_accuracy_experiment(config)
         panels = {row["panel"] for row in rows}
         assert panels == {"hit_probability", "waiting_time", "idle_cost"}
         hp_rows = sorted(
-            (r for r in rows if r["panel"] == "hit_probability"), key=lambda r: r["nominal"]
+            (r for r in rows if r["panel"] == "hit_probability"),
+            key=lambda r: r["nominal"],
         )
         # Actual hit rate increases with the nominal target.
         assert hp_rows[-1]["actual"] >= hp_rows[0]["actual"] - 0.05
 
     def test_planning_frequency_cost_monotone(self):
         """Fig. 10(d): longer planning intervals cost at least as much."""
-        config = PlanningFrequencyExperimentConfig(
-            scale=0.15,
-            planning_intervals=(10.0, 60.0),
-            waiting_budget=3.0,
-            monte_carlo_samples=150,
+        rows = run_experiment(
+            "planning-frequency",
+            {
+                "scale": 0.15,
+                "planning_intervals": (10.0, 60.0),
+                "waiting_budget": 3.0,
+                "monte_carlo_samples": 150,
+            },
         )
-        rows = run_planning_frequency_experiment(config)
         by_interval = {row["planning_interval"]: row for row in rows}
-        assert by_interval[60.0]["relative_cost"] >= by_interval[10.0]["relative_cost"] - 0.1
+        assert (
+            by_interval[60.0]["relative_cost"]
+            >= by_interval[10.0]["relative_cost"] - 0.1
+        )
 
 
 class TestRealEnvExperiment:
     def test_real_and_simulated_close(self):
-        config = RealEnvExperimentConfig(
-            scale=0.15, monte_carlo_samples=150, planning_interval=10.0
+        rows = run_experiment(
+            "table4",
+            {"scale": 0.15, "monte_carlo_samples": 150, "planning_interval": 10.0},
         )
-        rows = run_realenv_experiment(config)
         assert {row["environment"] for row in rows} == {"simulated", "real"}
         simulated = next(r for r in rows if r["environment"] == "simulated")
         real = next(r for r in rows if r["environment"] == "real")
@@ -268,29 +256,32 @@ class TestRealEnvExperiment:
 
 class TestAblations:
     def test_kappa_ablation_shows_gap(self):
-        rows = run_kappa_ablation(
-            KappaAblationConfig(horizon_seconds=1800.0, monte_carlo_samples=400)
+        rows = run_experiment(
+            "kappa-ablation",
+            {"horizon_seconds": 1800.0, "monte_carlo_samples": 400},
         )
         with_kappa = next(r for r in rows if "with kappa" in r["variant"])
         without = next(r for r in rows if "no look-ahead" in r["variant"])
         assert with_kappa["hit_rate"] > without["hit_rate"]
 
     def test_mc_sample_ablation_error_shrinks(self):
-        rows = run_mc_sample_ablation(
-            MCSampleAblationConfig(sample_sizes=(50, 2000), n_trials=10)
+        rows = run_experiment(
+            "mc-sample-ablation", {"sample_sizes": (50, 2000), "n_trials": 10}
         )
         by_n = {row["n_samples"]: row for row in rows}
         assert by_n[2000]["mean_abs_error"] < by_n[50]["mean_abs_error"]
 
     def test_regularization_sensitivity_grid(self):
-        config = RegularizationSensitivityConfig(
-            period_seconds=1800.0,
-            n_periods=4,
-            beta_smooth_values=(0.0, 50.0),
-            beta_period_values=(0.0, 10.0),
-            max_iterations=100,
+        rows = run_experiment(
+            "regularization-sensitivity",
+            {
+                "period_seconds": 1800.0,
+                "n_periods": 4,
+                "beta_smooth_values": (0.0, 50.0),
+                "beta_period_values": (0.0, 10.0),
+                "max_iterations": 100,
+            },
         )
-        rows = run_regularization_sensitivity(config)
         assert len(rows) == 4
         unregularized = next(
             r for r in rows if r["beta_smooth"] == 0.0 and r["beta_period"] == 0.0

@@ -1,0 +1,294 @@
+"""Tests for the multi-tenant fleet subsystem (`repro.fleet`).
+
+Three layers:
+
+* admission policies — pure-function invariants (caps respected, grants
+  never exceed demands, priority order, weighted fairness, Jain's index);
+* fleet composition — deterministic specs, validation;
+* the registered ``fleet`` experiment — isolation/contention semantics,
+  serial vs process-pool bit-identity, and journal kill/resume bit-identity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_experiment
+from repro.exceptions import ValidationError
+from repro.fleet import (
+    POLICIES,
+    CapacityPool,
+    FleetSpec,
+    ServiceSpec,
+    allocate_grants,
+    allocate_tick,
+    compose_fleet,
+    jain_index,
+)
+from repro.runtime import ScalerSpec, strip_timing
+from repro.store import ArtifactStore, list_runs
+
+#: Deliberately tiny fleet: six services over the default three scenarios,
+#: capacity squeezed to half the isolated peak so contention is real.
+_PARAMS = {
+    "n_services": 6,
+    "scale": 0.02,
+    "seed": 7,
+    "tick_seconds": 60.0,
+    "capacity_fraction": 0.5,
+    "services_per_task": 2,
+    "monte_carlo_samples": 40,
+    "scaler_kinds": ("bp", "adapbp", "reactive"),
+    "policies": ("unconstrained", "hard-cap", "fair-share"),
+}
+
+
+class TestAllocateTick:
+    def test_unconstrained_grants_everything(self):
+        demands = [5, 0, 3]
+        grants = allocate_tick("unconstrained", demands, 2.0, [1, 1, 1], [0, 0, 0])
+        assert grants == demands
+
+    def test_none_capacity_means_unconstrained(self):
+        for policy in POLICIES:
+            grants = allocate_tick(policy, [4, 2], None, [1, 1], [0, 0])
+            assert grants == [4, 2]
+
+    @pytest.mark.parametrize("policy", ["hard-cap", "fair-share", "throttle"])
+    def test_constrained_invariants(self, policy):
+        demands = [7, 0, 3, 12, 1]
+        weights = [1.0, 2.0, 1.0, 0.5, 3.0]
+        priorities = [1, 0, 2, 0, 1]
+        for capacity in (0.0, 1.0, 5.0, 9.0, 23.0, 100.0):
+            grants = allocate_tick(policy, demands, capacity, weights, priorities)
+            assert all(0 <= g <= d for g, d in zip(grants, demands))
+            assert sum(grants) <= int(capacity)
+
+    def test_hard_cap_priority_order(self):
+        # Higher priority drains the pool first; ties break by index.
+        grants = allocate_tick("hard-cap", [4, 4, 4], 6.0, [1, 1, 1], [0, 2, 0])
+        assert grants == [2, 4, 0]
+
+    def test_fair_share_is_work_conserving(self):
+        # Everything fits -> everyone fully granted.
+        grants = allocate_tick("fair-share", [2, 3], 10.0, [1.0, 1.0], [0, 0])
+        assert grants == [2, 3]
+        # Under contention the whole budget is handed out.
+        grants = allocate_tick("fair-share", [8, 8, 8], 10.0, [1.0, 1.0, 1.0], [0, 0, 0])
+        assert sum(grants) == 10
+
+    def test_fair_share_weighted(self):
+        # Twice the weight earns (close to) twice the allocation.
+        grants = allocate_tick("fair-share", [9, 9], 9.0, [2.0, 1.0], [0, 0])
+        assert grants == [6, 3]
+
+    def test_fair_share_spillover(self):
+        # A small demand's unused share spills to the hungry tenant.
+        grants = allocate_tick("fair-share", [1, 9], 8.0, [1.0, 1.0], [0, 0])
+        assert grants == [1, 7]
+
+    def test_throttle_not_work_conserving(self):
+        # Static quota capacity*w/sum(w): tenant 0's spare share is NOT
+        # redistributed to tenant 1.
+        grants = allocate_tick("throttle", [0, 9], 8.0, [1.0, 1.0], [0, 0])
+        assert grants == [0, 4]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            allocate_tick("lottery", [1], 1.0, [1.0], [0])
+        with pytest.raises(ValidationError):
+            allocate_tick("lottery", [1], None, [1.0], [0])
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            allocate_tick("fair-share", [-1], 1.0, [1.0], [0])
+        with pytest.raises(ValidationError):
+            allocate_tick("fair-share", [1], 1.0, [0.0], [0])
+        with pytest.raises(ValidationError):
+            allocate_tick("fair-share", [1, 2], 1.0, [1.0], [0, 0])
+        with pytest.raises(ValidationError):
+            allocate_tick("fair-share", [1], -1.0, [1.0], [0])
+
+    def test_deterministic(self):
+        args = ([3, 9, 4, 7], 11.0, [1.0, 2.0, 1.5, 0.5], [0, 1, 0, 1])
+        for policy in POLICIES:
+            assert allocate_tick(policy, *args) == allocate_tick(policy, *args)
+
+
+class TestAllocateGrants:
+    def test_schedule_shapes_follow_demands(self):
+        demands = [(3, 2, 1), (5, 5)]
+        grants = allocate_grants("fair-share", demands, 4.0, [1.0, 1.0], [0, 0])
+        assert [len(g) for g in grants] == [3, 2]
+        for schedule, demand in zip(grants, demands):
+            assert all(0 <= g <= d for g, d in zip(schedule, demand))
+        # Per-tick cap holds across the fleet.
+        for tick in range(3):
+            total = sum(g[tick] for g in grants if tick < len(g))
+            assert total <= 4
+
+    def test_identical_tenants_get_identical_grants(self):
+        """Jain's index is exactly 1 for identical tenants under max-min.
+
+        Capacity divisible by the tenant count, so the integerized grants
+        can be exactly even; with a non-divisible capacity the largest-
+        remainder deal-out necessarily leaves a one-unit spread.
+        """
+        demands = [(6, 4, 8)] * 4
+        grants = allocate_grants("fair-share", demands, 12.0, [1.0] * 4, [0] * 4)
+        assert len(set(grants)) == 1
+        for tick in range(3):
+            assert jain_index([g[tick] for g in grants]) == pytest.approx(1.0)
+        # Non-divisible capacity: grants stay within one unit of each other.
+        uneven = allocate_grants("fair-share", demands, 10.0, [1.0] * 4, [0] * 4)
+        for tick in range(3):
+            per_tick = [g[tick] for g in uneven]
+            assert max(per_tick) - min(per_tick) <= 1
+            assert jain_index(per_tick) >= 0.95
+
+    def test_empty_fleet(self):
+        assert allocate_grants("fair-share", [], 4.0, [], []) == []
+
+
+class TestJainIndex:
+    def test_even_allocation_is_one(self):
+        assert jain_index([3, 3, 3]) == pytest.approx(1.0)
+
+    def test_one_holds_everything(self):
+        assert jain_index([9, 0, 0]) == pytest.approx(1.0 / 3.0)
+
+    def test_empty_and_all_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0, 0]) == 1.0
+
+
+class TestFleetSpecs:
+    def test_compose_fleet_deterministic(self):
+        a = compose_fleet(8, scale=0.05, base_seed=3)
+        b = compose_fleet(8, scale=0.05, base_seed=3)
+        assert a == b
+        assert len(a.services) == 8
+        assert len({s.name for s in a.services}) == 8
+        # Scaler kinds cycle over the default ("bp", "adapbp", "reactive").
+        assert a.services[0].scaler.kind == "bp"
+        assert a.services[1].scaler.kind == "adapbp"
+        assert a.services[2].scaler.kind == "reactive"
+
+    def test_compose_fleet_requires_scaler_kinds(self):
+        with pytest.raises(ValidationError):
+            compose_fleet(2, scaler_kinds=())
+
+    def test_pool_validation(self):
+        with pytest.raises(ValidationError):
+            CapacityPool(capacity=0.5)
+        with pytest.raises(ValidationError):
+            CapacityPool(policy="lottery")
+
+    def test_fleet_validation(self):
+        svc = ServiceSpec(name="a", scenario="steady-state", scaler=ScalerSpec("reactive"))
+        with pytest.raises(ValidationError):
+            FleetSpec(services=())
+        with pytest.raises(ValidationError):
+            FleetSpec(services=(svc, svc))  # duplicate names
+        with pytest.raises(ValidationError):
+            FleetSpec(
+                services=(
+                    ServiceSpec(
+                        name="b",
+                        scenario="steady-state",
+                        scaler=ScalerSpec("reactive"),
+                        pool="nope",
+                    ),
+                )
+            )
+
+    def test_service_validation(self):
+        with pytest.raises(ValidationError):
+            ServiceSpec(name="a", scenario="steady-state", scaler=ScalerSpec("reactive"), weight=0.0)
+        with pytest.raises(ValidationError):
+            ServiceSpec(name="a", scenario="", scaler=ScalerSpec("reactive"))
+
+    def test_members(self):
+        fleet = compose_fleet(4, scale=0.05)
+        assert fleet.members("default") == (0, 1, 2, 3)
+
+
+class TestFleetExperiment:
+    @pytest.fixture(scope="class")
+    def fleet_rows(self) -> list[dict]:
+        return run_experiment("fleet", _PARAMS)
+
+    def test_phases_and_policies_covered(self, fleet_rows):
+        policies = {row["policy"] for row in fleet_rows}
+        assert policies == {"isolation", "unconstrained", "hard-cap", "fair-share"}
+        summary = [r for r in fleet_rows if r.get("phase") == "fleet"]
+        assert {r["policy"] for r in summary} == set(_PARAMS["policies"])
+        services = {r["service"] for r in fleet_rows if r["policy"] == "isolation"}
+        assert len(services) == _PARAMS["n_services"]
+
+    def test_unconstrained_matches_isolation(self, fleet_rows):
+        """A bottomless pool must be bit-identical to the isolation phase."""
+        for row in fleet_rows:
+            if row["policy"] != "unconstrained" or row.get("phase") == "fleet":
+                continue
+            assert row["denied_actions"] == 0
+            assert row["hit_rate_delta"] == 0.0
+            assert row["cost_delta"] == 0.0
+            assert row["grant_ratio"] == pytest.approx(1.0)
+
+    def test_hard_cap_generates_interference(self, fleet_rows):
+        capped = [
+            r
+            for r in fleet_rows
+            if r["policy"] == "hard-cap" and r.get("phase") != "fleet"
+        ]
+        assert sum(r["denied_actions"] for r in capped) > 0
+        summary = next(
+            r for r in fleet_rows if r.get("phase") == "fleet" and r["policy"] == "hard-cap"
+        )
+        assert summary["worst_hit_rate_delta"] > 0.0
+        assert summary["jain_satisfaction"] < 1.0
+
+    def test_summary_fairness_ordering(self, fleet_rows):
+        """Fair-share never does worse on fairness than the hard cap."""
+        summary = {
+            r["policy"]: r for r in fleet_rows if r.get("phase") == "fleet"
+        }
+        assert summary["unconstrained"]["jain_satisfaction"] == pytest.approx(1.0, abs=1e-9)
+        assert summary["unconstrained"]["denied_actions"] == 0
+        assert (
+            summary["fair-share"]["jain_satisfaction"]
+            >= summary["hard-cap"]["jain_satisfaction"] - 1e-9
+        )
+
+    def test_frontier_marked(self, fleet_rows):
+        summary = [r for r in fleet_rows if r.get("phase") == "fleet"]
+        assert any(r["on_frontier"] for r in summary)
+
+    def test_serial_vs_pooled_bit_identical(self, fleet_rows):
+        pooled = run_experiment("fleet", _PARAMS, workers=2)
+        assert strip_timing(pooled) == strip_timing(fleet_rows)
+
+
+class TestFleetResume:
+    def test_interrupted_fleet_resumes_bit_identical(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        baseline = run_experiment("fleet", _PARAMS)
+
+        seen = []
+
+        def interrupt(result):
+            seen.append(result)
+            if len(seen) >= 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(
+                "fleet", _PARAMS, store=store, run_id="fleet-r1", on_result=interrupt
+            )
+        runs = list_runs(store)
+        assert runs and runs[0]["run_id"] == "fleet-r1"
+        assert 0 < runs[0]["completed"] < runs[0]["total"]
+
+        resumed = run_experiment("fleet", _PARAMS, store=store, run_id="fleet-r1")
+        assert strip_timing(resumed) == strip_timing(baseline)

@@ -34,13 +34,6 @@ from repro.traces.perturbation import inject_missing_window
 from repro.traces.synthetic import beta_bump_intensity, generate_trace_from_intensity
 from repro.types import ArrivalTrace
 
-# This module deliberately drives the legacy reference-engine entry points
-# (direct ScalingPerQuerySimulator construction / implicit-engine
-# create_simulator), which the pytest gate otherwise turns into errors.
-pytestmark = pytest.mark.filterwarnings(
-    "ignore::repro.exceptions.ReproDeprecationWarning"
-)
-
 
 @pytest.fixture(scope="module")
 def bump_intensity() -> PiecewiseConstantIntensity:

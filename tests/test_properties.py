@@ -26,13 +26,6 @@ from repro.scaling.base import Autoscaler, PlanningContext, ScalingResponse
 from repro.simulation.engine import ScalingPerQuerySimulator
 from repro.types import ArrivalTrace, ScalingAction
 
-# This module deliberately drives the legacy reference-engine entry points
-# (direct ScalingPerQuerySimulator construction / implicit-engine
-# create_simulator), which the pytest gate otherwise turns into errors.
-pytestmark = pytest.mark.filterwarnings(
-    "ignore::repro.exceptions.ReproDeprecationWarning"
-)
-
 
 class _PlannedScaler(Autoscaler):
     """Creates instances at a fixed set of absolute times (for property tests)."""

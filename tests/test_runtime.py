@@ -29,8 +29,6 @@ from repro.runtime import (
 )
 from repro.workloads import get_scenario
 
-pytestmark = pytest.mark.filterwarnings("ignore")
-
 
 def small_tasks() -> list[EvalTask]:
     """A tiny two-scenario batch covering baselines and RobustScaler."""

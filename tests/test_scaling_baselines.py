@@ -13,13 +13,6 @@ from repro.scaling.base import PlanningContext, ScalingResponse
 from repro.simulation.engine import ScalingPerQuerySimulator
 from repro.types import ArrivalTrace
 
-# This module deliberately drives the legacy reference-engine entry points
-# (direct ScalingPerQuerySimulator construction / implicit-engine
-# create_simulator), which the pytest gate otherwise turns into errors.
-pytestmark = pytest.mark.filterwarnings(
-    "ignore::repro.exceptions.ReproDeprecationWarning"
-)
-
 
 def _context(time: float, arrivals: np.ndarray, created: int, scheduled: int = 0):
     return PlanningContext(

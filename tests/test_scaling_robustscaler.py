@@ -16,13 +16,6 @@ from repro.scaling.robustscaler import RobustScaler, RobustScalerObjective
 from repro.simulation.engine import ScalingPerQuerySimulator
 from repro.types import ArrivalTrace
 
-# This module deliberately drives the legacy reference-engine entry points
-# (direct ScalingPerQuerySimulator construction / implicit-engine
-# create_simulator), which the pytest gate otherwise turns into errors.
-pytestmark = pytest.mark.filterwarnings(
-    "ignore::repro.exceptions.ReproDeprecationWarning"
-)
-
 
 def _constant_forecast(rate: float) -> PiecewiseConstantIntensity:
     return PiecewiseConstantIntensity(np.array([rate]), 60.0, extrapolation="hold")

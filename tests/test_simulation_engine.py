@@ -16,13 +16,6 @@ from repro.simulation.realenv import real_environment_config
 from repro.simulation.runner import evaluate_scaler, replay
 from repro.types import ArrivalTrace, ScalingAction
 
-# This module deliberately drives the legacy reference-engine entry points
-# (direct ScalingPerQuerySimulator construction / implicit-engine
-# create_simulator), which the pytest gate otherwise turns into errors.
-pytestmark = pytest.mark.filterwarnings(
-    "ignore::repro.exceptions.ReproDeprecationWarning"
-)
-
 
 class FixedPlanScaler(Autoscaler):
     """Test helper: creates instances at a fixed list of absolute times."""

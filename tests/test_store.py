@@ -30,8 +30,6 @@ from repro.store import (
 )
 from repro.workloads import get_scenario
 
-pytestmark = pytest.mark.filterwarnings("ignore")
-
 
 @pytest.fixture
 def store(tmp_path) -> ArtifactStore:
@@ -109,6 +107,97 @@ class TestCorruption:
         assert store.get("workloads", ("k",)) is None
         store.put("workloads", ("k",), {"value": 43})
         assert store.get("workloads", ("k",)) == {"value": 43}
+
+
+class TestCompression:
+    """Opt-in artifact compression (``REPRO_STORE_COMPRESS``)."""
+
+    # Comfortably past the compression size threshold, and compressible.
+    BIG = {"rows": [{"i": i, "pad": "x" * 64} for i in range(500)]}
+
+    def _header(self, path: Path) -> list[str]:
+        data = path.read_bytes()
+        return data[: data.index(b"\n")].decode("ascii").split(" ")
+
+    def test_codec_resolution(self, monkeypatch):
+        from repro.store.artifacts import _zstd_module, active_codec
+
+        for off in ("", "0", "false", "off", "no"):
+            monkeypatch.setenv("REPRO_STORE_COMPRESS", off)
+            assert active_codec() is None
+        monkeypatch.delenv("REPRO_STORE_COMPRESS")
+        assert active_codec() is None
+        monkeypatch.setenv("REPRO_STORE_COMPRESS", "zlib")
+        assert active_codec() == "zlib"
+        monkeypatch.setenv("REPRO_STORE_COMPRESS", "zstd")
+        expected = "zstd" if _zstd_module() is not None else "zlib"
+        assert active_codec() == expected
+        monkeypatch.setenv("REPRO_STORE_COMPRESS", "1")
+        assert active_codec() == expected
+
+    def test_large_artifact_compressed_and_transparent(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_COMPRESS", "zlib")
+        path = store.put("results", ("big",), self.BIG)
+        tokens = self._header(path)
+        assert len(tokens) == 6 and tokens[5] == "zlib"
+        assert path.stat().st_size < len(pickle.dumps(self.BIG))
+        # Transparent on read — with or without the env var set.
+        assert store.get("results", ("big",)) == self.BIG
+        monkeypatch.delenv("REPRO_STORE_COMPRESS")
+        assert ArtifactStore(store.root).get("results", ("big",)) == self.BIG
+
+    def test_small_artifact_stays_raw(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_COMPRESS", "zlib")
+        path = store.put("results", ("small",), {"k": 1})
+        assert len(self._header(path)) == 5
+
+    def test_uncompressed_entries_readable_with_compression_on(
+        self, store, monkeypatch
+    ):
+        store.put("results", ("old",), self.BIG)
+        monkeypatch.setenv("REPRO_STORE_COMPRESS", "zlib")
+        assert ArtifactStore(store.root).get("results", ("old",)) == self.BIG
+
+    def test_corrupt_compressed_payload_degrades_to_miss(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_COMPRESS", "zlib")
+        path = store.put("results", ("big",), self.BIG)
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF  # breaks the integrity digest
+        path.write_bytes(bytes(data))
+        assert store.get("results", ("big",)) is None
+        assert store.stats().corrupt == 1
+        assert not path.exists()
+
+    def test_undecompressible_payload_degrades_to_miss(self, store):
+        # A header that *claims* compression over a raw pickled payload:
+        # the digest verifies, the decompression fails, the entry is a miss.
+        import hashlib
+
+        payload = pickle.dumps({"value": 1})
+        digest = hashlib.blake2b(payload, digest_size=20).hexdigest()
+        path = store.path_for("results", ("fake",))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(
+            f"repro-store v1 results {digest} {len(payload)} zlib\n".encode("ascii")
+            + payload
+        )
+        assert store.get("results", ("fake",)) is None
+        assert store.stats().corrupt == 1
+        assert not path.exists()
+
+    def test_unknown_codec_degrades_to_miss(self, store):
+        import hashlib
+
+        payload = pickle.dumps({"value": 1})
+        digest = hashlib.blake2b(payload, digest_size=20).hexdigest()
+        path = store.path_for("results", ("alien",))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(
+            f"repro-store v1 results {digest} {len(payload)} lzma9\n".encode("ascii")
+            + payload
+        )
+        assert store.get("results", ("alien",)) is None
+        assert store.stats().corrupt == 1
 
 
 class TestGC:
@@ -301,24 +390,27 @@ class TestTwoTierWorkloadCache:
         assert cache.stats().misses == 1
         assert workload.test.n_queries >= 0  # fully usable object
 
-    def test_engine_default_and_explicit_reference_share_one_entry(self, store):
-        """`simulate` passes engine="reference" explicitly while the drivers
-        pass None (deferring to the default); both must address the same
-        prepared-workload artifact."""
+    def test_engine_default_and_explicit_batched_share_one_entry(self, store):
+        """Callers that pass engine=None (deferring to the default) and
+        callers that pass engine="batched" explicitly must address the same
+        prepared-workload artifact; only "reference" is a separate entry."""
         from repro.runtime import PrepSpec
 
         explicit = WorkloadSpec(
             scenario="steady-state",
             scale=0.05,
             seed=3,
-            prep=PrepSpec(engine="reference"),
+            prep=PrepSpec(engine="batched"),
         )
         deferred = WorkloadSpec(scenario="steady-state", scale=0.05, seed=3)
-        batched = WorkloadSpec(
-            scenario="steady-state", scale=0.05, seed=3, prep=PrepSpec(engine="batched")
+        reference = WorkloadSpec(
+            scenario="steady-state",
+            scale=0.05,
+            seed=3,
+            prep=PrepSpec(engine="reference"),
         )
         assert explicit.cache_key() == deferred.cache_key()
-        assert explicit.cache_key() != batched.cache_key()
+        assert explicit.cache_key() != reference.cache_key()
         WorkloadCache(store=store).get_or_prepare(explicit)
         warm = WorkloadCache(store=store)
         _, hit = warm.get_or_prepare(deferred)

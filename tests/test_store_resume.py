@@ -24,8 +24,6 @@ from repro.runtime import (
 )
 from repro.store import ArtifactStore, list_runs
 
-pytestmark = pytest.mark.filterwarnings("ignore")
-
 
 @pytest.fixture
 def store(tmp_path) -> ArtifactStore:

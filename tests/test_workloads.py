@@ -5,12 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import ReproDeprecationWarning, ValidationError, WorkloadError
-from repro.experiments.scenario_sweep import (
-    ScenarioSweepConfig,
-    run_scenario_sweep_experiment,
-    summarize_scenario_sweep,
-)
+from repro.api import run_experiment
+from repro.exceptions import ValidationError, WorkloadError
+from repro.experiments.scenario_sweep import summarize_scenario_sweep
 from repro.traces.catalog import get_trace
 from repro.workloads import (
     DEFAULT_REGISTRY,
@@ -313,17 +310,18 @@ class TestRegistry:
                 horizon_seconds=4 * _HOUR,
             )
         )
-        with pytest.warns(ReproDeprecationWarning):
-            config = ScenarioSweepConfig(
-                registry=registry,
-                scale=0.5,
-                planning_interval=30.0,
-                monte_carlo_samples=40,
-                hp_targets=(0.7,),
-                pool_sizes=(1,),
-                adaptive_factors=(10.0,),
-            )
-        rows = run_scenario_sweep_experiment(config)
+        rows = run_experiment(
+            "scenario-sweep",
+            {
+                "registry": registry,
+                "scale": 0.5,
+                "planning_interval": 30.0,
+                "monte_carlo_samples": 40,
+                "hp_targets": (0.7,),
+                "pool_sizes": (1,),
+                "adaptive_factors": (10.0,),
+            },
+        )
         assert {row["scenario"] for row in rows} == {"only-me"}
 
     def test_duplicate_registration_rejected(self):
@@ -388,18 +386,19 @@ class TestRegistry:
 class TestScenarioSweep:
     @pytest.fixture(scope="class")
     def sweep_rows(self) -> list[dict]:
-        with pytest.warns(ReproDeprecationWarning):
-            config = ScenarioSweepConfig(
-                scenario_names=("steady-state", "flash-crowd"),
-                scale=0.05,
-                seed=7,
-                planning_interval=20.0,
-                monte_carlo_samples=80,
-                hp_targets=(0.7,),
-                pool_sizes=(1,),
-                adaptive_factors=(10.0,),
-            )
-        return run_scenario_sweep_experiment(config)
+        return run_experiment(
+            "scenario-sweep",
+            {
+                "scenario_names": ("steady-state", "flash-crowd"),
+                "scale": 0.05,
+                "seed": 7,
+                "planning_interval": 20.0,
+                "monte_carlo_samples": 80,
+                "hp_targets": (0.7,),
+                "pool_sizes": (1,),
+                "adaptive_factors": (10.0,),
+            },
+        )
 
     def test_rows_cover_requested_scenarios_and_scalers(self, sweep_rows):
         assert {row["scenario"] for row in sweep_rows} == {
@@ -424,18 +423,19 @@ class TestScenarioSweep:
             assert any(flags)
 
     def test_sweep_deterministic(self, sweep_rows):
-        with pytest.warns(ReproDeprecationWarning):
-            config = ScenarioSweepConfig(
-                scenario_names=("steady-state", "flash-crowd"),
-                scale=0.05,
-                seed=7,
-                planning_interval=20.0,
-                monte_carlo_samples=80,
-                hp_targets=(0.7,),
-                pool_sizes=(1,),
-                adaptive_factors=(10.0,),
-            )
-        again = run_scenario_sweep_experiment(config)
+        again = run_experiment(
+            "scenario-sweep",
+            {
+                "scenario_names": ("steady-state", "flash-crowd"),
+                "scale": 0.05,
+                "seed": 7,
+                "planning_interval": 20.0,
+                "monte_carlo_samples": 80,
+                "hp_targets": (0.7,),
+                "pool_sizes": (1,),
+                "adaptive_factors": (10.0,),
+            },
+        )
 
         def strip_timings(rows: list[dict]) -> list[dict]:
             # Planning latencies are wall-clock measurements; everything else
@@ -455,14 +455,10 @@ class TestScenarioSweep:
             assert 0.0 <= row["best_hit_rate"] <= 1.0
 
     def test_tiny_scale_skips_gracefully(self):
-        with pytest.warns(ReproDeprecationWarning):
-            config = ScenarioSweepConfig(
-                scenario_names=("crs",),
-                scale=0.5,
-                seed=7,
-                min_test_queries=10**9,
-            )
-        rows = run_scenario_sweep_experiment(config)
+        rows = run_experiment(
+            "scenario-sweep",
+            {"scenario_names": ("crs",), "scale": 0.5, "seed": 7, "min_test_queries": 10**9},
+        )
         assert len(rows) == 1
         assert "skipped" in rows[0]["note"]
         # Skipped scenarios must remain visible in the summary view.
