@@ -10,7 +10,6 @@ improves as its cost grows.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.api import run_experiment
@@ -73,6 +72,7 @@ def test_fig4_pareto(run_once, trace):
         bp_cheaper = [
             r
             for r in rows
-            if r["scaler"].startswith("BP(") and r["relative_cost"] <= rs_best["relative_cost"] + 0.05
+            if r["scaler"].startswith("BP(")
+            and r["relative_cost"] <= rs_best["relative_cost"] + 0.05
         ]
         assert rs_best["hit_rate"] >= max(r["hit_rate"] for r in bp_cheaper) - 0.1

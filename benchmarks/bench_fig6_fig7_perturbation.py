@@ -9,7 +9,6 @@ ends up dominating at large c.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.api import run_experiment
 

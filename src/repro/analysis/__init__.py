@@ -1,0 +1,62 @@
+"""Static analysis: AST-based enforcement of the repository's invariants.
+
+Every subsystem since the runtime layer stakes its correctness on
+conventions the type system cannot see: bit-identical serial/pooled rows
+require all randomness to flow through explicitly passed
+:class:`numpy.random.Generator` objects, journal resume requires task
+callables to be picklable module-level functions, and the telemetry layer's
+zero-cost-off guarantee requires engines to keep recorder calls out of
+per-query loops.  This package checks those invariants *statically*, at the
+line where a violation is introduced, instead of waiting for a runtime test
+to (maybe) exercise the violating path.
+
+Usage::
+
+    repro lint src/repro                 # text report, exit 1 on findings
+    repro lint src/repro --format json   # machine-readable report
+    repro lint --list-rules              # the rule table
+
+or programmatically::
+
+    from repro.analysis import lint_paths
+    findings = lint_paths(["src/repro"])
+
+Violations are suppressed line-by-line with a mandatory reason::
+
+    except Exception:  # repro: allow[RPR005] corrupt artifact degrades to a miss
+
+A tag without a reason is itself an error (RPR000), so every suppression in
+the tree is a reviewed, grep-able decision.  See :mod:`repro.analysis.core`
+for the rule protocol and :mod:`repro.analysis.rules` for the shipped rules;
+adding a rule is a ~30-line exercise (write a module under ``rules/``
+containing a ``@register_rule``-decorated subclass — see the template in
+``rules/__init__.py``).
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from .reporters import render_json, render_text
+from .runner import lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

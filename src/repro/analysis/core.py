@@ -1,0 +1,371 @@
+"""The analysis engine: findings, suppressions, module contexts, rule registry.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``tokenize``
+only) so ``repro lint`` stays fast enough to run on every test invocation —
+the self-clean gate in ``tests/test_analysis.py`` lints all of ``src/repro``
+as a tier-1 test.
+
+Directives
+----------
+Two comment directives are recognized anywhere in a comment:
+
+``# repro: allow[RPR005] <reason>``
+    Suppress the named rule(s) on this line.  The reason is mandatory; a
+    reason-less tag is reported as :data:`META_RULE_ID` (RPR000).  Multiple
+    ids separate with commas: ``allow[RPR001,RPR002]``.  A *standalone*
+    comment (nothing but the comment on its line) applies to the next
+    non-blank source line, so long statements can carry the tag above them.
+
+``# repro: hot-loop``
+    Mark the next/containing ``def`` as a hot loop: RPR004 then bans
+    recorder traffic inside its ``for``/``while`` bodies.
+
+Anything else after ``# repro:`` is an unknown directive and is reported —
+a typo in a suppression must not silently disable it.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "META_RULE_ID",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "Suppression",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+]
+
+#: Rule id reserved for the engine itself (malformed directives, syntax
+#: errors).  Meta findings cannot be suppressed.
+META_RULE_ID = "RPR000"
+
+_DIRECTIVE_RE = re.compile(r"#\s*repro:\s*(?P<body>[^#]*)")
+_ALLOW_RE = re.compile(r"allow\[(?P<ids>[^\]]*)\]\s*(?P<reason>.*)", re.DOTALL)
+_RULE_ID_RE = re.compile(r"^RPR\d{3}$")
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code: errors gate, warnings inform."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        """The canonical one-line ``path:line:col: ID [severity] message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe representation (the JSON reporter's row schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``allow`` tag: which rules it silences on which line."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    reason: str
+
+
+def _iter_comments(source: str) -> Iterator[tuple[int, int, str, str]]:
+    """Yield ``(line, col, comment_text, line_text)`` for every comment.
+
+    Uses :mod:`tokenize` so ``#`` characters inside string literals are
+    never mistaken for comments.  Tokenization errors are swallowed — the
+    caller separately reports files that do not parse.
+    """
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string, token.line
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def _directive_target_line(line: int, col: int, line_text: str, lines: list[str]) -> int:
+    """The source line a directive applies to.
+
+    A trailing comment governs its own line; a standalone comment (nothing
+    but whitespace before the ``#``) governs the next *source* line — blank
+    lines and further comment lines below it are skipped, so a directive may
+    sit atop a multi-line explanatory comment block.
+    """
+    if line_text[:col].strip() != "":
+        return line
+    target = line + 1
+    while target <= len(lines):
+        stripped = lines[target - 1].strip()
+        if stripped and not stripped.startswith("#"):
+            return target
+        target += 1
+    return min(line + 1, len(lines))
+
+
+@dataclass
+class ModuleContext:
+    """Everything the rules need to know about one parsed module."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    #: Map ``line -> Suppression`` for well-formed allow tags.
+    suppressions: dict[int, Suppression]
+    #: Lines carrying a ``repro: hot-loop`` marker comment (already
+    #: retargeted, so a standalone marker names the ``def`` line below it).
+    hot_loop_lines: frozenset[int]
+    #: Directive problems found while parsing comments (RPR000 findings).
+    meta_findings: list[Finding]
+    #: Local name -> dotted module path, e.g. ``np -> numpy``,
+    #: ``_time -> time``, ``perf_counter -> time.perf_counter``.
+    import_aliases: dict[str, str]
+
+    @classmethod
+    def parse(cls, path: Path, source: str) -> "ModuleContext":
+        """Parse ``source`` into a context; raises ``SyntaxError`` as-is."""
+        tree = ast.parse(source, filename=str(path))
+        source_lines = source.splitlines()
+        suppressions: dict[int, Suppression] = {}
+        hot_loops: set[int] = set()
+        meta: list[Finding] = []
+
+        def problem(line: int, col: int, message: str) -> None:
+            meta.append(
+                Finding(
+                    path=str(path),
+                    line=line,
+                    col=col,
+                    rule_id=META_RULE_ID,
+                    severity=Severity.ERROR,
+                    message=message,
+                )
+            )
+
+        for line, col, comment, line_text in _iter_comments(source):
+            match = _DIRECTIVE_RE.search(comment)
+            if match is None:
+                continue
+            body = match.group("body").strip()
+            target = _directive_target_line(line, col, line_text, source_lines)
+            if body == "hot-loop":
+                hot_loops.add(target)
+                continue
+            allow = _ALLOW_RE.match(body)
+            if allow is None:
+                problem(
+                    line,
+                    col,
+                    f"unknown '# repro:' directive {body.split()[0] if body else ''!r}"
+                    " (expected 'allow[RULE-ID] <reason>' or 'hot-loop')",
+                )
+                continue
+            ids = tuple(part.strip() for part in allow.group("ids").split(",") if part.strip())
+            if META_RULE_ID in ids:
+                problem(
+                    line,
+                    col,
+                    f"allow[{META_RULE_ID}] is not allowed — engine/meta findings "
+                    "cannot be suppressed",
+                )
+                continue
+            bad_ids = [rule_id for rule_id in ids if not _RULE_ID_RE.match(rule_id)]
+            reason = allow.group("reason").strip()
+            if not ids or bad_ids:
+                problem(
+                    line,
+                    col,
+                    f"allow tag names no valid rule ids (got {list(ids)!r});"
+                    " expected e.g. allow[RPR005]",
+                )
+                continue
+            if not reason:
+                problem(
+                    line,
+                    col,
+                    f"allow[{','.join(ids)}] is missing its mandatory reason —"
+                    " say why the violation is intentional",
+                )
+                continue
+            existing = suppressions.get(target)
+            if existing is not None:
+                ids = existing.rule_ids + ids
+                reason = f"{existing.reason}; {reason}"
+            suppressions[target] = Suppression(line=target, rule_ids=ids, reason=reason)
+
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            suppressions=suppressions,
+            hot_loop_lines=frozenset(hot_loops),
+            meta_findings=meta,
+            import_aliases=_collect_import_aliases(tree),
+        )
+
+    # ------------------------------------------------------------- helpers
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an allow tag on the finding's line names its rule."""
+        if finding.rule_id == META_RULE_ID:
+            return False
+        suppression = self.suppressions.get(finding.line)
+        return suppression is not None and finding.rule_id in suppression.rule_ids
+
+    def qualified_name(self, node: ast.expr) -> str | None:
+        """Resolve a ``Name``/``Attribute`` chain through the import aliases.
+
+        ``_time.perf_counter`` resolves to ``time.perf_counter`` under
+        ``import time as _time``; ``np.random.seed`` to ``numpy.random.seed``
+        under ``import numpy as np``.  Chains rooted at anything other than a
+        plain name (calls, subscripts) return ``None``.
+        """
+        parts: list[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.import_aliases.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def relative_module_path(self) -> str:
+        """The path relative to the ``repro`` package root, ``/``-separated.
+
+        Falls back to the bare filename when the file does not live inside a
+        ``repro`` package directory (e.g. fixture files in tests).
+        """
+        parts = self.path.parts
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                return "/".join(parts[index + 1 :])
+        return self.path.name
+
+    def hot_loop_functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Every function whose ``def`` line carries a hot-loop marker."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.lineno in self.hot_loop_lines:
+                    yield node
+
+
+def _collect_import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module/attribute path they import."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`; the
+    :func:`register_rule` decorator adds them to the global registry that
+    ``repro lint`` runs.  Rules receive a parsed :class:`ModuleContext` and
+    yield :class:`Finding` objects — suppression handling is central (the
+    runner drops findings whose line carries a matching allow tag), so rules
+    never need to look at comments themselves.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding for ``node`` at this rule's severity."""
+        return Finding(
+            path=str(module.path),
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)),
+            rule_id=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a :class:`Rule` subclass."""
+    rule = cls()
+    if not _RULE_ID_RE.match(rule.id) or rule.id == META_RULE_ID:
+        raise ValueError(f"rule id must match RPR\\d{{3}} and not be reserved, got {rule.id!r}")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id (triggers rule discovery)."""
+    from . import rules as _rules  # noqa: F401  (import populates the registry)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id; raises ``KeyError`` with the known ids."""
+    all_rules()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """All ``Call`` nodes under ``tree`` (a convenience for rule modules)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

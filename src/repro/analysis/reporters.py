@@ -1,0 +1,74 @@
+"""Rendering findings: the text report and the JSON report.
+
+The JSON schema (version 1) is stable for CI consumption::
+
+    {
+      "schema_version": 1,
+      "files_checked": 93,
+      "rules_run": ["RPR001", ...],
+      "findings": [
+        {"path": ..., "line": ..., "col": ..., "rule": "RPR001",
+         "severity": "error", "message": ...},
+        ...
+      ],
+      "statistics": {"RPR001": 2, ...},   # only rules with findings
+      "ok": false
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .core import Finding, Severity
+
+__all__ = ["render_json", "render_text", "statistics"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def statistics(findings: Sequence[Finding]) -> dict[str, int]:
+    """Finding counts per rule id, sorted by id."""
+    counts = Counter(finding.rule_id for finding in findings)
+    return {rule_id: counts[rule_id] for rule_id in sorted(counts)}
+
+
+def render_text(
+    findings: Sequence[Finding],
+    files_checked: int,
+    show_statistics: bool = False,
+) -> str:
+    """The human-facing report: one line per finding plus a summary line."""
+    lines = [finding.render() for finding in sorted(findings)]
+    if show_statistics and findings:
+        lines.append("")
+        for rule_id, count in statistics(findings).items():
+            lines.append(f"{rule_id}: {count}")
+    n_errors = sum(1 for finding in findings if finding.severity is Severity.ERROR)
+    n_warnings = len(findings) - n_errors
+    if findings:
+        lines.append("")
+        summary = f"{n_errors} error(s), {n_warnings} warning(s)"
+    else:
+        summary = "clean"
+    lines.append(f"repro lint: {summary} in {files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    files_checked: int,
+    rules_run: Sequence[str],
+) -> str:
+    """The machine-facing report (see the module docstring for the schema)."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "rules_run": sorted(rules_run),
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+        "statistics": statistics(findings),
+        "ok": not any(finding.severity is Severity.ERROR for finding in findings),
+    }
+    return json.dumps(payload, indent=2)

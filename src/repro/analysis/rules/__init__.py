@@ -1,0 +1,43 @@
+"""The shipped rules.  Importing this package populates the registry.
+
+Adding rule RPR007 is a ~30-line exercise:
+
+1. Create ``rules/rpr007_my_invariant.py``::
+
+       import ast
+       from typing import Iterator
+
+       from ..core import Finding, ModuleContext, Rule, register_rule
+
+
+       @register_rule
+       class MyInvariant(Rule):
+           id = "RPR007"
+           name = "my-invariant"
+           description = "One line shown by --list-rules."
+
+           def check(self, module: ModuleContext) -> Iterator[Finding]:
+               for node in ast.walk(module.tree):
+                   if ...:  # whatever shape violates the invariant
+                       yield self.finding(module, node, "say what and why")
+
+2. Import it below.
+3. Add ≥2 positive and ≥1 negative snippet to ``tests/test_analysis.py``
+   (the rule-inventory test will fail until you do).
+
+``ModuleContext`` gives you resolved import aliases
+(``module.qualified_name(call.func)``), the package-relative path
+(``module.relative_module_path()``), and hot-loop markers; suppression
+handling is automatic.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imports register the rules)
+    rpr001_global_rng,
+    rpr002_wall_clock,
+    rpr003_picklable_tasks,
+    rpr004_hot_loop,
+    rpr005_broad_except,
+    rpr006_store_namespaces,
+)

@@ -1,0 +1,71 @@
+"""RPR001: all randomness must flow through explicitly passed Generators.
+
+Bit-identical serial/pooled/resumed rows (the runtime layer's core
+guarantee) hold only if no code draws from process-global RNG state: the
+stdlib ``random`` module, the legacy ``numpy.random.*`` module-level
+functions, and above all ``numpy.random.seed`` (which silently couples
+every later legacy draw in the process).  Constructing *explicit* generator
+objects (``default_rng``, ``Generator``, ``SeedSequence`` and the bit
+generators) is fine — those are exactly the objects that should be passed
+as parameters — and ``repro/rng.py`` is the one module allowed to wrap the
+raw constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import Finding, ModuleContext, Rule, iter_calls, register_rule
+
+#: numpy.random attributes that construct explicit generator objects.
+_EXPLICIT_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: The one module allowed to touch the raw constructors directly.
+_EXEMPT_MODULES = frozenset({"rng.py"})
+
+
+@register_rule
+class NoGlobalRng(Rule):
+    id = "RPR001"
+    name = "no-global-rng"
+    description = (
+        "Global RNG state (random.*, legacy numpy.random.* calls, np.random.seed) "
+        "is banned — pass a numpy Generator seeded via SeedSequence.spawn instead."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.relative_module_path() in _EXEMPT_MODULES:
+            return
+        for call in iter_calls(module.tree):
+            qualified = module.qualified_name(call.func)
+            if qualified is None:
+                continue
+            if qualified == "random" or qualified.startswith("random."):
+                yield self.finding(
+                    module,
+                    call,
+                    f"call to stdlib '{qualified}' uses process-global RNG state; "
+                    "accept a numpy Generator parameter (see repro.rng.ensure_rng)",
+                )
+            elif qualified.startswith("numpy.random."):
+                attr = qualified.split(".", 2)[2]
+                if attr.split(".")[0] in _EXPLICIT_CONSTRUCTORS:
+                    continue
+                yield self.finding(
+                    module,
+                    call,
+                    f"legacy module-level call '{qualified}' draws from (or seeds) "
+                    "numpy's global RNG; use an explicitly passed Generator",
+                )

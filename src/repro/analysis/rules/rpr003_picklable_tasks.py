@@ -1,0 +1,99 @@
+"""RPR003: task callables must be picklable module-level functions.
+
+``EvalTask``/``FunctionTask`` batches execute on process pools and are
+journaled by content digest for kill/resume; both require every callable
+they carry to round-trip through pickle.  Lambdas and functions defined
+inside another function (closures) pickle by qualified name and fail at
+pool-submission time — or worse, only when a killed sweep tries to resume.
+This rule flags them at the call site where they are handed to the runtime.
+
+Detection is lexical: a ``lambda`` anywhere in the argument list of an
+``EvalTask(...)``/``FunctionTask(...)``/``run_tasks(...)`` call, or a bare
+name argument that resolves to a ``def`` nested inside an enclosing
+function in the same module.  Callables imported from elsewhere are assumed
+module-level (the runtime still validates at execution time).  Keyword
+arguments that never leave the submitting process (``on_result``) are
+exempt — those callbacks are invoked in the parent and need not pickle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ModuleContext, Rule, iter_calls, register_rule
+
+#: Callables whose arguments must be picklable task material.
+TASK_SINKS = frozenset({"EvalTask", "FunctionTask", "run_tasks"})
+
+#: Keyword arguments that stay in the parent process and are never pickled
+#: (``on_result`` is the streaming callback ``run_tasks`` invokes in the
+#: submitting process as results complete).
+PARENT_ONLY_KEYWORDS = frozenset({"on_result"})
+
+
+def _nested_function_names(tree: ast.Module) -> frozenset[str]:
+    """Names of every ``def`` whose enclosing scope is itself a function."""
+    nested: set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(outer):
+            if node is outer:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(node.name)
+    return frozenset(nested)
+
+
+def _argument_exprs(call: ast.Call) -> Iterator[ast.expr]:
+    """Top-level argument expressions, looking through list/tuple literals."""
+    values: list[ast.expr] = list(call.args)
+    values.extend(
+        keyword.value
+        for keyword in call.keywords
+        if keyword.arg not in PARENT_ONLY_KEYWORDS
+    )
+    for value in values:
+        if isinstance(value, ast.Starred):
+            value = value.value
+        if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+            yield from value.elts
+        else:
+            yield value
+
+
+@register_rule
+class PicklableTaskCallables(Rule):
+    id = "RPR003"
+    name = "picklable-task-callables"
+    description = (
+        "Lambdas, closures, and locally defined functions passed to EvalTask/"
+        "FunctionTask/run_tasks break pool execution and journal resume — "
+        "use module-level functions."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        nested = _nested_function_names(module.tree)
+        for call in iter_calls(module.tree):
+            qualified = module.qualified_name(call.func)
+            if qualified is None or qualified.rsplit(".", 1)[-1] not in TASK_SINKS:
+                continue
+            sink = qualified.rsplit(".", 1)[-1]
+            for expr in _argument_exprs(call):
+                for lam in ast.walk(expr):
+                    if isinstance(lam, ast.Lambda):
+                        yield self.finding(
+                            module,
+                            lam,
+                            f"lambda passed to {sink} is not picklable; "
+                            "define a module-level function",
+                        )
+                if isinstance(expr, ast.Name) and expr.id in nested:
+                    yield self.finding(
+                        module,
+                        expr,
+                        f"locally defined function '{expr.id}' passed to {sink} "
+                        "is a closure and will not pickle for pool workers or "
+                        "journal resume; hoist it to module level",
+                    )

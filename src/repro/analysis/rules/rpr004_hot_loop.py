@@ -1,0 +1,77 @@
+"""RPR004: no recorder traffic inside ``# repro: hot-loop`` functions' loops.
+
+The telemetry layer's zero-cost-off guarantee (and its parity guarantee
+when on) rests on a convention: the engines accumulate per-query counts in
+locals and emit once per replay, outside the loop.  Functions that own such
+loops are marked::
+
+    # repro: hot-loop
+    def replay(self, trace, scaler):
+        ...
+
+and this rule then bans, lexically inside any ``for``/``while`` body of the
+marked function, calls to ``get_recorder()`` and metric-emission methods
+(``inc``/``observe``/``set_gauge``/``span``/``counter``/``gauge``/
+``histogram``).  Post-replay emission loops (e.g. folding collected chunk
+sizes into a histogram) are intentional and carry ``allow[RPR004]`` tags.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ModuleContext, Rule, register_rule
+
+#: Method names that emit telemetry when called on a recorder or metric.
+EMISSION_METHODS = frozenset(
+    {"inc", "observe", "set_gauge", "span", "counter", "gauge", "histogram"}
+)
+
+
+def _loop_bodies(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.stmt]:
+    """Every statement lexically inside a loop body of ``func``."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            for stmt in node.body + node.orelse:
+                yield stmt
+
+
+@register_rule
+class NoRecorderInHotLoop(Rule):
+    id = "RPR004"
+    name = "no-recorder-in-hot-loop"
+    description = (
+        "Functions marked '# repro: hot-loop' must keep get_recorder() and "
+        "metric emission out of their for/while bodies — accumulate in locals, "
+        "emit once after the loop."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for func in module.hot_loop_functions():
+            seen: set[int] = set()
+            for stmt in _loop_bodies(func):
+                for node in ast.walk(stmt):
+                    if not isinstance(node, ast.Call) or id(node) in seen:
+                        continue
+                    seen.add(id(node))
+                    message = self._emission_message(module, node, func.name)
+                    if message is not None:
+                        yield self.finding(module, node, message)
+
+    def _emission_message(
+        self, module: ModuleContext, call: ast.Call, func_name: str
+    ) -> str | None:
+        qualified = module.qualified_name(call.func)
+        if qualified is not None and qualified.rsplit(".", 1)[-1] == "get_recorder":
+            return (
+                f"get_recorder() inside a loop of hot-loop function '{func_name}' — "
+                "resolve the recorder once before the loop"
+            )
+        if isinstance(call.func, ast.Attribute) and call.func.attr in EMISSION_METHODS:
+            return (
+                f"telemetry emission '.{call.func.attr}(...)' inside a loop of "
+                f"hot-loop function '{func_name}' — accumulate in locals and emit "
+                "once after the replay"
+            )
+        return None

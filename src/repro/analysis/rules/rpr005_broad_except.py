@@ -1,0 +1,56 @@
+"""RPR005: broad exception handlers must state their reason.
+
+``except:`` and ``except Exception:`` swallow everything, including the
+bugs this repository's bit-parity suites exist to surface.  The pattern is
+sometimes right — the store's corruption→miss degradation is the canonical
+case — but "sometimes right" is exactly what the mandatory-reason allow tag
+is for::
+
+    except Exception:  # repro: allow[RPR005] corrupt artifact degrades to a miss
+
+``except BaseException: ... raise`` re-raise guards are deliberately *not*
+flagged: they are the standard cleanup idiom and do not swallow anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ModuleContext, Rule, register_rule
+
+_BROAD = frozenset({"Exception"})
+
+
+def _is_broad(node: ast.expr | None) -> bool:
+    if node is None:
+        return True  # bare except
+    if isinstance(node, ast.Name) and node.id in _BROAD:
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad(element) for element in node.elts)
+    return False
+
+
+@register_rule
+class BroadExceptNeedsReason(Rule):
+    id = "RPR005"
+    name = "broad-except-needs-reason"
+    description = (
+        "bare 'except:' and 'except Exception:' must carry an "
+        "'# repro: allow[RPR005] <reason>' tag documenting why swallowing "
+        "everything is intentional."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node.type):
+                what = "bare 'except:'" if node.type is None else "'except Exception:'"
+                yield self.finding(
+                    module,
+                    node,
+                    f"{what} without a documented reason — narrow the exception "
+                    "type or tag the line with allow[RPR005] and say why",
+                )

@@ -1,0 +1,88 @@
+"""RPR006: literal store namespaces must come from the typed set.
+
+The artifact store's on-disk layout is partitioned by namespace
+(``NAMESPACES`` in :mod:`repro.store.artifacts`); gc pinning, ls filters
+and the telemetry orphan reaper all enumerate that tuple.  A free-form
+literal namespace (``store.put("result", ...)`` — note the typo) would
+silently create an unmanaged partition that no maintenance pass visits.
+This rule checks every string literal passed in namespace position on a
+store-like receiver against the typed set; code that genuinely needs a new
+namespace adds it to ``NAMESPACES`` first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ModuleContext, Rule, iter_calls, register_rule
+
+#: Store methods whose first positional argument is a namespace.
+NAMESPACE_METHODS = frozenset({"put", "get", "contains", "path_for", "entries"})
+
+
+def _known_namespaces() -> frozenset[str]:
+    from repro.store.artifacts import NAMESPACES
+
+    return frozenset(NAMESPACES)
+
+
+def _receiver_is_store(func: ast.Attribute) -> bool:
+    """Whether the method receiver looks like an artifact store.
+
+    ``.get(...)`` is far too common (dicts, argparse namespaces) to check on
+    every receiver, so the rule keys on the receiver's terminal name
+    containing ``store`` — which the repository's naming convention
+    (``store``, ``self.store``, ``_store``, ``artifact_store``) guarantees.
+    """
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        name = value.attr
+    elif isinstance(value, ast.Name):
+        name = value.id
+    else:
+        return False
+    return "store" in name.lower()
+
+
+@register_rule
+class StoreNamespaceLiteral(Rule):
+    id = "RPR006"
+    name = "store-namespace-literal"
+    description = (
+        "String literals passed as artifact-store namespaces must be members "
+        "of repro.store.NAMESPACES — free-form namespaces escape gc/ls/reaper "
+        "maintenance."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        known = _known_namespaces()
+        for call in iter_calls(module.tree):
+            literal = self._namespace_literal(call)
+            if literal is None:
+                continue
+            if literal.value not in known:
+                yield self.finding(
+                    module,
+                    literal,
+                    f"namespace literal {literal.value!r} is not in "
+                    f"repro.store.NAMESPACES {sorted(known)}; add it there first "
+                    "or use the existing constant",
+                )
+
+    def _namespace_literal(self, call: ast.Call) -> ast.Constant | None:
+        """The string literal in namespace position of a store call, if any."""
+        candidate: ast.expr | None = None
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in NAMESPACE_METHODS
+            and _receiver_is_store(call.func)
+            and call.args
+        ):
+            candidate = call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg == "namespace":
+                candidate = keyword.value
+        if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+            return candidate
+        return None

@@ -1,0 +1,175 @@
+"""File discovery, per-module rule execution, and the CLI entry point."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from .core import META_RULE_ID, Finding, ModuleContext, Rule, Severity, all_rules, get_rule
+from .reporters import render_json, render_text
+
+__all__ = ["add_lint_parser", "discover_files", "lint_paths", "lint_source", "run_lint"]
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+
+    def add(path: Path) -> None:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            ordered.append(path)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    add(candidate)
+        else:
+            add(path)
+    return ordered
+
+
+def _select_rules(rule_ids: Sequence[str] | None) -> list[Rule]:
+    if not rule_ids:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in dict.fromkeys(rule_ids)]
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    rules: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string; the workhorse behind :func:`lint_paths`.
+
+    Returns surviving findings only: suppressed findings are dropped, and
+    malformed/unknown directives surface as RPR000 meta findings (which are
+    themselves unsuppressable).  A file that does not parse yields a single
+    RPR000 finding at the syntax error's location.
+    """
+    path = Path(path)
+    try:
+        module = ModuleContext.parse(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 0),
+                rule_id=META_RULE_ID,
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings = list(module.meta_findings)
+    for rule in _select_rules(rules):
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; see :func:`lint_source`."""
+    findings: list[Finding] = []
+    for path in discover_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=0,
+                    rule_id=META_RULE_ID,
+                    severity=Severity.ERROR,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, path, rules))
+    return findings
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def add_lint_parser(subparsers: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
+    """Attach the ``lint`` subcommand to the ``repro`` CLI."""
+    parser = subparsers.add_parser(
+        "lint",
+        help="statically check the repo's determinism/picklability invariants",
+        description=(
+            "AST-based invariant linter: checks the conventions the test "
+            "suite can only verify dynamically (explicit RNG plumbing, "
+            "picklable task callables, recorder-free hot loops, documented "
+            "broad excepts, typed store namespaces)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE-ID",
+        help="run only this rule (repeatable, e.g. --rule RPR001 --rule RPR005)",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule finding counts to the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def _render_rule_table() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.name} [{rule.severity.value}]")
+        lines.append(f"        {rule.description}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace, stdout: TextIO | None = None) -> int:
+    """Execute ``repro lint``; returns the process exit code."""
+    out = sys.stdout if stdout is None else stdout
+    if args.list_rules:
+        print(_render_rule_table(), file=out)
+        return 0
+    try:
+        findings = lint_paths(args.paths, rules=args.rules)
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    files_checked = len(discover_files(args.paths))
+    rules_run = [rule.id for rule in _select_rules(args.rules)]
+    if args.format == "json":
+        print(render_json(findings, files_checked, rules_run), file=out)
+    else:
+        print(render_text(findings, files_checked, show_statistics=args.statistics), file=out)
+    has_errors = any(finding.severity is Severity.ERROR for finding in findings)
+    return 1 if has_errors else 0

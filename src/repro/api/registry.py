@@ -27,7 +27,7 @@ flags and its help text are generated from the spec.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping
 
 from ..exceptions import ValidationError
 

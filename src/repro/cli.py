@@ -53,6 +53,7 @@ import sys
 import time
 from typing import Sequence
 
+from .analysis.runner import add_lint_parser, run_lint
 from .api import Session, get_experiment, list_experiments
 from .api.cligen import (
     add_param_arguments,
@@ -307,6 +308,8 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_diff.add_argument("run_b", help="comparison run id")
     for sub in (telemetry_show, telemetry_diff):
         _add_store_dir_flag(sub)
+
+    add_lint_parser(subparsers)
 
     return parser
 
@@ -682,6 +685,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_store(args)
     if args.command == "telemetry":
         return _command_telemetry(args)
+    if args.command == "lint":
+        return run_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

@@ -34,6 +34,7 @@ Policies
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 from ..exceptions import ValidationError
 
@@ -43,7 +44,12 @@ __all__ = ["POLICIES", "allocate_tick", "allocate_grants", "jain_index"]
 POLICIES = ("unconstrained", "hard-cap", "fair-share", "throttle")
 
 
-def _validate(demands, capacity, weights, priorities) -> None:
+def _validate(
+    demands: Sequence[int],
+    capacity: float | None,
+    weights: Sequence[float],
+    priorities: Sequence[float],
+) -> None:
     n = len(demands)
     if len(weights) != n or len(priorities) != n:
         raise ValidationError(
@@ -58,7 +64,9 @@ def _validate(demands, capacity, weights, priorities) -> None:
         raise ValidationError(f"capacity must be non-negative, got {capacity}")
 
 
-def _water_fill(demands, capacity, weights) -> list[float]:
+def _water_fill(
+    demands: Sequence[int], capacity: float, weights: Sequence[float]
+) -> list[float]:
     """Continuous weighted max-min allocation (before integerization).
 
     Progressive filling: every unsatisfied service receives capacity in
@@ -85,7 +93,9 @@ def _water_fill(demands, capacity, weights) -> list[float]:
     return alloc
 
 
-def _integerize(alloc, demands, capacity) -> list[int]:
+def _integerize(
+    alloc: Sequence[float], demands: Sequence[int], capacity: float
+) -> list[int]:
     """Round a continuous allocation down and deal out the leftover units.
 
     Floors first, then assigns the remaining whole units largest-fractional-
@@ -110,10 +120,10 @@ def _integerize(alloc, demands, capacity) -> list[int]:
 
 def allocate_tick(
     policy: str,
-    demands,
+    demands: Sequence[int],
     capacity: float | None,
-    weights,
-    priorities,
+    weights: Sequence[float],
+    priorities: Sequence[float],
 ) -> list[int]:
     """Grant each service an integer instance budget for one tick.
 
@@ -156,10 +166,10 @@ def allocate_tick(
 
 def allocate_grants(
     policy: str,
-    demands,
+    demands: Sequence[Sequence[int]],
     capacity: float | None,
-    weights,
-    priorities,
+    weights: Sequence[float],
+    priorities: Sequence[float],
 ) -> list[tuple[int, ...]]:
     """Resolve a whole run: per-service grant schedules over all ticks.
 
@@ -185,7 +195,7 @@ def allocate_grants(
     return [tuple(g) for g in grants]
 
 
-def jain_index(values) -> float:
+def jain_index(values: Sequence[float]) -> float:
     """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` over ``values``.
 
     1.0 means perfectly even; ``1/n`` means one party holds everything.

@@ -29,6 +29,7 @@ killed-and-resumed ones) produce identical rows.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -39,6 +40,9 @@ from ..runtime.cache import WorkloadCache
 from ..runtime.spec import FunctionTask, PrepSpec, WorkloadSpec
 from ..scaling.backup_pool import ReactiveScaler
 from ..simulation.runner import replay
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..store.artifacts import ArtifactStore
 from ..telemetry import get_recorder
 from ..types import ArrivalTrace
 from .pooled import PooledScaler
@@ -64,7 +68,7 @@ def n_ticks_for(test: ArrivalTrace, tick_seconds: float) -> int:
     return max(1, int(math.ceil(float(test.horizon) / float(tick_seconds))))
 
 
-def _store_from(store_dir: str | None):
+def _store_from(store_dir: str | None) -> "ArtifactStore | None":
     if store_dir is None:
         return None
     from ..store import ArtifactStore
@@ -72,7 +76,9 @@ def _store_from(store_dir: str | None):
     return ArtifactStore(store_dir)
 
 
-def _service_bundle(service: ServiceSpec, engine: str, store_dir: str | None):
+def _service_bundle(
+    service: ServiceSpec, engine: str, store_dir: str | None
+) -> tuple[Any, SimulationConfig, float, Any]:
     """``(test trace, simulation config, reference cost, prepared-or-None)``.
 
     RobustScaler services pay the full model preparation (store-cached via
@@ -122,7 +128,9 @@ def _service_bundle(service: ServiceSpec, engine: str, store_dir: str | None):
     return bundle
 
 
-def _build_scaler(service: ServiceSpec, workload, base_seed: int, index: int):
+def _build_scaler(
+    service: ServiceSpec, workload: Any, base_seed: int, index: int
+) -> Any:
     """The inner autoscaler, seeded deterministically by fleet position."""
     random_state = np.random.default_rng([int(base_seed), int(index)])
     return service.scaler.build(workload, random_state=random_state)

@@ -17,6 +17,7 @@ them.  This module is only the *description* layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..exceptions import ValidationError
 from ..runtime.spec import ScalerSpec
@@ -171,8 +172,8 @@ def _scaler_for(kind: str, params: dict) -> ScalerSpec:
 def compose_fleet(
     n_services: int,
     *,
-    scenario_names=None,
-    scaler_kinds=("bp", "adapbp", "reactive"),
+    scenario_names: Sequence[str] | None = None,
+    scaler_kinds: Sequence[str] = ("bp", "adapbp", "reactive"),
     scale: float = 1.0,
     base_seed: int = 7,
     tick_seconds: float = 60.0,

@@ -247,7 +247,9 @@ class PiecewiseConstantIntensity:
         n_bins = self.n_bins
         times = offset_seconds + np.arange(n_bins) * self.bin_seconds + 0.5 * self.bin_seconds
         values = np.asarray(self.value(times), dtype=float)
-        return PiecewiseConstantIntensity(values, self.bin_seconds, extrapolation=self.extrapolation)
+        return PiecewiseConstantIntensity(
+            values, self.bin_seconds, extrapolation=self.extrapolation
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -20,7 +20,6 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import check_integer, check_non_negative, check_positive
-from ..exceptions import ValidationError
 from ..rng import RandomState, ensure_rng
 from .intensity import PiecewiseConstantIntensity
 

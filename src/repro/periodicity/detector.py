@@ -81,9 +81,10 @@ class PeriodicityDetector:
         """Run detection on ``series`` and return a :class:`PeriodicityResult`."""
         cfg = self.config
         factor = self._effective_aggregation(series)
-        aggregated = (
-            aggregate_counts(series.counts, factor, how="mean") if factor > 1 else np.asarray(series.counts, dtype=float)
-        )
+        if factor > 1:
+            aggregated = aggregate_counts(series.counts, factor, how="mean")
+        else:
+            aggregated = np.asarray(series.counts, dtype=float)
         if aggregated.size < 16:
             raise PeriodicityDetectionError(
                 f"series too short for periodicity detection: {aggregated.size} aggregated bins"

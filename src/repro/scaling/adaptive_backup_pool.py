@@ -79,7 +79,9 @@ class AdaptiveBackupPoolScaler(Autoscaler):
 
         return PoolTopUpKernel(lambda: self._target)
 
-    def _rebalance(self, context: PlanningContext, *, allow_scale_in: bool = True) -> ScalingResponse:
+    def _rebalance(
+        self, context: PlanningContext, *, allow_scale_in: bool = True
+    ) -> ScalingResponse:
         deficit = self._target - context.outstanding_instances
         if deficit > 0:
             return ScalingResponse.create_now(context.time, deficit)

@@ -10,7 +10,6 @@ is also the cost reference for the "relative cost" metric.
 from __future__ import annotations
 
 from .._validation import check_integer
-from ..types import ScalingAction
 from .base import Autoscaler, PlanningContext, ScalingResponse
 
 __all__ = ["BackupPoolScaler", "ReactiveScaler"]

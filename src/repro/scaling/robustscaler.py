@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._validation import check_non_negative, check_positive
+from .._validation import check_non_negative
 from ..config import PlannerConfig
 from ..exceptions import PlanningError
 from ..nhpp.intensity import PiecewiseConstantIntensity

@@ -15,7 +15,6 @@ true intensity is known).
 
 from __future__ import annotations
 
-import numpy as np
 
 from .._validation import check_integer, check_probability
 from ..config import PlannerConfig

@@ -107,14 +107,17 @@ class BatchedEventSimulator:
 
     # ------------------------------------------------------------------ API
 
+    # repro: hot-loop
     def replay(self, trace: ArrivalTrace, scaler: Autoscaler) -> SimulationResult:
         """Replay ``trace`` under ``scaler`` and return the per-query outcomes."""
         scaler.reset()
-        # Telemetry contract: with the no-op recorder active, this method
-        # performs no recorder calls inside the per-query/per-chunk loops —
-        # counters accumulate in locals and are emitted once at the end
-        # (chunk sizes are gathered only when a real recorder is active).
+        # Telemetry contract (enforced by `repro lint` RPR004 via the
+        # hot-loop marker above): with the no-op recorder active, this
+        # method performs no recorder calls inside the per-query/per-chunk
+        # loops — counters accumulate in locals and are emitted once at the
+        # end (chunk sizes are gathered only when a real recorder is active).
         recorder = get_recorder()
+        # repro: allow[RPR002] telemetry replay timer only, never touches simulated time
         replay_started = _time.perf_counter()
         chunk_sizes: list[int] | None = [] if recorder.enabled else None
         n_ticks = 0
@@ -163,8 +166,11 @@ class BatchedEventSimulator:
             hook: Callable[[PlanningContext], ScalingResponse],
             context: PlanningContext,
         ) -> tuple[ScalingResponse, float]:
+            # repro: allow[RPR002] measures real decision latency — the input to
+            # the charge_decision_latency semantics, not a hidden clock
             started = _time.perf_counter()
             response = hook(context)
+            # repro: allow[RPR002] second half of the decision-latency measurement
             elapsed = _time.perf_counter() - started
             planning_times.append(elapsed)
             if response is None:
@@ -465,6 +471,8 @@ class BatchedEventSimulator:
                     "engine.batched.chunk_queries", _CHUNK_BUCKETS
                 )
                 for size in chunk_sizes:
+                    # repro: allow[RPR004] post-replay fold of collected chunk
+                    # sizes — runs once per replay, not per query
                     chunk_hist.observe(size)
             else:
                 recorder.inc("engine.batched.hook_arrivals", n_hook)
@@ -479,9 +487,12 @@ class BatchedEventSimulator:
                             "engine.kernel.chunk_size", _CHUNK_BUCKETS
                         )
                         for size in kernel_chunk_sizes:
+                            # repro: allow[RPR004] post-replay fold of collected
+                            # chunk sizes — once per replay, not per query
                             kernel_hist.observe(size)
             recorder.observe(
                 "engine.batched.replay_seconds",
+                # repro: allow[RPR002] telemetry replay timer only, not simulated time
                 _time.perf_counter() - replay_started,
             )
 

@@ -80,6 +80,8 @@ _JIT_DISABLED = os.environ.get("REPRO_JIT", "").strip().lower() in {
 if not _JIT_DISABLED:  # pragma: no branch
     try:
         import numba as _numba
+    # repro: allow[RPR005] numba is an optional extra — any import/ABI
+    # failure means "no JIT backend", not an error
     except Exception:  # pragma: no cover - exercised only without the extra
         _numba = None
     else:

@@ -284,6 +284,8 @@ class ArtifactStore:
             return default
         try:
             obj = self._decode(data)
+        # repro: allow[RPR005] any decode failure means a corrupt/truncated
+        # artifact — degrade to a miss so the caller regenerates it
         except Exception:
             self.corrupt += 1
             if recorder.enabled:
@@ -337,6 +339,8 @@ class ArtifactStore:
         """
         try:
             return self._decode(entry.path.read_bytes())
+        # repro: allow[RPR005] maintenance read — unreadable entries stay in
+        # place for a regular get() to verify and reap
         except Exception:
             return None
 

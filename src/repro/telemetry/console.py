@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import sys
 import time
+from typing import TextIO
 
 __all__ = ["Console", "ProgressLine"]
 
@@ -30,7 +31,7 @@ class Console:
         :meth:`progress` returns ``None``.
     """
 
-    def __init__(self, stream=None, *, quiet: bool = False) -> None:
+    def __init__(self, stream: TextIO | None = None, *, quiet: bool = False) -> None:
         self.stream = sys.stderr if stream is None else stream
         self.quiet = bool(quiet)
 
@@ -55,7 +56,7 @@ class ProgressLine:
     arrive instantly and would otherwise skew the rate.
     """
 
-    def __init__(self, stream) -> None:
+    def __init__(self, stream: TextIO) -> None:
         self.stream = stream
         self.total = 0
         self.done = 0
@@ -77,7 +78,7 @@ class ProgressLine:
         rate = (time.perf_counter() - self._live_started) / self.live_done
         return f"~{max(rate * remaining, 0.0):.0f}s left"
 
-    def update(self, result) -> None:
+    def update(self, result: object) -> None:
         self.done += 1
         if not getattr(result, "resumed", False):
             if self._live_started is None:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left
-from typing import Mapping
+from typing import Callable, Mapping, cast
 
 from ..exceptions import ValidationError
 
@@ -174,7 +174,12 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def _get_or_create(self, name: str, factory, kind: str):
+    def _get_or_create(
+        self,
+        name: str,
+        factory: Callable[[], Counter | Gauge | Histogram],
+        kind: str,
+    ) -> Counter | Gauge | Histogram:
         metric = self._metrics.get(name)
         if metric is None:
             metric = self._metrics[name] = factory()
@@ -185,16 +190,16 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter, "counter")
+        return cast(Counter, self._get_or_create(name, Counter, "counter"))
 
     def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge, "gauge")
+        return cast(Gauge, self._get_or_create(name, Gauge, "gauge"))
 
     def histogram(
         self, name: str, buckets: tuple[float, ...] | None = None
     ) -> Histogram:
         factory = Histogram if buckets is None else (lambda: Histogram(buckets))
-        return self._get_or_create(name, factory, "histogram")
+        return cast(Histogram, self._get_or_create(name, factory, "histogram"))
 
     def snapshot(self) -> dict:
         """Plain-dict view: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""

@@ -34,9 +34,10 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Iterator, Mapping
 
-from .metrics import MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "NULL_RECORDER",
@@ -71,7 +72,7 @@ class _Span:
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         ended = time.perf_counter()
         recorder = self._recorder
         recorder._span_stack.pop()
@@ -98,7 +99,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         pass
 
 
@@ -138,7 +139,7 @@ class NullRecorder:
     def gauge(self, name: str) -> _NullMetric:
         return _NULL_METRIC
 
-    def histogram(self, name: str, buckets=None) -> _NullMetric:
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> _NullMetric:
         return _NULL_METRIC
 
     def inc(self, name: str, amount: int | float = 1) -> None:
@@ -173,13 +174,13 @@ class Recorder:
 
     # ------------------------------------------------------------- metrics
 
-    def counter(self, name: str):
+    def counter(self, name: str) -> Counter:
         return self.metrics.counter(name)
 
-    def gauge(self, name: str):
+    def gauge(self, name: str) -> Gauge:
         return self.metrics.gauge(name)
 
-    def histogram(self, name: str, buckets=None):
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
         return self.metrics.histogram(name, buckets)
 
     def inc(self, name: str, amount: int | float = 1) -> None:
@@ -200,7 +201,7 @@ class Recorder:
         """The span trace as JSON-lines text (one flat record per span)."""
         return "\n".join(json.dumps(record) for record in self.spans)
 
-    def write_trace(self, path) -> None:
+    def write_trace(self, path: str | Path) -> None:
         """Write the JSONL span trace to ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
             trace = self.trace_jsonl()

@@ -22,7 +22,10 @@ snapshots whose run journal has disappeared from the store.
 from __future__ import annotations
 
 import time
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..store.artifacts import ArtifactStore
 
 from .recorder import Recorder
 
@@ -82,7 +85,7 @@ def build_snapshot(
     }
 
 
-def persist_snapshot(store, snapshot: Mapping) -> None:
+def persist_snapshot(store: "ArtifactStore", snapshot: Mapping) -> None:
     """Install ``snapshot`` in the store's ``telemetry/`` namespace.
 
     The snapshot must carry a ``run_id`` — that is the handle ``repro
@@ -94,7 +97,7 @@ def persist_snapshot(store, snapshot: Mapping) -> None:
     store.put(TELEMETRY_NAMESPACE, snapshot_key(run_id), dict(snapshot))
 
 
-def load_snapshot(store, run_id: str) -> dict | None:
+def load_snapshot(store: "ArtifactStore", run_id: str) -> dict | None:
     """The persisted snapshot of ``run_id``, or ``None`` when absent."""
     payload = store.get(TELEMETRY_NAMESPACE, snapshot_key(run_id))
     if not isinstance(payload, dict) or "counters" not in payload:
@@ -176,7 +179,7 @@ def diff_snapshots(a: Mapping, b: Mapping) -> list[dict]:
     """
     rows: list[dict] = []
 
-    def compare(name: str, left, right) -> dict:
+    def compare(name: str, left: object, right: object) -> dict:
         delta = None
         ratio = None
         if isinstance(left, (int, float)) and isinstance(right, (int, float)):
@@ -207,7 +210,7 @@ def diff_snapshots(a: Mapping, b: Mapping) -> list[dict]:
 # ------------------------------------------------------------- maintenance
 
 
-def gc_orphan_snapshots(store) -> tuple[int, int]:
+def gc_orphan_snapshots(store: "ArtifactStore") -> tuple[int, int]:
     """Reap telemetry snapshots whose run journal is gone from ``store``.
 
     A snapshot is an observability artifact *about* a journaled run; once

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import as_1d_float_array, check_integer
+from .._validation import check_integer
 from ..exceptions import ValidationError
 from .robust import median_filter
 

@@ -21,7 +21,7 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from ._validation import as_1d_float_array, check_non_negative, check_positive
+from ._validation import as_1d_float_array, check_positive
 from .exceptions import TraceError, ValidationError
 
 __all__ = [

@@ -73,7 +73,7 @@ from .primitives import (
     RegimeSwitching,
     SeasonalBump,
 )
-from .registry import DEFAULT_REGISTRY, ScenarioRegistry, register_scenario
+from .registry import ScenarioRegistry, register_scenario
 from .scenarios import Scenario
 
 __all__ = [

@@ -273,7 +273,9 @@ def register_builtin_scenarios(registry=DEFAULT_REGISTRY, *, overwrite: bool = F
         ),
         Scenario(
             name="outage-recovery",
-            description="Diurnal traffic with an outage blackout and a backlog-flush recovery spike",
+            description=(
+                "Diurnal traffic with an outage blackout and a backlog-flush recovery spike"
+            ),
             intensity=_outage_recovery,
             horizon_seconds=2 * _DAY,
             train_fraction=0.7,
@@ -297,7 +299,9 @@ def register_builtin_scenarios(registry=DEFAULT_REGISTRY, *, overwrite: bool = F
         ),
         Scenario(
             name="cold-start-services",
-            description="Diurnal serving tier with bimodal cold/warm processing times (15% pay ~8x)",
+            description=(
+                "Diurnal serving tier with bimodal cold/warm processing times (15% pay ~8x)"
+            ),
             intensity=_cold_start_services,
             horizon_seconds=2 * _DAY,
             processing_time_distribution="bimodal",

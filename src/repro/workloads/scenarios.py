@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Protocol
 
 from ..exceptions import ValidationError, WorkloadError
 from ..nhpp.intensity import PiecewiseConstantIntensity

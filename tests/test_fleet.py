@@ -204,7 +204,9 @@ class TestFleetSpecs:
 
     def test_service_validation(self):
         with pytest.raises(ValidationError):
-            ServiceSpec(name="a", scenario="steady-state", scaler=ScalerSpec("reactive"), weight=0.0)
+            ServiceSpec(
+                name="a", scenario="steady-state", scaler=ScalerSpec("reactive"), weight=0.0
+            )
         with pytest.raises(ValidationError):
             ServiceSpec(name="a", scenario="", scaler=ScalerSpec("reactive"))
 

@@ -13,7 +13,7 @@ from repro.nhpp.model import NHPPModel
 from repro.nhpp.sampling import sample_arrival_times, sample_counts
 from repro.nhpp.validation import ks_statistic_time_rescaling, rescaled_interarrival_times
 from repro.traces.synthetic import beta_bump_intensity
-from repro.types import ArrivalTrace, QPSSeries
+from repro.types import QPSSeries
 
 
 def _periodic_series(period_bins: int, n_periods: int, seed: int) -> tuple[QPSSeries, np.ndarray]:

@@ -33,7 +33,9 @@ class TestSoftThreshold:
     def test_is_proximal_operator_of_l1(self, x, threshold):
         """Soft thresholding minimizes 0.5*(z-x)^2 + threshold*|z|."""
         z_star = soft_threshold(x, threshold)
-        objective = lambda z: 0.5 * (z - x) ** 2 + threshold * abs(z)
+        def objective(z):
+            return 0.5 * (z - x) ** 2 + threshold * abs(z)
+
         for delta in (-1e-3, 1e-3):
             assert objective(z_star) <= objective(z_star + delta) + 1e-9
 

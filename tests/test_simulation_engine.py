@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import SimulationConfig
-from repro.pending import DeterministicPendingTime
 from repro.scaling.base import Autoscaler, PlanningContext, ScalingResponse
 from repro.scaling.backup_pool import BackupPoolScaler, ReactiveScaler
 from repro.simulation.engine import ScalingPerQuerySimulator
@@ -140,7 +139,10 @@ class TestSimulatorProperties:
             if outcome.hit:
                 assert outcome.waiting_time == pytest.approx(0.0)
             else:
-                assert outcome.waiting_time > 0.0 or outcome.instance.ready_time > outcome.query.arrival_time
+                assert (
+                    outcome.waiting_time > 0.0
+                    or outcome.instance.ready_time > outcome.query.arrival_time
+                )
 
     def test_deterministic_replay(self, small_poisson_trace, sim_config):
         simulator = ScalingPerQuerySimulator(sim_config)

@@ -217,7 +217,7 @@ class TestGC:
     def test_size_bound_evicts_oldest_first(self, store):
         now = 1_000_000.0
         oldest = self._put_aged(store, "results", ("a",), "x" * 1000, 300, now)
-        middle = self._put_aged(store, "results", ("b",), "y" * 1000, 200, now)
+        self._put_aged(store, "results", ("b",), "y" * 1000, 200, now)
         newest = self._put_aged(store, "results", ("c",), "z" * 1000, 100, now)
         total = store.total_bytes()
         [entry] = [e for e in store.entries() if e.path == oldest]

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.nhpp.intensity import PiecewiseConstantIntensity
 from repro.traces.synthetic import (
     beta_bump_intensity,
     generate_alibaba_like_trace,

@@ -11,7 +11,6 @@ from repro.experiments.scenario_sweep import summarize_scenario_sweep
 from repro.traces.catalog import get_trace
 from repro.workloads import (
     DEFAULT_REGISTRY,
-    Clip,
     Constant,
     FlashCrowd,
     GammaNoise,
